@@ -1,0 +1,90 @@
+// ablation_normalization — design-choice ablation: unit-energy
+// normalization of the unfolded submatrices ("so that no one feature
+// dominates") on vs off.
+//
+// Without normalization, the feature with the largest raw entropy values
+// dominates the covariance; anomalies expressed in other features become
+// harder to detect. The ablation injects a port-scan signature (dstPort
+// dispersal) and a src-side signature into separate bins and compares
+// detectability under both treatments.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/detector.h"
+#include "core/histogram.h"
+#include "net/topology.h"
+#include "traffic/anomaly.h"
+#include "traffic/background.h"
+
+using namespace tfd;
+using namespace tfd::bench;
+
+namespace {
+
+// Unfold WITHOUT the unit-energy normalization (the ablated treatment).
+core::multiway_matrix unfold_raw(const core::od_dataset& d) {
+    core::multiway_matrix out;
+    const std::size_t t = d.bins(), p = d.flows();
+    out.flows = p;
+    out.h.resize(t, 4 * p);
+    for (int f = 0; f < 4; ++f) {
+        out.submatrix_norm[f] = 1.0;
+        for (std::size_t r = 0; r < t; ++r)
+            for (std::size_t c = 0; c < p; ++c)
+                out.h(r, f * p + c) = d.entropy[f](r, c);
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    auto args = bench_args::parse(argc, argv);
+    const std::size_t bins = args.bins_or(576);
+    banner("Ablation: unit-energy normalization of H submatrices", args, bins,
+           "Abilene");
+
+    const auto topo = net::topology::abilene();
+    traffic::background_model bg(topo);
+
+    // Make feature scales unequal on purpose: scale up srcIP entropy 5x
+    // (as if one feature had systematically larger raw values).
+    const int scan_od = topo.od_index(2, 9);
+    const std::size_t scan_bin = bins / 2;
+    core::cell_source source = [&](std::size_t bin, int od) {
+        auto recs = bg.generate(bin, od);
+        if (bin == scan_bin && od == scan_od) {
+            traffic::anomaly_cell cell;
+            cell.type = traffic::anomaly_type::port_scan;
+            cell.od = od;
+            cell.bin = bin;
+            cell.packets = 350;
+            auto extra = traffic::generate_anomaly_records(
+                topo, cell, traffic::rng(args.seed));
+            recs.insert(recs.end(), extra.begin(), extra.end());
+        }
+        return recs;
+    };
+    auto data = core::build_od_dataset(bins, topo.od_count(), source);
+    // Exaggerate one feature's scale.
+    for (auto& v : data.entropy[0].data()) v *= 5.0;
+
+    diagnosis::text_table table(
+        {"Treatment", "threshold", "SPE at scan bin", "margin", "detected"});
+    for (const bool normalized : {true, false}) {
+        const auto m = normalized ? core::unfold(data) : unfold_raw(data);
+        const auto model = core::subspace_model::fit(
+            m.h, {.normal_dims = 10, .center = true});
+        const double thr = model.q_threshold(args.alpha);
+        const double spe = model.spe(m.h.row(scan_bin));
+        table.add_row({normalized ? "unit-energy (paper)" : "raw (ablated)",
+                       diagnosis::fmt_sci(thr, 3), diagnosis::fmt_sci(spe, 3),
+                       diagnosis::fmt_fixed(thr > 0 ? spe / thr : 0.0, 2),
+                       spe > thr ? "yes" : "NO"});
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("expected: normalization preserves the scan's detection "
+                "margin when another feature's scale is inflated; the raw "
+                "treatment lets the inflated feature dominate.\n");
+    return 0;
+}

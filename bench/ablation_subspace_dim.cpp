@@ -1,0 +1,49 @@
+// ablation_subspace_dim — design-choice ablation: the dimension m of the
+// normal subspace. The paper "found a knee in the amount of variance
+// captured at m ~= 10 (which accounted for 85% of the total variance)".
+//
+// Sweeps m and reports variance captured, the Q threshold, and how many
+// planted anomalies remain detected — showing the insensitive plateau
+// around the knee and degradation at the extremes.
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace tfd;
+using namespace tfd::bench;
+using namespace tfd::diagnosis;
+
+int main(int argc, char** argv) {
+    auto args = bench_args::parse(argc, argv);
+    const std::size_t bins = args.bins_or(1152);
+    banner("Ablation: normal subspace dimension m", args, bins, "Abilene");
+
+    auto study = abilene_study(args, bins);
+    std::printf("planted anomalies: %zu; building dataset once...\n\n",
+                study.schedule().size());
+    const auto data = study.build();
+    const auto m = core::unfold(data);
+
+    text_table table({"m", "variance captured", "Q threshold", "# detections",
+                      "# planted detected", "detection rate"});
+    for (const std::size_t dims : {1u, 2u, 5u, 8u, 10u, 12u, 16u, 24u, 48u}) {
+        const auto det = core::detect_entropy_anomalies(
+            m, {.normal_dims = dims, .center = true}, args.alpha);
+        const auto model = core::subspace_model::fit(
+            m.h, {.normal_dims = dims, .center = true});
+        const auto score = score_against_truth(study, det);
+        table.add_row({std::to_string(dims),
+                       fmt_percent(model.variance_captured(), 1),
+                       fmt_sci(det.rows.threshold, 3),
+                       std::to_string(det.rows.anomalous_bins.size()),
+                       std::to_string(score.detected) + "/" +
+                           std::to_string(score.planted),
+                       fmt_percent(score.rate(), 1)});
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("expected: a knee in variance captured near m ~= 10 and a "
+                "detection plateau around it; m too small floods the\n"
+                "residual with normal variation, m too large swallows "
+                "anomalies into the normal subspace.\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+// anon_impact — reproduces the Section 5 anonymization experiment: run
+// detection over the same Geant-like week twice, once with addresses
+// intact and once masked to /21 (11 bits zeroed, the Abilene policy),
+// and compare detection counts.
+//
+// Expected shape (paper: 128 anomalies anonymized vs 132 unanonymized on
+// one week of Geant): anonymization costs only a small fraction of
+// detections.
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace tfd;
+using namespace tfd::bench;
+using namespace tfd::diagnosis;
+
+int main(int argc, char** argv) {
+    auto args = bench_args::parse(argc, argv);
+    const std::size_t bins = args.bins_or(864);
+    banner("Section 5: anonymization impact on detections", args, bins,
+           "Geant");
+
+    diagnosis_options opts;
+    opts.alpha = args.alpha;
+
+    auto base_cfg = dataset_config::geant(args.seed + 1, bins);
+    text_table table({"Variant", "# detections", "# events matching truth"});
+
+    std::size_t clear_count = 0, anon_count = 0;
+    for (const bool anonymize : {false, true}) {
+        auto cfg = base_cfg;
+        cfg.anonymize_bits = anonymize ? 11 : 0;
+        network_study study(cfg);
+        std::printf("running %s...\n", anonymize ? "anonymized (/21)"
+                                                 : "unanonymized");
+        const auto report = run_diagnosis(study, opts);
+        const auto n = report.entropy.rows.anomalous_bins.size();
+        (anonymize ? anon_count : clear_count) = n;
+        table.add_row({anonymize ? "anonymized (11 bits)" : "unanonymized",
+                       std::to_string(n),
+                       std::to_string(report.true_detections())});
+    }
+    std::printf("\n%s\n", table.str().c_str());
+    std::printf("paper: 128 vs 132 (-3%%). measured change: %+.1f%%\n",
+                clear_count
+                    ? (static_cast<double>(anon_count) - clear_count) * 100.0 /
+                          clear_count
+                    : 0.0);
+    return 0;
+}

@@ -1,0 +1,80 @@
+// bench/common.h — shared plumbing for the experiment harnesses.
+//
+// Each bench binary regenerates one table or figure of the paper. They
+// share flag parsing (--seed, --bins, --alpha, --paper-scale) and a few
+// canned study constructions. Scale defaults are chosen so the whole
+// bench suite completes in minutes on two cores; --paper-scale restores
+// the paper's full three-week geometry.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "diagnosis/pipeline.h"
+#include "diagnosis/report.h"
+
+namespace tfd::bench {
+
+/// Common command-line arguments.
+struct bench_args {
+    std::uint64_t seed = 42;
+    std::size_t bins = 0;      ///< 0 = binary-specific default
+    double alpha = 0.999;
+    bool paper_scale = false;  ///< full 3-week geometry
+    double anomalies_per_day = 12.0;
+
+    static bench_args parse(int argc, char** argv) {
+        bench_args a;
+        for (int i = 1; i < argc; ++i) {
+            const std::string flag = argv[i];
+            auto next = [&](double dflt) {
+                return i + 1 < argc ? std::atof(argv[++i]) : dflt;
+            };
+            if (flag == "--seed") a.seed = static_cast<std::uint64_t>(next(42));
+            else if (flag == "--bins") a.bins = static_cast<std::size_t>(next(0));
+            else if (flag == "--alpha") a.alpha = next(0.999);
+            else if (flag == "--rate") a.anomalies_per_day = next(12.0);
+            else if (flag == "--paper-scale") a.paper_scale = true;
+            else if (flag == "--help") {
+                std::printf("flags: --seed N --bins N --alpha A --rate R "
+                            "--paper-scale\n");
+                std::exit(0);
+            }
+        }
+        return a;
+    }
+
+    std::size_t bins_or(std::size_t dflt) const {
+        if (paper_scale) return 3 * 7 * 288;  // three weeks
+        return bins ? bins : dflt;
+    }
+};
+
+/// Print a standard experiment banner.
+inline void banner(const char* experiment, const bench_args& a,
+                   std::size_t bins, const char* network) {
+    std::printf("=== %s ===\n", experiment);
+    std::printf("network=%s bins=%zu (%.1f days) alpha=%.3f seed=%llu\n\n",
+                network, bins, static_cast<double>(bins) / 288.0, a.alpha,
+                static_cast<unsigned long long>(a.seed));
+}
+
+/// Build an Abilene-like study with the given duration.
+inline diagnosis::network_study abilene_study(const bench_args& a,
+                                              std::size_t bins) {
+    auto cfg = diagnosis::dataset_config::abilene(a.seed, bins);
+    cfg.schedule.anomalies_per_day = a.anomalies_per_day;
+    return diagnosis::network_study(cfg);
+}
+
+/// Build a Geant-like study with the given duration.
+inline diagnosis::network_study geant_study(const bench_args& a,
+                                            std::size_t bins) {
+    auto cfg = diagnosis::dataset_config::geant(a.seed + 1, bins);
+    return diagnosis::network_study(cfg);
+}
+
+}  // namespace tfd::bench

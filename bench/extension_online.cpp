@@ -1,0 +1,92 @@
+// extension_online — the paper's future-work items, measured: streaming
+// detection with a sliding-window model (Section 8: "online extensions")
+// and drill-down to the raw flow records of each detection ("methods to
+// expose the raw flow records involved in the anomaly").
+//
+// Streams an Abilene-like day bin by bin through the online detector,
+// then drills into each detection and reports how well the top-ranked
+// records cover and explain the planted anomaly.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/histogram.h"
+#include "core/online.h"
+#include "diagnosis/drilldown.h"
+
+using namespace tfd;
+using namespace tfd::bench;
+using namespace tfd::diagnosis;
+
+int main(int argc, char** argv) {
+    auto args = bench_args::parse(argc, argv);
+    const std::size_t bins = args.bins_or(864);
+    banner("Extension: online detection + record drill-down", args, bins,
+           "Abilene");
+
+    auto study = abilene_study(args, bins);
+    const auto& topo = study.topo();
+    std::printf("streaming %zu bins x %d flows (%zu planted anomalies)...\n\n",
+                bins, topo.od_count(), study.schedule().size());
+
+    core::online_options oopts;
+    oopts.window = 432;
+    oopts.warmup = 288;
+    oopts.refit_interval = 24;
+    oopts.alpha = args.alpha;
+    core::online_detector det(topo.od_count(), oopts);
+
+    std::size_t scored = 0, flagged = 0, truth_hits = 0;
+    std::size_t drill_right = 0, drill_total = 0;
+    for (std::size_t bin = 0; bin < bins; ++bin) {
+        // Build the per-bin snapshot from cell records.
+        core::entropy_snapshot snap;
+        for (auto& e : snap.entropies) e.resize(topo.od_count());
+        for (int od = 0; od < topo.od_count(); ++od) {
+            core::feature_histogram_set hists;
+            hists.add_records(study.cell_records(bin, od));
+            const auto h = hists.entropies();
+            for (int f = 0; f < 4; ++f) snap.entropies[f][od] = h[f];
+        }
+        const auto v = det.push(snap);
+        if (!v.scored) continue;
+        ++scored;
+        if (!v.anomalous) continue;
+        ++flagged;
+        if (study.schedule().bin_is_anomalous(bin)) ++truth_hits;
+
+        // Drill down: rank the identified cell's records against the
+        // previous bin and label the top records.
+        if (v.top_od >= 0 && bin > 0) {
+            const auto baseline = study.cell_records(bin - 1, v.top_od);
+            const auto ranked = rank_anomalous_records(
+                study.cell_records(bin, v.top_od), baseline, 300);
+            const auto truth = study.schedule().find(bin, v.top_od);
+            if (!truth.empty()) {
+                ++drill_total;
+                // Volume reference for the labeler: a fraction of the
+                // baseline cell (the top-ranked records exclude most
+                // background, so the anomaly dominates any surge).
+                double base_packets = 0;
+                for (const auto& r : baseline)
+                    base_packets += static_cast<double>(r.packets);
+                const auto l = classify_top_records(ranked,
+                                                    0.3 * base_packets);
+                if (l == label_of(truth.front()->type)) ++drill_right;
+            }
+        }
+    }
+
+    text_table table({"metric", "value"});
+    table.add_row({"bins scored", std::to_string(scored)});
+    table.add_row({"bins flagged", std::to_string(flagged)});
+    table.add_row({"flagged bins containing a planted anomaly",
+                   std::to_string(truth_hits)});
+    table.add_row({"drill-downs with ground truth", std::to_string(drill_total)});
+    table.add_row({"drill-down label == ground truth",
+                   std::to_string(drill_right)});
+    std::printf("%s\n", table.str().c_str());
+    std::printf("expected: most flagged bins carry a planted anomaly, and "
+                "the drill-down labels the responsible records correctly "
+                "in the large majority of cases.\n");
+    return 0;
+}

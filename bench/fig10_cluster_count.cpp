@@ -1,0 +1,75 @@
+// fig10_cluster_count — reproduces Figure 10: intra-cluster variation
+// trace(W) and inter-cluster variation trace(B) as a function of the
+// number of clusters, for both clustering algorithms (k-means and
+// hierarchical agglomerative) on both datasets (Abilene and Geant).
+//
+// Expected shape (paper): all combinations agree; trace(W) falls and
+// trace(B) rises with k, with a knee around 8-12 clusters after which
+// additional clusters add little explanatory power.
+#include <cstdio>
+
+#include "bench/points.h"
+#include "cluster/metrics.h"
+
+using namespace tfd;
+using namespace tfd::bench;
+
+namespace {
+
+void sweep_and_print(const char* network, const entropy_points& pts,
+                     std::size_t k_max) {
+    std::printf("--- %s (%zu anomalies) ---\n", network, pts.labels.size());
+    diagnosis::text_table table({"k", "HierAgglom W", "HierAgglom B",
+                                 "K-means W", "K-means B"});
+    const auto hier = cluster::variation_sweep(
+        pts.x, 2, k_max, cluster::cluster_algorithm::hierarchical_single);
+    const auto km = cluster::variation_sweep(
+        pts.x, 2, k_max, cluster::cluster_algorithm::kmeans_pp);
+    for (std::size_t i = 0; i < hier.size(); ++i) {
+        table.add_row({std::to_string(hier[i].k),
+                       diagnosis::fmt_fixed(hier[i].within, 3),
+                       diagnosis::fmt_fixed(hier[i].between, 3),
+                       diagnosis::fmt_fixed(km[i].within, 3),
+                       diagnosis::fmt_fixed(km[i].between, 3)});
+    }
+    std::printf("%s", table.str().c_str());
+    std::printf("knee (hier): k ~= %zu; knee (k-means): k ~= %zu "
+                "(paper: 8-12)\n\n",
+                cluster::knee_of(hier), cluster::knee_of(km));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    auto args = bench_args::parse(argc, argv);
+    const std::size_t bins = args.bins_or(1152);
+    banner("Figure 10: selecting the number of clusters", args, bins,
+           "Abilene + Geant");
+
+    diagnosis::diagnosis_options opts;
+    opts.alpha = args.alpha;
+
+    {
+        auto study = abilene_study(args, bins);
+        std::printf("diagnosing Abilene...\n");
+        const auto report = run_diagnosis(study, opts);
+        auto pts = points_from_report(report);
+        if (pts.labels.size() >= 26)
+            sweep_and_print("Abilene", pts, 25);
+        else
+            std::printf("Abilene: only %zu detections; skipping sweep\n\n",
+                        pts.labels.size());
+    }
+    {
+        auto study = geant_study(args, std::min<std::size_t>(bins, 864));
+        std::printf("diagnosing Geant...\n");
+        const auto report = run_diagnosis(study, opts);
+        auto pts = points_from_report(report);
+        if (pts.labels.size() >= 26)
+            sweep_and_print("Geant", pts, 25);
+        else
+            std::printf("Geant: only %zu detections; skipping sweep\n\n",
+                        pts.labels.size());
+    }
+    return 0;
+}

@@ -1,0 +1,86 @@
+// fig1_histograms — reproduces Figure 1: rank-ordered feature histograms
+// of destination ports (top) and destination addresses (bottom) for a
+// typical 5-minute bin vs a bin containing a port scan.
+//
+// Expected shape (paper): during the scan the dstPort distribution
+// becomes far more dispersed (many more ports at low counts) while the
+// dstIP distribution concentrates (one address towers over the rest).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/histogram.h"
+#include "net/topology.h"
+#include "traffic/anomaly.h"
+#include "traffic/background.h"
+
+using namespace tfd;
+using namespace tfd::bench;
+
+namespace {
+
+void print_rank_histogram(const char* title, const core::feature_histogram& h,
+                          std::size_t max_ranks) {
+    auto counts = h.rank_counts();
+    const double peak = counts.empty() ? 1.0 : counts.front();
+    std::printf("%s  (distinct=%zu, packets=%.0f, H=%.3f bits)\n", title,
+                h.distinct(), h.total(), h.entropy_bits());
+    for (std::size_t r = 0; r < std::min(max_ranks, counts.size()); ++r) {
+        const int bar = static_cast<int>(counts[r] / peak * 50.0);
+        std::printf("  rank %3zu %7.0f |%.*s\n", r + 1, counts[r], bar,
+                    "##################################################");
+    }
+    if (counts.size() > max_ranks)
+        std::printf("  ... %zu more ranks\n", counts.size() - max_ranks);
+    std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto args = bench_args::parse(argc, argv);
+    banner("Figure 1: distribution changes induced by a port scan", args, 2,
+           "Abilene");
+
+    const auto topo = net::topology::abilene();
+    traffic::background_options bo;
+    bo.seed = args.seed;
+    bo.mean_records_per_bin = 180;  // a busy OD pair
+    traffic::background_model bg(topo, bo);
+    const int od = topo.od_index(1, 8);
+
+    // Normal bin.
+    core::feature_histogram_set normal;
+    normal.add_records(bg.generate(100, od));
+
+    // Bin containing the port scan.
+    core::feature_histogram_set scan;
+    scan.add_records(bg.generate(101, od));
+    traffic::anomaly_cell cell;
+    cell.type = traffic::anomaly_type::port_scan;
+    cell.od = od;
+    cell.bin = 101;
+    cell.packets = 500;
+    scan.add_records(
+        traffic::generate_anomaly_records(topo, cell, traffic::rng(args.seed)));
+
+    std::printf("--- (a) Normal -------------------------------------------\n");
+    print_rank_histogram("Destination Port rank histogram",
+                         normal[flow::feature::dst_port], 12);
+    print_rank_histogram("Destination IP rank histogram",
+                         normal[flow::feature::dst_ip], 12);
+
+    std::printf("--- (b) During Port Scan ---------------------------------\n");
+    print_rank_histogram("Destination Port rank histogram",
+                         scan[flow::feature::dst_port], 12);
+    print_rank_histogram("Destination IP rank histogram",
+                         scan[flow::feature::dst_ip], 12);
+
+    std::printf("paper shape check: dstPort disperses (H %.2f -> %.2f, more "
+                "ranks), dstIP concentrates (H %.2f -> %.2f)\n",
+                normal[flow::feature::dst_port].entropy_bits(),
+                scan[flow::feature::dst_port].entropy_bits(),
+                normal[flow::feature::dst_ip].entropy_bits(),
+                scan[flow::feature::dst_ip].entropy_bits());
+    return 0;
+}

@@ -1,0 +1,97 @@
+// fig5_detection_rate — reproduces Figure 5: detection rate vs thinning
+// factor for the three injected anomalies (single-source DOS,
+// multi-source DDOS, worm scan), for volume alone and volume+entropy, at
+// detection thresholds alpha = 0.995 and alpha = 0.999.
+//
+// Methodology (Section 6.3.1): extract the anomaly from its trace, thin
+// 1-of-N, map onto the Abilene address space, inject into each OD flow
+// in turn, and record whether the (clean-fitted) multiway subspace
+// method fires.
+//
+// Expected shape (paper): detection rate 1.0 at low thinning for every
+// method; as thinning grows, volume-alone decays first while
+// volume+entropy stays high well into intensities volume cannot see;
+// alpha = 0.995 dominates alpha = 0.999.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "diagnosis/injection.h"
+#include "traffic/trace.h"
+
+using namespace tfd;
+using namespace tfd::bench;
+using namespace tfd::diagnosis;
+using namespace tfd::traffic;
+
+int main(int argc, char** argv) {
+    auto args = bench_args::parse(argc, argv);
+    const std::size_t bins = args.bins_or(576);
+    banner("Figure 5: detection rates from injecting real anomalies", args,
+           bins, "Abilene");
+
+    const auto topo = net::topology::abilene();
+    background_model bg(topo);
+    injection_options iopts;
+    iopts.bins = bins;  // inject bin auto-selected (median-SPE clean bin)
+    std::printf("fitting clean models (%zu bins x %d OD flows)...\n\n", bins,
+                topo.od_count());
+    injection_lab lab(topo, bg, iopts);
+    std::printf("mean OD rate: %.2f sampled pkts/s; thresholds@0.999: "
+                "H=%.3g B=%.3g P=%.3g\n\n",
+                lab.mean_od_packet_rate(), lab.thresholds(0.999)[0],
+                lab.thresholds(0.999)[1], lab.thresholds(0.999)[2]);
+
+    trace_options topts;
+    topts.seed = args.seed;
+    topts.max_materialized = 100000;
+
+    struct spec {
+        const char* name;
+        attack_trace extracted;
+        std::vector<std::uint64_t> thinnings;
+    };
+    spec specs[] = {
+        {"(a) Single DOS",
+         extract_to_victim(make_single_source_dos_trace(topts)),
+         {1, 10, 100, 1000, 10000, 100000}},
+        {"(b) Multi DOS",
+         extract_to_victim(make_multi_source_ddos_trace(topts)),
+         {1, 10, 100, 1000, 10000, 100000}},
+        {"(c) Worm scan", extract_by_port(make_worm_scan_trace(topts), 1433),
+         {1, 10, 100, 500, 1000}},
+    };
+
+    for (const auto& s : specs) {
+        std::printf("%s (extracted %.4g pkts/s)\n", s.name,
+                    s.extracted.packets_per_second());
+        text_table table({"Thinning", "pkts/s", "Volume(99.9)",
+                          "Vol+Ent(99.9)", "Volume(99.5)", "Vol+Ent(99.5)"});
+        for (const auto thin : s.thinnings) {
+            const auto thinned = thin_trace(s.extracted, thin);
+            int v999 = 0, c999 = 0, v995 = 0, c995 = 0;
+            const int trials = topo.od_count();
+            for (int od = 0; od < trials; ++od) {
+                injection inj;
+                inj.od = od;
+                inj.records = map_into_od(thinned, topo, od, lab.inject_bin(),
+                                          args.seed + thin * 131 + od);
+                const auto o999 = lab.evaluate({inj}, 0.999);
+                const auto o995 = lab.evaluate({inj}, 0.995);
+                if (o999.volume_detected) ++v999;
+                if (o999.combined_detected()) ++c999;
+                if (o995.volume_detected) ++v995;
+                if (o995.combined_detected()) ++c995;
+            }
+            auto rate = [&](int n) {
+                return fmt_fixed(static_cast<double>(n) / trials, 2);
+            };
+            table.add_row({thin == 1 ? "0" : std::to_string(thin),
+                           fmt_fixed(thinned.packets_per_second(), 3),
+                           rate(v999), rate(c999), rate(v995), rate(c995)});
+        }
+        std::printf("%s\n", table.str().c_str());
+    }
+    std::printf("shape check: volume+entropy >= volume at every row; the gap "
+                "is widest at intermediate thinning; 99.5 >= 99.9.\n");
+    return 0;
+}

@@ -1,0 +1,99 @@
+// fig6_multiflow — reproduces Figure 6: detection of DDOS attacks split
+// across k = 2..11 OD flows (k origin PoPs, one destination PoP), at
+// alpha = 0.999 (a) and alpha = 0.995 (b), across thinning factors.
+//
+// Methodology (Section 6.3.1): split the multi-source DDOS trace into k
+// groups by source IP (balanced), map each group into one of k OD flows
+// sharing the destination PoP, inject simultaneously, and test the
+// multiway subspace method. The paper runs all (11 choose k) x 11
+// combinations; by default we sample up to --combos per (k, destination)
+// for speed (pass --paper-scale for the full enumeration).
+//
+// Expected shape (paper): detection rate stays high (even rises) as k
+// grows — attacks dwarfed in any single flow remain visible
+// network-wide; lower alpha detects more.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "diagnosis/injection.h"
+#include "traffic/rng.h"
+#include "traffic/trace.h"
+
+using namespace tfd;
+using namespace tfd::bench;
+using namespace tfd::diagnosis;
+using namespace tfd::traffic;
+
+int main(int argc, char** argv) {
+    auto args = bench_args::parse(argc, argv);
+    const std::size_t bins = args.bins_or(576);
+    const int max_combos = args.paper_scale ? 1 << 20 : 12;
+    banner("Figure 6: multi-OD flow DDOS detection", args, bins, "Abilene");
+
+    const auto topo = net::topology::abilene();
+    background_model bg(topo);
+    injection_options iopts;
+    iopts.bins = bins;  // inject bin auto-selected (median-SPE clean bin)
+    std::printf("fitting clean models...\n\n");
+    injection_lab lab(topo, bg, iopts);
+
+    trace_options topts;
+    topts.seed = args.seed;
+    topts.max_materialized = 100000;
+    const auto extracted = extract_to_victim(make_multi_source_ddos_trace(topts));
+
+    const int p = topo.pop_count();
+    const std::vector<std::uint64_t> thinnings{1, 100, 1000, 10000};
+
+    for (const double alpha : {0.999, 0.995}) {
+        std::printf("--- alpha = %.3f ---\n", alpha);
+        text_table table({"k \\ thinning", "0", "100", "1000", "10000"});
+        for (int k = 2; k <= p; ++k) {
+            std::vector<std::string> row{std::to_string(k)};
+            for (const auto thin : thinnings) {
+                const auto thinned = thin_trace(extracted, thin);
+                const auto parts = split_by_sources(thinned, k, args.seed);
+
+                int detected = 0, experiments = 0;
+                rng combo_gen(args.seed * 977 + k * 131 + thin);
+                // Enumerate destinations; sample origin combinations.
+                for (int dest = 0; dest < p; ++dest) {
+                    for (int c = 0; c < max_combos; ++c) {
+                        // Draw k distinct origins != dest.
+                        std::vector<int> origins;
+                        for (int o = 0; o < p; ++o)
+                            if (o != dest) origins.push_back(o);
+                        for (std::size_t j = 0; j < origins.size(); ++j)
+                            std::swap(origins[j],
+                                      origins[j + combo_gen.uniform_int(
+                                                      origins.size() - j)]);
+                        origins.resize(std::min<std::size_t>(k, origins.size()));
+
+                        std::vector<injection> injections;
+                        for (int j = 0; j < static_cast<int>(origins.size());
+                             ++j) {
+                            injection inj;
+                            inj.od = topo.od_index(origins[j], dest);
+                            inj.records = map_into_od(
+                                parts[j], topo, inj.od, lab.inject_bin(),
+                                args.seed + thin * 17 + dest * 131 + c);
+                            injections.push_back(std::move(inj));
+                        }
+                        if (lab.evaluate(injections, alpha).entropy_detected)
+                            ++detected;
+                        ++experiments;
+                    }
+                }
+                row.push_back(fmt_fixed(
+                    static_cast<double>(detected) / experiments, 2));
+            }
+            table.add_row(row);
+        }
+        std::printf("%s\n", table.str().c_str());
+    }
+    std::printf("shape check: rates stay high as k grows (network-wide view "
+                "catches attacks dwarfed per flow); 0.995 >= 0.999.\n");
+    return 0;
+}

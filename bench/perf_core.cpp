@@ -1,0 +1,134 @@
+// perf_core — google-benchmark microbenchmarks for the library's hot
+// paths: sample entropy, the symmetric eigensolver, PCA/subspace fits,
+// multiway unfolding, SPE evaluation, identification, and cell
+// generation throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/detector.h"
+#include "core/histogram.h"
+#include "linalg/pca.h"
+#include "linalg/symmetric_eigen.h"
+#include "net/topology.h"
+#include "traffic/background.h"
+
+using namespace tfd;
+
+namespace {
+
+const net::topology& abilene() {
+    static const auto t = net::topology::abilene();
+    return t;
+}
+
+const traffic::background_model& background() {
+    static const traffic::background_model bg(abilene());
+    return bg;
+}
+
+// Shared small dataset for model-fit benchmarks.
+const core::od_dataset& dataset() {
+    static const core::od_dataset d = core::build_od_dataset(
+        96, abilene().od_count(),
+        [](std::size_t b, int od) { return background().generate(b, od); });
+    return d;
+}
+
+void bm_entropy(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    core::feature_histogram h;
+    traffic::rng gen(7);
+    for (std::size_t i = 0; i < n; ++i)
+        h.add(static_cast<std::uint32_t>(gen.uniform_int(n / 2 + 1)), 1.0);
+    for (auto _ : state) benchmark::DoNotOptimize(h.entropy_bits());
+    state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(bm_entropy)->Arg(64)->Arg(1024)->Arg(16384);
+
+void bm_histogram_accumulate(benchmark::State& state) {
+    const auto records = background().generate(10, 40);
+    for (auto _ : state) {
+        core::feature_histogram_set set;
+        set.add_records(records);
+        benchmark::DoNotOptimize(set.entropies());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(records.size()));
+}
+BENCHMARK(bm_histogram_accumulate);
+
+void bm_symmetric_eigen(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    linalg::matrix a(n, n);
+    traffic::rng gen(3);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i; j < n; ++j)
+            a(i, j) = a(j, i) = gen.uniform(-1, 1);
+    for (auto _ : state) {
+        auto e = linalg::symmetric_eigen(a);
+        benchmark::DoNotOptimize(e.values.data());
+    }
+}
+BENCHMARK(bm_symmetric_eigen)->Arg(32)->Arg(128)->Arg(484)
+    ->Unit(benchmark::kMillisecond);
+
+void bm_pca_fit(benchmark::State& state) {
+    const auto& d = dataset();
+    for (auto _ : state) {
+        auto p = linalg::fit_pca(d.packets);
+        benchmark::DoNotOptimize(p.eigenvalues.data());
+    }
+}
+BENCHMARK(bm_pca_fit)->Unit(benchmark::kMillisecond);
+
+void bm_unfold(benchmark::State& state) {
+    const auto& d = dataset();
+    for (auto _ : state) {
+        auto m = core::unfold(d);
+        benchmark::DoNotOptimize(m.h.data().data());
+    }
+}
+BENCHMARK(bm_unfold)->Unit(benchmark::kMillisecond);
+
+void bm_multiway_fit_and_detect(benchmark::State& state) {
+    const auto m = core::unfold(dataset());
+    for (auto _ : state) {
+        auto det = core::detect_entropy_anomalies(
+            m, {.normal_dims = 10, .center = true}, 0.999);
+        benchmark::DoNotOptimize(det.rows.spe.data());
+    }
+}
+BENCHMARK(bm_multiway_fit_and_detect)->Unit(benchmark::kMillisecond);
+
+void bm_spe_single_observation(benchmark::State& state) {
+    static const auto m = core::unfold(dataset());
+    static const auto model =
+        core::subspace_model::fit(m.h, {.normal_dims = 10, .center = true});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.spe(m.h.row(50)));
+}
+BENCHMARK(bm_spe_single_observation);
+
+void bm_identification(benchmark::State& state) {
+    static const auto m = core::unfold(dataset());
+    static const auto model =
+        core::subspace_model::fit(m.h, {.normal_dims = 10, .center = true});
+    for (auto _ : state) {
+        auto id = core::identify_flows(model, m, m.h.row(50),
+                                       {.max_flows = 3, .stop_threshold = 0.0});
+        benchmark::DoNotOptimize(id.flows.data());
+    }
+}
+BENCHMARK(bm_identification)->Unit(benchmark::kMicrosecond);
+
+void bm_cell_generation(benchmark::State& state) {
+    std::size_t bin = 0;
+    for (auto _ : state) {
+        auto records = background().generate(bin++ % 288, 40);
+        benchmark::DoNotOptimize(records.data());
+    }
+}
+BENCHMARK(bm_cell_generation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

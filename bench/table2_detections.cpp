@@ -1,0 +1,45 @@
+// table2_detections — reproduces Table 2: number of anomalous timebins
+// found only by volume metrics, only by entropy, and by both, for the
+// Abilene-like and Geant-like studies.
+//
+// Expected shape (paper: Geant 464/461/86, Abilene 152/258/34): the two
+// detection sets are largely disjoint, entropy contributes a large set
+// of additional detections, and Geant (larger, unanonymized, more
+// events) yields more total detections than Abilene.
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace tfd;
+using namespace tfd::bench;
+using namespace tfd::diagnosis;
+
+int main(int argc, char** argv) {
+    auto args = bench_args::parse(argc, argv);
+    const std::size_t bins = args.bins_or(864);  // 3 days default
+    banner("Table 2: detections in entropy and volume metrics", args, bins,
+           "Abilene + Geant");
+
+    text_table table({"Network", "# Volume Only", "# Entropy Only", "# Both",
+                      "Total", "# Planted"});
+
+    diagnosis_options opts;
+    opts.alpha = args.alpha;
+
+    for (const char* which : {"Geant", "Abilene"}) {
+        const bool geant = std::string(which) == "Geant";
+        auto study = geant ? geant_study(args, bins) : abilene_study(args, bins);
+        std::printf("running %s (%d OD flows, %zu planted anomalies)...\n",
+                    which, study.topo().od_count(), study.schedule().size());
+        const auto report = run_diagnosis(study, opts);
+        table.add_row({which, std::to_string(report.overlap.volume_only.size()),
+                       std::to_string(report.overlap.entropy_only.size()),
+                       std::to_string(report.overlap.both.size()),
+                       std::to_string(report.overlap.total()),
+                       std::to_string(study.schedule().size())});
+    }
+    std::printf("\n%s\n", table.str().c_str());
+    std::printf("shape check: sets largely disjoint; entropy adds a "
+                "substantial second population; Geant > Abilene in total.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+// table3_inspection — reproduces Table 3: the range of anomalies found
+// by (heuristic) inspection of every detected timebin, split into those
+// caught by volume metrics and those found *additionally* by entropy.
+//
+// Expected shape (paper): alpha flows dominate both columns; port scans,
+// network scans and point-to-multipoint events appear ONLY in the
+// entropy column (they are low-volume); a modest Unknown and False Alarm
+// tail exists (~10% false alarms).
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench/common.h"
+
+using namespace tfd;
+using namespace tfd::bench;
+using namespace tfd::diagnosis;
+
+int main(int argc, char** argv) {
+    auto args = bench_args::parse(argc, argv);
+    const std::size_t bins = args.bins_or(1152);  // 4 days default
+    banner("Table 3: anomalies found by manual-inspection heuristics", args,
+           bins, "Abilene");
+
+    auto study = abilene_study(args, bins);
+    std::printf("planted: %zu anomalies; building + diagnosing...\n\n",
+                study.schedule().size());
+    diagnosis_options opts;
+    opts.alpha = args.alpha;
+    const auto report = run_diagnosis(study, opts);
+
+    // For each detected event: label it, and attribute it to "volume" if
+    // its bin is in the volume set, else "additional in entropy".
+    std::map<label, int> in_volume, in_entropy;
+    for (const auto& ev : report.events) {
+        const bool vol_detected =
+            std::binary_search(report.volume.anomalous_bins.begin(),
+                               report.volume.anomalous_bins.end(), ev.event.bin);
+        (vol_detected ? in_volume : in_entropy)[ev.heuristic]++;
+    }
+
+    text_table table({"Anomaly Label", "# Found in Volume",
+                      "# Additional in Entropy"});
+    int vol_total = 0, ent_total = 0;
+    for (int li = 0; li < label_count; ++li) {
+        const auto l = static_cast<label>(li);
+        const int v = in_volume.count(l) ? in_volume[l] : 0;
+        const int e = in_entropy.count(l) ? in_entropy[l] : 0;
+        if (v == 0 && e == 0) continue;
+        table.add_row({label_name(l), std::to_string(v), std::to_string(e)});
+        vol_total += v;
+        ent_total += e;
+    }
+    table.add_row({"Total", std::to_string(vol_total),
+                   std::to_string(ent_total)});
+    std::printf("%s\n", table.str().c_str());
+
+    // Ground-truth cross-check for the heuristic labels.
+    int agree = 0, total_with_truth = 0;
+    for (const auto& ev : report.events) {
+        if (!ev.truth) continue;
+        ++total_with_truth;
+        if (ev.heuristic == ev.truth_label) ++agree;
+    }
+    std::printf("labeler vs ground truth on detected events: %d/%d agree "
+                "(paper's manual inspection had an Unknown tail too)\n",
+                agree, total_with_truth);
+    std::printf("shape check: scans and point-to-multipoint rows should "
+                "concentrate in the entropy column.\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+// anomaly_classifier — the full diagnosis pipeline as an operator tool.
+//
+// Synthesizes an Abilene-like study with a random anomaly schedule, runs
+// volume + entropy detection, identifies the responsible OD flows, labels
+// each detection with the heuristic inspector, clusters the detections in
+// entropy space, and prints a per-cluster report with 0/+/- signatures —
+// a working miniature of the system the paper envisions.
+//
+// Usage: anomaly_classifier [seed] [days]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "cluster/hierarchical.h"
+#include "cluster/summary.h"
+#include "diagnosis/pipeline.h"
+#include "diagnosis/report.h"
+
+using namespace tfd;
+using namespace tfd::diagnosis;
+
+int main(int argc, char** argv) {
+    const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+    const std::size_t days = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2;
+
+    auto cfg = dataset_config::abilene(seed, days * 288);
+    cfg.schedule.anomalies_per_day = 14;
+    network_study study(cfg);
+    std::printf("anomaly_classifier: %s, %zu days, %zu planted anomalies "
+                "(seed %llu)\n\n",
+                cfg.name.c_str(), days, study.schedule().size(),
+                static_cast<unsigned long long>(seed));
+
+    diagnosis_options opts;
+    opts.alpha = 0.999;
+    const auto report = run_diagnosis(study, opts);
+
+    std::printf("volume-detected bins: %zu | entropy-detected bins: %zu | "
+                "overlap: %zu\n",
+                report.volume.anomalous_bins.size(),
+                report.entropy.rows.anomalous_bins.size(),
+                report.overlap.both.size());
+    std::printf("events: %zu (%zu matching planted anomalies)\n\n",
+                report.events.size(), report.true_detections());
+
+    if (report.events.size() < 2) {
+        std::printf("not enough events to cluster; increase days or rate\n");
+        return 0;
+    }
+
+    // Cluster the unit-norm residual entropy vectors (Section 7).
+    linalg::matrix points(report.events.size(), 4);
+    for (std::size_t i = 0; i < report.events.size(); ++i)
+        for (int f = 0; f < 4; ++f)
+            points(i, f) = report.events[i].event.h_tilde[f];
+
+    const std::size_t k = std::min<std::size_t>(6, report.events.size());
+    const auto clusters =
+        cluster::hierarchical_cluster(points, k, cluster::linkage::ward);
+    const auto sums = cluster::summarize_clusters(points, clusters.assignment,
+                                                  k, 1.5);
+
+    text_table table({"cluster", "size", "plurality label", "srcIP", "srcPort",
+                      "dstIP", "dstPort", "signature"});
+    for (const auto& s : sums) {
+        // Plurality heuristic label within the cluster.
+        std::map<label, int> votes;
+        for (std::size_t i = 0; i < report.events.size(); ++i)
+            if (clusters.assignment[i] == s.cluster)
+                ++votes[report.events[i].heuristic];
+        label plur = label::unknown;
+        int best = -1;
+        for (const auto& [l, n] : votes)
+            if (n > best) {
+                best = n;
+                plur = l;
+            }
+        table.add_row({std::to_string(s.cluster), std::to_string(s.size),
+                       label_name(plur), fmt_fixed(s.mean[0], 2),
+                       fmt_fixed(s.mean[1], 2), fmt_fixed(s.mean[2], 2),
+                       fmt_fixed(s.mean[3], 2), s.signature_string()});
+    }
+    std::printf("%s\n", table.str().c_str());
+
+    std::printf("reading signatures: '-' = feature distribution "
+                "concentrated, '+' = dispersed, '0' = typical\n");
+    return 0;
+}

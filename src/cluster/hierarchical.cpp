@@ -1,0 +1,172 @@
+#include "cluster/hierarchical.h"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace tfd::cluster {
+
+const char* linkage_name(linkage l) noexcept {
+    switch (l) {
+        case linkage::single: return "single";
+        case linkage::complete: return "complete";
+        case linkage::average: return "average";
+        case linkage::ward: return "ward";
+    }
+    return "?";
+}
+
+std::vector<int> dendrogram::cut(std::size_t k) const {
+    if (k == 0 || k > points)
+        throw std::invalid_argument("dendrogram::cut: k out of range");
+    // Union-find over point and merge ids.
+    std::vector<int> parent(points + merges.size());
+    std::iota(parent.begin(), parent.end(), 0);
+    std::function<int(int)> find = [&](int v) {
+        while (parent[v] != v) {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        return v;
+    };
+    // Apply the first (points - k) merges.
+    const std::size_t apply = points - k;
+    for (std::size_t i = 0; i < apply; ++i) {
+        const auto& m = merges[i];
+        const int ra = find(m.a), rb = find(m.b);
+        const int id = static_cast<int>(points + i);
+        parent[ra] = id;
+        parent[rb] = id;
+    }
+    // Dense relabel in order of first appearance.
+    std::vector<int> labels(points, -1);
+    std::vector<int> root_label;
+    std::vector<int> roots;
+    for (std::size_t i = 0; i < points; ++i) {
+        const int r = find(static_cast<int>(i));
+        int lbl = -1;
+        for (std::size_t j = 0; j < roots.size(); ++j)
+            if (roots[j] == r) {
+                lbl = static_cast<int>(j);
+                break;
+            }
+        if (lbl < 0) {
+            lbl = static_cast<int>(roots.size());
+            roots.push_back(r);
+        }
+        labels[i] = lbl;
+    }
+    return labels;
+}
+
+dendrogram agglomerate(const linalg::matrix& x, linkage link) {
+    const std::size_t n = x.rows();
+    if (n == 0) throw std::invalid_argument("agglomerate: empty data");
+
+    dendrogram out;
+    out.points = n;
+    if (n == 1) return out;
+
+    const bool squared = (link == linkage::ward);
+
+    // Dense condensed distance matrix between active clusters.
+    std::vector<double> dist(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j) {
+            double d2 = squared_distance(x.row(i), x.row(j));
+            const double d = squared ? d2 : std::sqrt(d2);
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+
+    std::vector<bool> active(n, true);
+    std::vector<std::size_t> size(n, 1);
+    std::vector<int> cluster_id(n);
+    std::iota(cluster_id.begin(), cluster_id.end(), 0);
+
+    for (std::size_t step = 0; step + 1 < n; ++step) {
+        // Find the closest active pair (deterministic lowest-index ties).
+        double best = std::numeric_limits<double>::max();
+        std::size_t bi = 0, bj = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!active[i]) continue;
+            for (std::size_t j = i + 1; j < n; ++j) {
+                if (!active[j]) continue;
+                const double d = dist[i * n + j];
+                if (d < best) {
+                    best = d;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+
+        merge_step m;
+        m.a = cluster_id[bi];
+        m.b = cluster_id[bj];
+        m.distance = squared ? std::sqrt(best) : best;
+        out.merges.push_back(m);
+
+        // Lance–Williams update into slot bi; deactivate bj.
+        const double ni = static_cast<double>(size[bi]);
+        const double nj = static_cast<double>(size[bj]);
+        for (std::size_t t = 0; t < n; ++t) {
+            if (!active[t] || t == bi || t == bj) continue;
+            const double dit = dist[bi * n + t];
+            const double djt = dist[bj * n + t];
+            double nd = 0.0;
+            switch (link) {
+                case linkage::single:
+                    nd = std::min(dit, djt);
+                    break;
+                case linkage::complete:
+                    nd = std::max(dit, djt);
+                    break;
+                case linkage::average:
+                    nd = (ni * dit + nj * djt) / (ni + nj);
+                    break;
+                case linkage::ward: {
+                    const double nt = static_cast<double>(size[t]);
+                    const double denom = ni + nj + nt;
+                    nd = ((ni + nt) * dit + (nj + nt) * djt - nt * best) / denom;
+                    break;
+                }
+            }
+            dist[bi * n + t] = nd;
+            dist[t * n + bi] = nd;
+        }
+        active[bj] = false;
+        size[bi] += size[bj];
+        cluster_id[bi] = static_cast<int>(n + step);
+    }
+    return out;
+}
+
+clustering hierarchical_cluster(const linalg::matrix& x, std::size_t k,
+                                linkage link) {
+    const auto tree = agglomerate(x, link);
+    clustering out;
+    out.k = k;
+    out.assignment = tree.cut(k);
+    out.centers.resize(k, x.cols());
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+        const auto c = static_cast<std::size_t>(out.assignment[i]);
+        ++counts[c];
+        const auto row = x.row(i);
+        for (std::size_t j = 0; j < x.cols(); ++j) out.centers(c, j) += row[j];
+    }
+    for (std::size_t c = 0; c < k; ++c)
+        if (counts[c] > 0)
+            for (std::size_t j = 0; j < x.cols(); ++j)
+                out.centers(c, j) /= static_cast<double>(counts[c]);
+    out.inertia = 0.0;
+    for (std::size_t i = 0; i < x.rows(); ++i)
+        out.inertia += squared_distance(
+            x.row(i), out.centers.row(static_cast<std::size_t>(out.assignment[i])));
+    return out;
+}
+
+}  // namespace tfd::cluster

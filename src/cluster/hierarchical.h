@@ -1,0 +1,57 @@
+// tfd::cluster — hierarchical agglomerative clustering (Section 4.3).
+//
+// "begins with each data point belonging to its own cluster. The
+// algorithm then joins the nearest two points to form new clusters ...
+// until one cluster contains all variables (or we have k clusters). The
+// joining procedure is based on nearest-neighbors Euclidean distance."
+// The paper's nearest-neighbour joining is single linkage; complete,
+// average and Ward linkage are provided for the ablation bench.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "linalg/matrix.h"
+
+namespace tfd::cluster {
+
+/// Inter-cluster distance rule.
+enum class linkage {
+    single,    ///< nearest neighbour (the paper's rule)
+    complete,  ///< furthest neighbour
+    average,   ///< unweighted average (UPGMA)
+    ward,      ///< Ward's minimum-variance criterion
+};
+
+const char* linkage_name(linkage l) noexcept;
+
+/// One merge step of the dendrogram (in merge order).
+struct merge_step {
+    int a = 0;           ///< cluster id merged (ids >= n are prior merges)
+    int b = 0;
+    double distance = 0; ///< linkage distance at which a and b merged
+};
+
+/// Full dendrogram for n points: n-1 merges; new cluster i gets id n+i.
+struct dendrogram {
+    std::size_t points = 0;
+    std::vector<merge_step> merges;
+
+    /// Cut the tree to k clusters; returns point -> cluster in [0, k)
+    /// with cluster ids relabelled densely in order of first appearance.
+    /// Throws std::invalid_argument if k == 0 or k > points.
+    std::vector<int> cut(std::size_t k) const;
+};
+
+/// Build the dendrogram by agglomerative clustering of the rows of x.
+/// O(n^2 log n) for single linkage, O(n^3)-ish otherwise (fine for the
+/// few hundred anomalies per dataset this is applied to).
+dendrogram agglomerate(const linalg::matrix& x, linkage link = linkage::single);
+
+/// Convenience: agglomerate, cut at k, and package like kmeans() output
+/// (centers are cluster means).
+clustering hierarchical_cluster(const linalg::matrix& x, std::size_t k,
+                                linkage link = linkage::single);
+
+}  // namespace tfd::cluster

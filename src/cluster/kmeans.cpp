@@ -1,0 +1,145 @@
+#include "cluster/kmeans.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "traffic/rng.h"
+
+namespace tfd::cluster {
+
+std::vector<std::size_t> clustering::cluster_sizes() const {
+    std::vector<std::size_t> sizes(k, 0);
+    for (int a : assignment) ++sizes[a];
+    return sizes;
+}
+
+std::vector<std::size_t> clustering::members(int c) const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < assignment.size(); ++i)
+        if (assignment[i] == c) out.push_back(i);
+    return out;
+}
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+    if (a.size() != b.size())
+        throw std::invalid_argument("squared_distance: length mismatch");
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+namespace {
+
+// k-means++ seeding: first center uniform, then proportional to squared
+// distance from the nearest chosen center.
+linalg::matrix seed_centers(const linalg::matrix& x, std::size_t k,
+                            const kmeans_options& opts) {
+    traffic::rng gen(opts.seed);
+    const std::size_t n = x.rows(), d = x.cols();
+    linalg::matrix centers(k, d);
+    std::vector<std::size_t> chosen;
+
+    auto copy_center = [&](std::size_t c, std::size_t point) {
+        for (std::size_t j = 0; j < d; ++j) centers(c, j) = x(point, j);
+        chosen.push_back(point);
+    };
+
+    copy_center(0, gen.uniform_int(n));
+    if (!opts.plus_plus) {
+        for (std::size_t c = 1; c < k; ++c) copy_center(c, gen.uniform_int(n));
+        return centers;
+    }
+
+    std::vector<double> d2(n, std::numeric_limits<double>::max());
+    for (std::size_t c = 1; c < k; ++c) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double dist =
+                squared_distance(x.row(i), centers.row(c - 1));
+            d2[i] = std::min(d2[i], dist);
+            total += d2[i];
+        }
+        if (total <= 0.0) {
+            copy_center(c, gen.uniform_int(n));  // all points identical
+            continue;
+        }
+        double target = gen.uniform() * total;
+        std::size_t pick = n - 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            target -= d2[i];
+            if (target <= 0.0) {
+                pick = i;
+                break;
+            }
+        }
+        copy_center(c, pick);
+    }
+    return centers;
+}
+
+}  // namespace
+
+clustering kmeans(const linalg::matrix& x, std::size_t k,
+                  const kmeans_options& opts) {
+    const std::size_t n = x.rows(), d = x.cols();
+    if (n == 0 || d == 0) throw std::invalid_argument("kmeans: empty data");
+    if (k == 0 || k > n)
+        throw std::invalid_argument("kmeans: k must be in [1, #points]");
+
+    clustering out;
+    out.k = k;
+    out.centers = seed_centers(x, k, opts);
+    out.assignment.assign(n, -1);
+
+    std::vector<double> sums(k * d);
+    std::vector<std::size_t> counts(k);
+
+    for (int iter = 0; iter < opts.max_iterations; ++iter) {
+        bool changed = false;
+        // Assignment step.
+        for (std::size_t i = 0; i < n; ++i) {
+            int best = 0;
+            double best_d = std::numeric_limits<double>::max();
+            for (std::size_t c = 0; c < k; ++c) {
+                const double dist = squared_distance(x.row(i), out.centers.row(c));
+                if (dist < best_d) {
+                    best_d = dist;
+                    best = static_cast<int>(c);
+                }
+            }
+            if (out.assignment[i] != best) {
+                out.assignment[i] = best;
+                changed = true;
+            }
+        }
+        out.iterations = iter + 1;
+        if (!changed && iter > 0) break;
+
+        // Update step.
+        std::fill(sums.begin(), sums.end(), 0.0);
+        std::fill(counts.begin(), counts.end(), 0u);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto c = static_cast<std::size_t>(out.assignment[i]);
+            ++counts[c];
+            const auto row = x.row(i);
+            for (std::size_t j = 0; j < d; ++j) sums[c * d + j] += row[j];
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0) continue;  // keep previous center for empties
+            for (std::size_t j = 0; j < d; ++j)
+                out.centers(c, j) = sums[c * d + j] / static_cast<double>(counts[c]);
+        }
+    }
+
+    out.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        out.inertia += squared_distance(
+            x.row(i), out.centers.row(static_cast<std::size_t>(out.assignment[i])));
+    return out;
+}
+
+}  // namespace tfd::cluster

@@ -1,0 +1,46 @@
+// tfd::cluster — k-means clustering (Section 4.3).
+//
+// Lloyd's algorithm with k-means++ style seeding from a deterministic
+// RNG: "the algorithm begins with k initial random seeds ... It then
+// alternates between assigning each point in the dataset to the nearest
+// cluster center, and updating the mean of each cluster." Distances are
+// Euclidean in entropy space, as in the paper.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace tfd::cluster {
+
+/// A clustering of n points into k clusters.
+struct clustering {
+    std::vector<int> assignment;   ///< point -> cluster id in [0, k)
+    linalg::matrix centers;        ///< k x dims cluster means
+    std::size_t k = 0;
+    int iterations = 0;            ///< iterations until convergence
+    double inertia = 0.0;          ///< sum of squared distances to centers
+
+    std::vector<std::size_t> cluster_sizes() const;
+    /// Indices of the points in cluster c.
+    std::vector<std::size_t> members(int c) const;
+};
+
+/// Options for k-means.
+struct kmeans_options {
+    std::uint64_t seed = 17;   ///< seeding determinism
+    int max_iterations = 200;  ///< Lloyd iteration cap
+    bool plus_plus = true;     ///< k-means++ seeding (uniform if false)
+};
+
+/// Run k-means on points (rows of x). Throws std::invalid_argument if
+/// k == 0 or k > number of points, or if x is empty.
+clustering kmeans(const linalg::matrix& x, std::size_t k,
+                  const kmeans_options& opts = {});
+
+/// Squared Euclidean distance between two equal-length spans.
+double squared_distance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace tfd::cluster

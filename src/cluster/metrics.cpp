@@ -1,0 +1,85 @@
+#include "cluster/metrics.h"
+
+#include <stdexcept>
+
+namespace tfd::cluster {
+
+cluster_variation variation(const linalg::matrix& x,
+                            const std::vector<int>& assignment,
+                            std::size_t k) {
+    const std::size_t n = x.rows(), p = x.cols();
+    if (assignment.size() != n)
+        throw std::invalid_argument("variation: assignment size mismatch");
+
+    // Cluster means.
+    linalg::matrix means(k, p);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const int c = assignment[i];
+        if (c < 0 || static_cast<std::size_t>(c) >= k)
+            throw std::invalid_argument("variation: label out of range");
+        ++counts[c];
+        const auto row = x.row(i);
+        for (std::size_t j = 0; j < p; ++j) means(c, j) += row[j];
+    }
+    for (std::size_t c = 0; c < k; ++c)
+        if (counts[c] > 0)
+            for (std::size_t j = 0; j < p; ++j)
+                means(c, j) /= static_cast<double>(counts[c]);
+
+    cluster_variation out;
+    // trace(T) = sum of squared entries of X.
+    for (double v : x.data()) out.trace_total += v * v;
+    // trace(B) = sum_c n_c ||mean_c||^2.
+    for (std::size_t c = 0; c < k; ++c) {
+        double m2 = 0.0;
+        for (std::size_t j = 0; j < p; ++j) m2 += means(c, j) * means(c, j);
+        out.trace_between += static_cast<double>(counts[c]) * m2;
+    }
+    out.trace_within = out.trace_total - out.trace_between;
+    return out;
+}
+
+std::vector<variation_point> variation_sweep(const linalg::matrix& x,
+                                             std::size_t k_min,
+                                             std::size_t k_max,
+                                             cluster_algorithm algo,
+                                             std::uint64_t seed) {
+    if (k_min == 0 || k_min > k_max)
+        throw std::invalid_argument("variation_sweep: bad k range");
+    k_max = std::min(k_max, x.rows());
+
+    std::vector<variation_point> out;
+    // The dendrogram is k-independent: build once, cut repeatedly.
+    dendrogram tree;
+    if (algo == cluster_algorithm::hierarchical_single)
+        tree = agglomerate(x, linkage::single);
+
+    for (std::size_t k = k_min; k <= k_max; ++k) {
+        std::vector<int> labels;
+        if (algo == cluster_algorithm::kmeans_pp) {
+            kmeans_options opts;
+            opts.seed = seed;
+            labels = kmeans(x, k, opts).assignment;
+        } else {
+            labels = tree.cut(k);
+        }
+        const auto v = variation(x, labels, k);
+        out.push_back({k, v.trace_within, v.trace_between});
+    }
+    return out;
+}
+
+std::size_t knee_of(const std::vector<variation_point>& sweep,
+                    double fraction) {
+    if (sweep.size() < 3) return sweep.empty() ? 0 : sweep.front().k;
+    const double initial_drop = sweep[0].within - sweep[1].within;
+    if (initial_drop <= 0.0) return sweep.front().k;
+    for (std::size_t i = 1; i + 1 < sweep.size(); ++i) {
+        const double drop = sweep[i].within - sweep[i + 1].within;
+        if (drop < fraction * initial_drop) return sweep[i].k;
+    }
+    return sweep.back().k;
+}
+
+}  // namespace tfd::cluster

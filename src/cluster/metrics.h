@@ -1,0 +1,54 @@
+// tfd::cluster — cluster-count selection metrics (Section 4.3).
+//
+// With X the n x p data, Xbar the k x p cluster means and Z the n x k
+// indicator matrix, the paper defines T = X'X (total), B = Xbar'Z'Z Xbar
+// (between) and W = T - B (within). Intra-cluster variation is trace(W),
+// inter-cluster variation trace(B); a knee in these curves as k grows
+// picks the cluster count (8-12 in both the paper's datasets).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/hierarchical.h"
+#include "cluster/kmeans.h"
+#include "linalg/matrix.h"
+
+namespace tfd::cluster {
+
+/// Variation decomposition for one clustering.
+struct cluster_variation {
+    double trace_total = 0.0;    ///< trace(T)
+    double trace_between = 0.0;  ///< trace(B) — inter-cluster variation
+    double trace_within = 0.0;   ///< trace(W) — intra-cluster variation
+};
+
+/// Compute trace(T), trace(B), trace(W) for an assignment of the rows of
+/// x into k clusters. Throws std::invalid_argument on size mismatch or
+/// out-of-range labels.
+cluster_variation variation(const linalg::matrix& x,
+                            const std::vector<int>& assignment, std::size_t k);
+
+/// One row of the Figure 10 curves.
+struct variation_point {
+    std::size_t k = 0;
+    double within = 0.0;
+    double between = 0.0;
+};
+
+/// Which algorithm to sweep.
+enum class cluster_algorithm { kmeans_pp, hierarchical_single };
+
+/// Sweep k over [k_min, k_max] computing trace(W) and trace(B) per k —
+/// the Figure 10 model-selection curves.
+std::vector<variation_point> variation_sweep(
+    const linalg::matrix& x, std::size_t k_min, std::size_t k_max,
+    cluster_algorithm algo, std::uint64_t seed = 17);
+
+/// Heuristic knee locator: smallest k where the marginal drop in
+/// trace(W) falls below `fraction` of the initial drop. Returns k_min if
+/// the sweep is too short.
+std::size_t knee_of(const std::vector<variation_point>& sweep,
+                    double fraction = 0.15);
+
+}  // namespace tfd::cluster

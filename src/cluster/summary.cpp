@@ -1,0 +1,105 @@
+#include "cluster/summary.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace tfd::cluster {
+
+char signature_char(signature_sign s) noexcept {
+    switch (s) {
+        case signature_sign::zero: return '0';
+        case signature_sign::positive: return '+';
+        case signature_sign::negative: return '-';
+    }
+    return '?';
+}
+
+std::string cluster_summary::signature_string() const {
+    std::string out;
+    for (std::size_t i = 0; i < signature.size(); ++i) {
+        if (i) out += ' ';
+        out += signature_char(signature[i]);
+    }
+    return out;
+}
+
+std::vector<cluster_summary> summarize_clusters(
+    const linalg::matrix& x, const std::vector<int>& assignment, std::size_t k,
+    double sigma_threshold) {
+    const std::size_t n = x.rows(), p = x.cols();
+    if (assignment.size() != n)
+        throw std::invalid_argument("summarize_clusters: size mismatch");
+
+    std::vector<cluster_summary> out(k);
+    for (std::size_t c = 0; c < k; ++c) {
+        out[c].cluster = static_cast<int>(c);
+        out[c].mean.assign(p, 0.0);
+        out[c].stddev.assign(p, 0.0);
+        out[c].signature.assign(p, signature_sign::zero);
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const int c = assignment[i];
+        if (c < 0 || static_cast<std::size_t>(c) >= k)
+            throw std::invalid_argument("summarize_clusters: label out of range");
+        ++out[c].size;
+        const auto row = x.row(i);
+        for (std::size_t j = 0; j < p; ++j) out[c].mean[j] += row[j];
+    }
+    for (auto& s : out)
+        if (s.size > 0)
+            for (double& m : s.mean) m /= static_cast<double>(s.size);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto c = static_cast<std::size_t>(assignment[i]);
+        const auto row = x.row(i);
+        for (std::size_t j = 0; j < p; ++j) {
+            const double d = row[j] - out[c].mean[j];
+            out[c].stddev[j] += d * d;
+        }
+    }
+    for (auto& s : out) {
+        if (s.size > 1)
+            for (double& v : s.stddev)
+                v = std::sqrt(v / static_cast<double>(s.size - 1));
+        else
+            for (double& v : s.stddev) v = 0.0;
+
+        for (std::size_t j = 0; j < s.mean.size(); ++j) {
+            // A zero-stddev singleton still earns a sign if clearly off 0.
+            const double sd = s.stddev[j] > 1e-12 ? s.stddev[j] : 1e-12;
+            if (s.mean[j] > sigma_threshold * sd)
+                s.signature[j] = signature_sign::positive;
+            else if (s.mean[j] < -sigma_threshold * sd)
+                s.signature[j] = signature_sign::negative;
+        }
+    }
+    return out;
+}
+
+std::vector<int> match_clusters(const std::vector<cluster_summary>& a,
+                                const std::vector<cluster_summary>& b,
+                                double max_distance) {
+    std::vector<int> out(a.size(), -1);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double best = std::numeric_limits<double>::max();
+        for (std::size_t j = 0; j < b.size(); ++j) {
+            if (a[i].mean.size() != b[j].mean.size()) continue;
+            double d2 = 0.0;
+            for (std::size_t c = 0; c < a[i].mean.size(); ++c) {
+                const double d = a[i].mean[c] - b[j].mean[c];
+                d2 += d * d;
+            }
+            const double d = std::sqrt(d2);
+            if (d < best) {
+                best = d;
+                out[i] = static_cast<int>(j);
+            }
+        }
+        if (best > max_distance) out[i] = -1;
+    }
+    return out;
+}
+
+}  // namespace tfd::cluster

@@ -1,0 +1,53 @@
+// tfd::cluster — cluster interpretation (Tables 6, 7, 8).
+//
+// Each cluster is summarized by its per-dimension mean and standard
+// deviation in entropy space and by a 0/+/− signature: `+` if the mean
+// is positive and more than `sigma_threshold` standard deviations from
+// zero, `−` if negative likewise, `0` otherwise. The signatures are how
+// the paper reads meaning into clusters (e.g. port scans: dstIP −−,
+// dstPort ++).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "linalg/matrix.h"
+
+namespace tfd::cluster {
+
+/// Per-dimension sign with the paper's 0/+/− convention.
+enum class signature_sign { zero, positive, negative };
+
+char signature_char(signature_sign s) noexcept;
+
+/// Summary of one cluster in d-dimensional entropy space.
+struct cluster_summary {
+    int cluster = 0;
+    std::size_t size = 0;
+    std::vector<double> mean;    ///< per-dimension mean
+    std::vector<double> stddev;  ///< per-dimension std deviation
+    std::vector<signature_sign> signature;
+
+    /// Signature as a string like "- 0 - +".
+    std::string signature_string() const;
+};
+
+/// Summarize every cluster of an assignment over the rows of x.
+/// `sigma_threshold` is the #standard deviations from zero the mean must
+/// clear to earn a +/− (the paper uses 3 for Abilene, 2 for Geant).
+std::vector<cluster_summary> summarize_clusters(
+    const linalg::matrix& x, const std::vector<int>& assignment, std::size_t k,
+    double sigma_threshold = 3.0);
+
+/// Match each summary in `a` to the nearest summary in `b` by Euclidean
+/// distance between cluster means; returns index into `b` per entry of
+/// `a`, or -1 when the distance exceeds `max_distance` ("none" in the
+/// paper's Table 8 correspondence column).
+std::vector<int> match_clusters(const std::vector<cluster_summary>& a,
+                                const std::vector<cluster_summary>& b,
+                                double max_distance = 0.6);
+
+}  // namespace tfd::cluster

@@ -1,0 +1,95 @@
+#include "core/detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tfd::core {
+
+entropy_detection detect_entropy_anomalies(const multiway_matrix& m,
+                                           const subspace_options& opts,
+                                           double alpha) {
+    entropy_detection out;
+    out.options = opts;
+    out.alpha = alpha;
+
+    const auto model = subspace_model::fit(m.h, opts);
+    out.rows.spe = model.spe_rows(m.h);
+    out.rows.threshold = model.q_threshold(alpha);
+
+    identify_options iopts;
+    iopts.stop_threshold = out.rows.threshold;
+    iopts.max_flows = 5;
+
+    for (std::size_t bin = 0; bin < m.h.rows(); ++bin) {
+        if (out.rows.spe[bin] <= out.rows.threshold) continue;
+        out.rows.anomalous_bins.push_back(bin);
+
+        anomaly_event ev;
+        ev.bin = bin;
+        ev.spe = out.rows.spe[bin];
+
+        const auto obs = m.h.row(bin);
+        const auto residual = model.residual(obs);
+        const auto ident = identify_flows(model, m, obs, iopts);
+        ev.flows = ident.flows;
+
+        if (!ev.flows.empty()) {
+            ev.top_od = ev.flows.front().od;
+        } else {
+            // Fall back to the flow with the largest residual energy.
+            double best = -1.0;
+            for (std::size_t od = 0; od < m.flows; ++od) {
+                const auto v = flow_residual(m, residual, static_cast<int>(od));
+                double e = 0.0;
+                for (double x : v) e += x * x;
+                if (e > best) {
+                    best = e;
+                    ev.top_od = static_cast<int>(od);
+                }
+            }
+        }
+        ev.h_tilde = to_unit_norm(flow_residual(m, residual, ev.top_od));
+        out.events.push_back(std::move(ev));
+    }
+    return out;
+}
+
+entropy_detection detect_entropy_anomalies(const od_dataset& data,
+                                           const subspace_options& opts,
+                                           double alpha) {
+    return detect_entropy_anomalies(unfold(data), opts, alpha);
+}
+
+volume_detection detect_volume_anomalies(const od_dataset& data,
+                                         const subspace_options& opts,
+                                         double alpha) {
+    volume_detection out;
+    out.bytes = detect_rows(data.bytes, opts, alpha);
+    out.packets = detect_rows(data.packets, opts, alpha);
+    std::vector<std::size_t> merged;
+    merged.reserve(out.bytes.anomalous_bins.size() +
+                   out.packets.anomalous_bins.size());
+    std::set_union(out.bytes.anomalous_bins.begin(),
+                   out.bytes.anomalous_bins.end(),
+                   out.packets.anomalous_bins.begin(),
+                   out.packets.anomalous_bins.end(),
+                   std::back_inserter(merged));
+    out.anomalous_bins = std::move(merged);
+    return out;
+}
+
+detection_overlap compare_detections(const volume_detection& volume,
+                                     const entropy_detection& entropy) {
+    detection_overlap out;
+    const auto& v = volume.anomalous_bins;
+    const auto& e = entropy.rows.anomalous_bins;
+    std::set_difference(v.begin(), v.end(), e.begin(), e.end(),
+                        std::back_inserter(out.volume_only));
+    std::set_difference(e.begin(), e.end(), v.begin(), v.end(),
+                        std::back_inserter(out.entropy_only));
+    std::set_intersection(v.begin(), v.end(), e.begin(), e.end(),
+                          std::back_inserter(out.both));
+    return out;
+}
+
+}  // namespace tfd::core

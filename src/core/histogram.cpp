@@ -1,0 +1,95 @@
+#include "core/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tfd::core {
+
+void feature_histogram::add(std::uint32_t value, double count) {
+    if (count <= 0.0) return;
+    counts_[value] += count;
+    total_ += count;
+}
+
+double feature_histogram::entropy_bits() const noexcept {
+    if (total_ <= 0.0 || counts_.size() < 2) return 0.0;
+    // Sum in sorted order so the result is bit-identical regardless of
+    // hash-table iteration order (keeps parallel dataset builds exactly
+    // reproducible).
+    std::vector<double> ns;
+    ns.reserve(counts_.size());
+    for (const auto& [value, n] : counts_) ns.push_back(n);
+    std::sort(ns.begin(), ns.end());
+    double h = 0.0;
+    for (double n : ns) {
+        const double p = n / total_;
+        h -= p * std::log2(p);
+    }
+    return std::max(0.0, h);
+}
+
+double feature_histogram::normalized_entropy() const noexcept {
+    if (counts_.size() < 2) return 0.0;
+    return entropy_bits() / std::log2(static_cast<double>(counts_.size()));
+}
+
+std::vector<std::pair<std::uint32_t, double>> feature_histogram::top(
+    std::size_t k) const {
+    std::vector<std::pair<std::uint32_t, double>> all(counts_.begin(),
+                                                      counts_.end());
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+        return a.second > b.second ||
+               (a.second == b.second && a.first < b.first);
+    });
+    if (all.size() > k) all.resize(k);
+    return all;
+}
+
+std::vector<double> feature_histogram::rank_counts() const {
+    std::vector<double> out;
+    out.reserve(counts_.size());
+    for (const auto& [value, n] : counts_) out.push_back(n);
+    std::sort(out.begin(), out.end(), std::greater<>());
+    return out;
+}
+
+double feature_histogram::count_of(std::uint32_t value) const noexcept {
+    const auto it = counts_.find(value);
+    return it == counts_.end() ? 0.0 : it->second;
+}
+
+void feature_histogram::clear() noexcept {
+    counts_.clear();
+    total_ = 0.0;
+}
+
+void feature_histogram_set::add_record(const flow::flow_record& r) {
+    const auto w = static_cast<double>(r.packets);
+    for (int f = 0; f < flow::feature_count; ++f)
+        hists_[f].add(r.feature_value(static_cast<flow::feature>(f)), w);
+    packets_ += r.packets;
+    bytes_ += r.bytes;
+    ++records_;
+}
+
+void feature_histogram_set::add_records(
+    const std::vector<flow::flow_record>& rs) {
+    for (const auto& r : rs) add_record(r);
+}
+
+std::array<double, flow::feature_count> feature_histogram_set::entropies()
+    const noexcept {
+    std::array<double, flow::feature_count> out{};
+    for (int f = 0; f < flow::feature_count; ++f)
+        out[f] = hists_[f].entropy_bits();
+    return out;
+}
+
+void feature_histogram_set::clear() noexcept {
+    for (auto& h : hists_) h.clear();
+    packets_ = 0;
+    bytes_ = 0;
+    records_ = 0;
+}
+
+}  // namespace tfd::core

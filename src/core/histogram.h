@@ -1,0 +1,89 @@
+// tfd::core — feature histograms and sample entropy.
+//
+// The paper's summarization primitive (Section 3): given an empirical
+// histogram X = {n_i, i = 1..N} of a traffic feature, the sample entropy
+//
+//     H(X) = - sum_i (n_i / S) log2 (n_i / S),   S = sum_i n_i
+//
+// lies in [0, log2 N]: 0 when all observations are one value (maximal
+// concentration), log2 N when all values are equally common (maximal
+// dispersal). Histograms are built from flow records with each feature
+// value weighted by the record's packet count.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/flow_record.h"
+
+namespace tfd::core {
+
+/// Packet-count histogram over one traffic feature's values.
+class feature_histogram {
+public:
+    /// Add `count` observations of `value` (count <= 0 is ignored).
+    void add(std::uint32_t value, double count = 1.0);
+
+    /// Number of distinct values (N).
+    std::size_t distinct() const noexcept { return counts_.size(); }
+
+    /// Total observations (S).
+    double total() const noexcept { return total_; }
+
+    bool empty() const noexcept { return counts_.empty(); }
+
+    /// Sample entropy in bits; 0 for empty or single-valued histograms.
+    double entropy_bits() const noexcept;
+
+    /// Normalized entropy H / log2(N) in [0,1]; 0 when N < 2.
+    double normalized_entropy() const noexcept;
+
+    /// The k most frequent values, by decreasing count (ties by value).
+    std::vector<std::pair<std::uint32_t, double>> top(std::size_t k) const;
+
+    /// Counts in decreasing rank order (the Figure 1 view).
+    std::vector<double> rank_counts() const;
+
+    /// Raw count of one value (0 if absent).
+    double count_of(std::uint32_t value) const noexcept;
+
+    void clear() noexcept;
+
+private:
+    std::unordered_map<std::uint32_t, double> counts_;
+    double total_ = 0.0;
+};
+
+/// The four per-feature histograms of one (timebin, OD flow) cell,
+/// accumulated alongside byte/packet volume counters.
+class feature_histogram_set {
+public:
+    /// Accumulate one flow record (feature values weighted by packets).
+    void add_record(const flow::flow_record& r);
+
+    /// Accumulate a batch.
+    void add_records(const std::vector<flow::flow_record>& rs);
+
+    const feature_histogram& operator[](flow::feature f) const noexcept {
+        return hists_[static_cast<int>(f)];
+    }
+
+    /// Sample entropies in feature order (srcIP, srcPort, dstIP, dstPort).
+    std::array<double, flow::feature_count> entropies() const noexcept;
+
+    std::uint64_t total_packets() const noexcept { return packets_; }
+    std::uint64_t total_bytes() const noexcept { return bytes_; }
+    std::size_t total_records() const noexcept { return records_; }
+
+    void clear() noexcept;
+
+private:
+    std::array<feature_histogram, flow::feature_count> hists_;
+    std::uint64_t packets_ = 0;
+    std::uint64_t bytes_ = 0;
+    std::size_t records_ = 0;
+};
+
+}  // namespace tfd::core

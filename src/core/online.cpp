@@ -1,0 +1,128 @@
+#include "core/online.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tfd::core {
+
+std::size_t entropy_snapshot::flows() const noexcept {
+    const std::size_t n = entropies[0].size();
+    for (const auto& e : entropies)
+        if (e.size() != n) return 0;
+    return n;
+}
+
+online_detector::online_detector(std::size_t flows, const online_options& opts)
+    : flows_(flows), opts_(opts) {
+    if (flows == 0)
+        throw std::invalid_argument("online_detector: flows must be > 0");
+    if (opts.window < 8)
+        throw std::invalid_argument("online_detector: window too small");
+    if (opts.warmup < 2 || opts.warmup > opts.window)
+        throw std::invalid_argument(
+            "online_detector: warmup must be in [2, window]");
+    if (opts.refit_interval == 0)
+        throw std::invalid_argument(
+            "online_detector: refit_interval must be > 0");
+    layout_.flows = flows;
+    // layout_.h stays empty; only column() arithmetic is used.
+    layout_.h.resize(0, flow::feature_count * flows);
+}
+
+std::vector<double> online_detector::flatten(const entropy_snapshot& s) const {
+    std::vector<double> row(flow::feature_count * flows_);
+    for (int f = 0; f < flow::feature_count; ++f)
+        for (std::size_t od = 0; od < flows_; ++od)
+            row[static_cast<std::size_t>(f) * flows_ + od] =
+                s.entropies[f][od];
+    return row;
+}
+
+void online_detector::refit() {
+    // Assemble the window into a matrix, computing per-feature-block
+    // energies over the window (the batch unfold() semantics).
+    const std::size_t t = window_.size();
+    linalg::matrix h(t, flow::feature_count * flows_);
+    for (std::size_t r = 0; r < t; ++r) {
+        const auto& row = window_[r];
+        for (std::size_t c = 0; c < row.size(); ++c) h(r, c) = row[c];
+    }
+    for (int f = 0; f < flow::feature_count; ++f) {
+        double energy = 0.0;
+        for (std::size_t r = 0; r < t; ++r)
+            for (std::size_t od = 0; od < flows_; ++od) {
+                const double v = h(r, static_cast<std::size_t>(f) * flows_ + od);
+                energy += v * v;
+            }
+        const double norm = energy > 0.0 ? std::sqrt(energy) : 1.0;
+        norms_[f] = norm;
+        const double inv = 1.0 / norm;
+        for (std::size_t r = 0; r < t; ++r)
+            for (std::size_t od = 0; od < flows_; ++od)
+                h(r, static_cast<std::size_t>(f) * flows_ + od) *= inv;
+    }
+    model_ = subspace_model::fit(h, opts_.subspace);
+    threshold_ = model_->q_threshold(opts_.alpha);
+    since_refit_ = 0;
+
+    // Keep the layout's norms in sync for flow_residual consumers.
+    layout_.submatrix_norm = norms_;
+}
+
+online_verdict online_detector::push(const entropy_snapshot& snapshot) {
+    if (snapshot.flows() != flows_)
+        throw std::invalid_argument(
+            "online_detector: snapshot width mismatch");
+
+    online_verdict v;
+    v.bin = bins_seen_++;
+
+    window_.push_back(flatten(snapshot));
+    if (window_.size() > opts_.window) window_.pop_front();
+
+    const bool due = !model_ || since_refit_ >= opts_.refit_interval;
+    if (window_.size() >= opts_.warmup && due) refit();
+    ++since_refit_;
+
+    if (!model_) return v;  // still warming up
+
+    // Score the incoming row under the current model, normalizing with
+    // the window's block norms.
+    std::vector<double> obs = window_.back();
+    for (int f = 0; f < flow::feature_count; ++f) {
+        const double inv = 1.0 / norms_[f];
+        for (std::size_t od = 0; od < flows_; ++od)
+            obs[static_cast<std::size_t>(f) * flows_ + od] *= inv;
+    }
+    v.scored = true;
+    v.spe = model_->spe(obs);
+    v.threshold = threshold_;
+    v.anomalous = v.spe > threshold_;
+    if (!v.anomalous) return v;
+
+    const auto ident =
+        identify_flows(*model_, layout_, obs,
+                       {.max_flows = opts_.max_identified,
+                        .stop_threshold = threshold_});
+    v.flows = ident.flows;
+    const auto residual = model_->residual(obs);
+    if (!v.flows.empty()) {
+        v.top_od = v.flows.front().od;
+    } else {
+        double best = -1.0;
+        for (std::size_t od = 0; od < flows_; ++od) {
+            const auto fr = flow_residual(layout_, residual,
+                                          static_cast<int>(od));
+            double e = 0.0;
+            for (double x : fr) e += x * x;
+            if (e > best) {
+                best = e;
+                v.top_od = static_cast<int>(od);
+            }
+        }
+    }
+    v.h_tilde = to_unit_norm(flow_residual(layout_, residual, v.top_od));
+    return v;
+}
+
+}  // namespace tfd::core

@@ -1,0 +1,102 @@
+// tfd::core — online (streaming) detection.
+//
+// The paper's conclusion names "online extensions" as ongoing work: an
+// operator wants each new 5-minute bin scored as it arrives, not a
+// batch re-analysis of three weeks. This module provides that: a
+// sliding-window detector that maintains the multiway subspace model
+// over the last W bins, scores each incoming bin against the current
+// model, and refits on a configurable cadence (refitting every bin
+// would cost an eigendecomposition per 5 minutes; the model drifts
+// slowly, so refitting every R bins loses little).
+//
+// The incoming unit of data is one network-wide snapshot: the four
+// entropy values and the volume counters for every OD flow in the bin.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/identify.h"
+#include "core/multiway.h"
+#include "core/subspace.h"
+#include "flow/flow_record.h"
+
+namespace tfd::core {
+
+/// One network-wide observation: per-OD entropy 4-tuples.
+struct entropy_snapshot {
+    /// entropies[f] holds one value per OD flow, in flow::feature order.
+    std::array<std::vector<double>, flow::feature_count> entropies;
+
+    /// Number of OD flows (0 if unset / inconsistent).
+    std::size_t flows() const noexcept;
+};
+
+/// Options for the streaming detector.
+struct online_options {
+    std::size_t window = 576;        ///< sliding history length (bins)
+    std::size_t warmup = 288;        ///< bins required before scoring
+    std::size_t refit_interval = 48; ///< refit the model every R bins
+    subspace_options subspace{.normal_dims = 10, .center = true};
+    double alpha = 0.999;
+    std::size_t max_identified = 3;  ///< flows identified per detection
+};
+
+/// Verdict for one scored bin.
+struct online_verdict {
+    std::size_t bin = 0;      ///< running index of the observation
+    bool scored = false;      ///< false during warmup
+    bool anomalous = false;
+    double spe = 0.0;
+    double threshold = 0.0;
+    /// Identified flows + unit-norm h_tilde of the top one (only set
+    /// when anomalous).
+    std::vector<identified_flow> flows;
+    int top_od = -1;
+    std::array<double, flow::feature_count> h_tilde{};
+};
+
+/// Sliding-window multiway subspace detector.
+///
+/// Feed one entropy_snapshot per bin through push(); the detector
+/// maintains the window, refits on schedule, and returns a verdict.
+/// Deterministic: no hidden randomness.
+class online_detector {
+public:
+    /// `flows` fixes the expected per-snapshot width. Throws
+    /// std::invalid_argument on degenerate options.
+    online_detector(std::size_t flows, const online_options& opts = {});
+
+    /// Ingest the next bin; returns its verdict (unscored in warmup).
+    online_verdict push(const entropy_snapshot& snapshot);
+
+    /// Number of bins ingested so far.
+    std::size_t bins_seen() const noexcept { return bins_seen_; }
+
+    /// True once a model is fitted and scoring is live.
+    bool ready() const noexcept { return model_.has_value(); }
+
+    /// The live threshold (0 before ready()).
+    double threshold() const noexcept { return threshold_; }
+
+    const online_options& options() const noexcept { return opts_; }
+
+private:
+    void refit();
+    std::vector<double> flatten(const entropy_snapshot& s) const;
+
+    std::size_t flows_;
+    online_options opts_;
+    std::deque<std::vector<double>> window_;  ///< raw (un-normalized) rows
+    std::array<double, flow::feature_count> norms_{};  ///< current block norms
+    std::optional<subspace_model> model_;
+    multiway_matrix layout_;  ///< column layout helper (empty matrix)
+    double threshold_ = 0.0;
+    std::size_t bins_seen_ = 0;
+    std::size_t since_refit_ = 0;
+};
+
+}  // namespace tfd::core

@@ -1,0 +1,91 @@
+#include "core/subspace.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/stats.h"
+
+namespace tfd::core {
+
+subspace_model subspace_model::fit(const linalg::matrix& x,
+                                   const subspace_options& opts) {
+    subspace_model m;
+    linalg::pca_options popts;
+    popts.center = opts.center;
+    m.pca_ = linalg::fit_pca(x, popts);
+    m.m_ = std::min(opts.normal_dims, m.pca_.eigenvalues.size());
+
+    // Residual eigenvalue moments phi_i = sum_{j>m} lambda_j^i.
+    for (std::size_t j = m.m_; j < m.pca_.eigenvalues.size(); ++j) {
+        const double l = m.pca_.eigenvalues[j];
+        m.phi_[0] += l;
+        m.phi_[1] += l * l;
+        m.phi_[2] += l * l * l;
+    }
+    if (m.phi_[1] > 0.0)
+        m.h0_ = 1.0 - 2.0 * m.phi_[0] * m.phi_[2] / (3.0 * m.phi_[1] * m.phi_[1]);
+    if (m.h0_ == 0.0) m.h0_ = 1e-6;
+    return m;
+}
+
+double subspace_model::spe(std::span<const double> obs) const {
+    return linalg::squared_prediction_error(pca_, obs, m_);
+}
+
+std::vector<double> subspace_model::residual(std::span<const double> obs) const {
+    return linalg::residual(pca_, obs, m_);
+}
+
+std::vector<double> subspace_model::modeled(std::span<const double> obs) const {
+    return linalg::project_normal(pca_, obs, m_);
+}
+
+std::vector<double> subspace_model::spe_rows(const linalg::matrix& x) const {
+    if (x.cols() != dimension())
+        throw std::invalid_argument("spe_rows: column count mismatch");
+    std::vector<double> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) out[r] = spe(x.row(r));
+    return out;
+}
+
+double subspace_model::q_threshold(double alpha) const {
+    if (!(alpha > 0.0 && alpha < 1.0))
+        throw std::invalid_argument("q_threshold: alpha must be in (0,1)");
+    // Degenerate residual space: nothing left over, nothing to test.
+    if (phi_[0] <= 0.0 || phi_[1] <= 0.0) return 0.0;
+
+    const double c = linalg::normal_quantile(alpha);
+    const double p1 = phi_[0], p2 = phi_[1];
+
+    // Jackson-Mudholkar [13].
+    const double h = h0_;
+    const double term = c * std::sqrt(2.0 * p2 * h * h) / p1 + 1.0 +
+                        p2 * h * (h - 1.0) / (p1 * p1);
+    const double jm = term > 0.0 ? p1 * std::pow(term, 1.0 / h) : 0.0;
+
+    // Box's chi-square approximation (SPE ~ g * chi^2_dof with
+    // g = phi2/phi1, dof = phi1^2/phi2), evaluated via Wilson-Hilferty.
+    // The JM formula degenerates when h0 -> 0 (slowly decaying residual
+    // spectra): its threshold collapses below the SPE mean phi1 and
+    // everything gets flagged. Box is well behaved for every spectrum
+    // shape, so it serves as a floor.
+    const double g = p2 / p1;
+    const double dof = p1 * p1 / p2;
+    const double wh = 1.0 - 2.0 / (9.0 * dof) + c * std::sqrt(2.0 / (9.0 * dof));
+    const double box = g * dof * wh * wh * wh;
+
+    return std::max(jm, box);
+}
+
+detection_result detect_rows(const linalg::matrix& x,
+                             const subspace_options& opts, double alpha) {
+    const auto model = subspace_model::fit(x, opts);
+    detection_result out;
+    out.spe = model.spe_rows(x);
+    out.threshold = model.q_threshold(alpha);
+    for (std::size_t r = 0; r < out.spe.size(); ++r)
+        if (out.spe[r] > out.threshold) out.anomalous_bins.push_back(r);
+    return out;
+}
+
+}  // namespace tfd::core

@@ -1,0 +1,84 @@
+// tfd::core — the subspace method (Section 4.1).
+//
+// PCA separates a t x n data matrix into a low-dimensional *normal*
+// subspace capturing typical temporal variation and a *residual*
+// subspace; each observation x decomposes as x = x_hat + x_tilde and the
+// squared prediction error ||x_tilde||^2 (SPE, a.k.a. the Q statistic)
+// is tested against the Jackson–Mudholkar threshold delta^2_alpha for a
+// chosen false-alarm rate 1 - alpha [13].
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/pca.h"
+
+namespace tfd::core {
+
+/// Options for fitting a subspace model.
+struct subspace_options {
+    /// Dimension of the normal subspace. The paper found a knee at m ~= 10
+    /// capturing ~85% of variance in its datasets.
+    std::size_t normal_dims = 10;
+    /// Subtract column means before PCA.
+    bool center = true;
+};
+
+/// A fitted subspace model over one data matrix.
+class subspace_model {
+public:
+    /// Empty (unfitted) model; usable only as an assignment target.
+    subspace_model() = default;
+
+    /// Fit on a t x n matrix (rows = timebins). Throws via fit_pca on
+    /// degenerate input; normal_dims is clamped to n.
+    static subspace_model fit(const linalg::matrix& x,
+                              const subspace_options& opts = {});
+
+    /// Squared prediction error ||x_tilde||^2 of one observation.
+    double spe(std::span<const double> obs) const;
+
+    /// Residual vector x_tilde (length n).
+    std::vector<double> residual(std::span<const double> obs) const;
+
+    /// Modeled (normal) part x_hat.
+    std::vector<double> modeled(std::span<const double> obs) const;
+
+    /// SPE for every row of a matrix with matching column count.
+    std::vector<double> spe_rows(const linalg::matrix& x) const;
+
+    /// Jackson–Mudholkar Q-statistic threshold delta^2_alpha; SPE above
+    /// this is anomalous at (two-sided) confidence alpha. Throws
+    /// std::invalid_argument unless 0 < alpha < 1.
+    double q_threshold(double alpha) const;
+
+    std::size_t normal_dims() const noexcept { return m_; }
+    std::size_t dimension() const noexcept { return pca_.components.rows(); }
+
+    /// Fraction of variance captured by the normal subspace.
+    double variance_captured() const { return pca_.variance_captured(m_); }
+
+    const linalg::pca_result& pca() const noexcept { return pca_; }
+
+private:
+    linalg::pca_result pca_;
+    std::size_t m_ = 0;
+    double phi_[3] = {0, 0, 0};  ///< residual eigenvalue moments
+    double h0_ = 1.0;
+};
+
+/// Detection summary for one data matrix: per-bin SPE plus the bins whose
+/// SPE exceeds the threshold.
+struct detection_result {
+    std::vector<double> spe;           ///< per-bin squared residual norm
+    double threshold = 0.0;            ///< Q threshold used
+    std::vector<std::size_t> anomalous_bins;
+};
+
+/// Fit on `x` and flag every row whose SPE exceeds q_threshold(alpha).
+detection_result detect_rows(const linalg::matrix& x,
+                             const subspace_options& opts, double alpha);
+
+}  // namespace tfd::core

@@ -1,0 +1,90 @@
+#include "diagnosis/drilldown.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace tfd::diagnosis {
+
+namespace {
+
+using feature_counts = std::unordered_map<std::uint32_t, double>;
+
+std::array<feature_counts, flow::feature_count> tally(
+    const std::vector<flow::flow_record>& records, double* total_out) {
+    std::array<feature_counts, flow::feature_count> out;
+    double total = 0.0;
+    for (const auto& r : records) {
+        const auto w = static_cast<double>(r.packets);
+        total += w;
+        for (int f = 0; f < flow::feature_count; ++f)
+            out[f][r.feature_value(static_cast<flow::feature>(f))] += w;
+    }
+    if (total_out) *total_out = total;
+    return out;
+}
+
+}  // namespace
+
+std::vector<scored_record> rank_anomalous_records(
+    const std::vector<flow::flow_record>& anomalous_cell,
+    const std::vector<flow::flow_record>& baseline_cell, std::size_t top_k) {
+    double anomalous_total = 0.0, baseline_total = 0.0;
+    const auto now = tally(anomalous_cell, &anomalous_total);
+    const auto base = tally(baseline_cell, &baseline_total);
+    if (anomalous_total <= 0.0) return {};
+
+    // Laplace-style smoothing so values unseen in the baseline get a
+    // finite (large) surprise rather than infinity.
+    const double smooth = 1.0;
+    const double base_denom = baseline_total + smooth;
+
+    std::vector<scored_record> out;
+    out.reserve(anomalous_cell.size());
+    for (const auto& r : anomalous_cell) {
+        scored_record sr;
+        sr.record = r;
+        const auto w = static_cast<double>(r.packets);
+        for (int f = 0; f < flow::feature_count; ++f) {
+            const auto v = r.feature_value(static_cast<flow::feature>(f));
+            const double p_now = now[f].at(v) / anomalous_total;
+            const auto it = base[f].find(v);
+            const double base_count = it == base[f].end() ? 0.0 : it->second;
+            const double p_base = (base_count + smooth) / base_denom;
+            const double surprise = std::log2(p_now / p_base);
+            sr.per_feature[f] = surprise * w;
+            sr.score += surprise * w;
+        }
+        out.push_back(std::move(sr));
+    }
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+        if (a.score != b.score) return a.score > b.score;
+        return a.record.feature_value(flow::feature::src_ip) <
+               b.record.feature_value(flow::feature::src_ip);
+    });
+    if (top_k > 0 && out.size() > top_k) out.resize(top_k);
+    return out;
+}
+
+double coverage(const std::vector<scored_record>& ranked,
+                const std::vector<flow::flow_record>& anomalous_cell) {
+    double cell_total = 0.0;
+    for (const auto& r : anomalous_cell)
+        cell_total += static_cast<double>(r.packets);
+    if (cell_total <= 0.0) return 0.0;
+    double covered = 0.0;
+    for (const auto& sr : ranked)
+        covered += static_cast<double>(sr.record.packets);
+    return covered / cell_total;
+}
+
+label classify_top_records(const std::vector<scored_record>& ranked,
+                           double expected_packets) {
+    inspection_input in;
+    in.records.reserve(ranked.size());
+    for (const auto& sr : ranked) in.records.push_back(sr.record);
+    in.expected_packets = expected_packets;
+    return classify(in);
+}
+
+}  // namespace tfd::diagnosis

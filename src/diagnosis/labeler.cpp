@@ -1,0 +1,208 @@
+#include "diagnosis/labeler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace tfd::diagnosis {
+
+const char* label_name(label l) noexcept {
+    switch (l) {
+        case label::alpha: return "Alpha";
+        case label::dos: return "DOS";
+        case label::ddos: return "DDOS";
+        case label::flash_crowd: return "Flash Crowd";
+        case label::port_scan: return "Port Scan";
+        case label::network_scan: return "Network Scan";
+        case label::worm: return "Worm";
+        case label::outage: return "Outage";
+        case label::point_multipoint: return "Point-Multipoint";
+        case label::unknown: return "Unknown";
+        case label::false_alarm: return "False Alarm";
+    }
+    return "?";
+}
+
+label label_of(traffic::anomaly_type t) noexcept {
+    using traffic::anomaly_type;
+    switch (t) {
+        case anomaly_type::alpha: return label::alpha;
+        case anomaly_type::dos: return label::dos;
+        case anomaly_type::ddos: return label::ddos;
+        case anomaly_type::flash_crowd: return label::flash_crowd;
+        case anomaly_type::port_scan: return label::port_scan;
+        case anomaly_type::network_scan: return label::network_scan;
+        case anomaly_type::worm: return label::worm;
+        case anomaly_type::outage: return label::outage;
+        case anomaly_type::point_multipoint: return label::point_multipoint;
+        case anomaly_type::none: return label::false_alarm;
+    }
+    return label::unknown;
+}
+
+bool is_dos_family(label l) noexcept {
+    return l == label::dos || l == label::ddos;
+}
+
+namespace {
+
+// Fraction of adjacent gaps equal to 1 among sorted distinct values.
+template <typename Set>
+double sequentiality(const Set& values) {
+    if (values.size() < 2) return 0.0;
+    std::size_t seq = 0;
+    auto it = values.begin();
+    auto prev = *it++;
+    for (; it != values.end(); ++it) {
+        if (*it == prev + 1) ++seq;
+        prev = *it;
+    }
+    return static_cast<double>(seq) / static_cast<double>(values.size() - 1);
+}
+
+struct weighted_top {
+    double top_fraction = 0.0;
+    std::uint32_t top_value = 0;
+};
+
+weighted_top top_of(const std::map<std::uint32_t, double>& counts,
+                    double total) {
+    weighted_top out;
+    for (const auto& [v, c] : counts)
+        if (c > out.top_fraction * total) {
+            out.top_fraction = c / total;
+            out.top_value = v;
+        }
+    return out;
+}
+
+}  // namespace
+
+inspection_stats inspect(const inspection_input& in) {
+    inspection_stats st;
+    std::map<std::uint32_t, double> src_ips, dst_ips, src_ports, dst_ports;
+    double bytes = 0.0;
+    for (const auto& r : in.records) {
+        const auto w = static_cast<double>(r.packets);
+        st.total_packets += w;
+        bytes += static_cast<double>(r.bytes);
+        src_ips[r.key.src.value] += w;
+        dst_ips[r.key.dst.value] += w;
+        src_ports[r.key.src_port] += w;
+        dst_ports[r.key.dst_port] += w;
+    }
+    st.distinct_src_ips = src_ips.size();
+    st.distinct_dst_ips = dst_ips.size();
+    st.distinct_src_ports = src_ports.size();
+    st.distinct_dst_ports = dst_ports.size();
+    if (st.total_packets <= 0.0) return st;
+
+    const auto tsi = top_of(src_ips, st.total_packets);
+    const auto tdi = top_of(dst_ips, st.total_packets);
+    const auto tsp = top_of(src_ports, st.total_packets);
+    const auto tdp = top_of(dst_ports, st.total_packets);
+    st.top_src_ip_fraction = tsi.top_fraction;
+    st.top_dst_ip_fraction = tdi.top_fraction;
+    st.top_src_port_fraction = tsp.top_fraction;
+    st.top_dst_port_fraction = tdp.top_fraction;
+    st.top_dst_ip = tdi.top_value;
+    st.top_dst_port = static_cast<std::uint16_t>(tdp.top_value);
+    st.mean_packet_bytes = bytes / st.total_packets;
+
+    double top_port_bytes = 0.0, top_port_packets = 0.0;
+    for (const auto& r : in.records) {
+        if (r.key.dst_port != st.top_dst_port) continue;
+        top_port_bytes += static_cast<double>(r.bytes);
+        top_port_packets += static_cast<double>(r.packets);
+    }
+    if (top_port_packets > 0.0)
+        st.top_dst_port_mean_bytes = top_port_bytes / top_port_packets;
+
+    // Sequential-pattern checks on distinct values (maps are sorted).
+    std::set<std::uint32_t> dip, dpt, spt;
+    for (const auto& [v, c] : dst_ips) dip.insert(v);
+    for (const auto& [v, c] : dst_ports) dpt.insert(v);
+    for (const auto& [v, c] : src_ports) spt.insert(v);
+    st.dst_ip_sequentiality = sequentiality(dip);
+    st.dst_port_sequentiality = sequentiality(dpt);
+    st.src_port_sequentiality = sequentiality(spt);
+    return st;
+}
+
+label classify(const inspection_input& in) {
+    const inspection_stats st = inspect(in);
+    constexpr std::uint16_t worm_ports[] = {1433, 445, 135};
+    const bool worm_port =
+        std::find(std::begin(worm_ports), std::end(worm_ports),
+                  st.top_dst_port) != std::end(worm_ports);
+
+    // Outage: a sharp volume dip with no dominant feature.
+    if (in.expected_packets > 20.0 &&
+        st.total_packets < 0.3 * in.expected_packets)
+        return label::outage;
+
+    const bool volume_surge = in.expected_packets > 0.0 &&
+                              st.total_packets > 2.5 * in.expected_packets;
+
+    const bool dominant_src = st.top_src_ip_fraction > 0.5;
+    const bool dominant_dst = st.top_dst_ip_fraction > 0.5;
+    const bool dominant_dport = st.top_dst_port_fraction > 0.5;
+    // Background cells already carry a few dozen distinct service and
+    // ephemeral ports, so dispersal gates sit above that floor.
+    const bool many_dports =
+        st.distinct_dst_ports > 60 && st.top_dst_port_fraction < 0.2;
+    const bool many_dsts =
+        st.distinct_dst_ips > 60 && st.top_dst_ip_fraction < 0.2;
+
+    // Port scan: one source probing many ports on one destination —
+    // sequential destination ports are the giveaway.
+    if (dominant_src && dominant_dst && many_dports &&
+        st.dst_port_sequentiality > 0.5)
+        return label::port_scan;
+
+    // Network scan: many destinations on one port; scanners often sweep
+    // addresses sequentially and increment their source port per probe.
+    if (dominant_dport && many_dsts && st.dst_ip_sequentiality > 0.5)
+        return label::network_scan;
+
+    // Worm: many random (non-sequential) destinations, one well-known
+    // vulnerable port, small probe packets (judged on the probe port so
+    // ambient traffic in the cell cannot mask it).
+    if (dominant_dport && many_dsts && worm_port &&
+        st.top_dst_port_mean_bytes < 100.0)
+        return label::worm;
+
+    // Point-to-multipoint: one source (and port) fanning out to many
+    // destinations on many ports, with data-sized packets.
+    if (dominant_src && st.top_src_port_fraction > 0.5 && many_dsts &&
+        many_dports && st.mean_packet_bytes > 400.0)
+        return label::point_multipoint;
+
+    // DOS family: a dominant destination address and port under
+    // volume surge with tiny packets on the flooded port.
+    if (dominant_dst && dominant_dport && volume_surge &&
+        st.top_dst_port_mean_bytes < 120.0) {
+        return dominant_src ? label::dos : label::ddos;
+    }
+
+    // Flash crowd: surge toward one destination on a well-known service
+    // port from a plausible (non-spoofed, moderately sized) client set.
+    if (dominant_dst && dominant_dport && volume_surge &&
+        (st.top_dst_port == 80 || st.top_dst_port == 443))
+        return label::flash_crowd;
+
+    // Alpha: one src, one dst, one port pair, large packets, high rate.
+    if (dominant_src && dominant_dst && dominant_dport && volume_surge &&
+        st.mean_packet_bytes >= 500.0)
+        return label::alpha;
+
+    // Something is off but matches no rule?
+    const bool any_deviation =
+        volume_surge || many_dports || many_dsts ||
+        (in.expected_packets > 20.0 &&
+         st.total_packets < 0.5 * in.expected_packets);
+    return any_deviation ? label::unknown : label::false_alarm;
+}
+
+}  // namespace tfd::diagnosis

@@ -1,0 +1,70 @@
+#include "diagnosis/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace tfd::diagnosis {
+
+text_table::text_table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void text_table::add_row(std::vector<std::string> cells) {
+    if (cells.size() > headers_.size())
+        throw std::invalid_argument("text_table: row wider than header");
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string text_table::str() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string>& row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c) line += "  ";
+            line += row[c];
+            line.append(width[c] - row[c].size(), ' ');
+        }
+        while (!line.empty() && line.back() == ' ') line.pop_back();
+        return line + '\n';
+    };
+
+    std::string out = render_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c ? 2 : 0);
+    out.append(total, '-');
+    out += '\n';
+    for (const auto& row : rows_) out += render_row(row);
+    return out;
+}
+
+std::string fmt_fixed(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+}
+
+std::string fmt_sci(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+    return buf;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string fmt_mean_std(double mean, double std, int precision) {
+    return fmt_fixed(mean, precision) + " +- " + fmt_fixed(std, precision);
+}
+
+}  // namespace tfd::diagnosis

@@ -1,0 +1,45 @@
+// tfd::diagnosis — plain-text table rendering for experiment harnesses.
+//
+// Every bench binary prints the rows/series its paper table or figure
+// reports; this keeps the formatting consistent and the binaries small.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tfd::diagnosis {
+
+/// Column-aligned ASCII table.
+class text_table {
+public:
+    /// Create with header row.
+    explicit text_table(std::vector<std::string> headers);
+
+    /// Append a row; short rows are padded with empty cells. Rows longer
+    /// than the header are rejected (std::invalid_argument).
+    void add_row(std::vector<std::string> cells);
+
+    std::size_t rows() const noexcept { return rows_.size(); }
+
+    /// Render with a separator line under the header.
+    std::string str() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting (e.g. fmt_fixed(3.14159, 2) == "3.14").
+std::string fmt_fixed(double v, int precision = 2);
+
+/// Scientific notation (e.g. "3.47e+05").
+std::string fmt_sci(double v, int precision = 2);
+
+/// Percentage with unit (e.g. "12.5%").
+std::string fmt_percent(double fraction, int precision = 1);
+
+/// "mean +- std" pair, Table 6 style.
+std::string fmt_mean_std(double mean, double std, int precision = 2);
+
+}  // namespace tfd::diagnosis

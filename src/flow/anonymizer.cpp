@@ -1,0 +1,30 @@
+#include "flow/anonymizer.h"
+
+#include <stdexcept>
+
+namespace tfd::flow {
+
+anonymizer::anonymizer(int bits) : bits_(bits) {
+    if (bits < 0 || bits > 32)
+        throw std::invalid_argument("anonymizer: bits must be in [0,32]");
+}
+
+flow_record anonymizer::apply(const flow_record& r) const noexcept {
+    flow_record out = r;
+    out.key.src = net::mask_low_bits(r.key.src, bits_);
+    out.key.dst = net::mask_low_bits(r.key.dst, bits_);
+    return out;
+}
+
+packet anonymizer::apply(const packet& p) const noexcept {
+    packet out = p;
+    out.src = net::mask_low_bits(p.src, bits_);
+    out.dst = net::mask_low_bits(p.dst, bits_);
+    return out;
+}
+
+void anonymizer::apply(std::vector<flow_record>& records) const noexcept {
+    for (flow_record& r : records) r = apply(r);
+}
+
+}  // namespace tfd::flow

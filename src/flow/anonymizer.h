@@ -1,0 +1,37 @@
+// tfd::flow — address anonymization.
+//
+// Abilene's public feed anonymizes flow data by zeroing the last 11 bits
+// of source and destination addresses (Section 5). The paper measures the
+// impact of this on detection (128 vs 132 anomalies on a week of Geant
+// data); bench/anon_impact reproduces that experiment.
+#pragma once
+
+#include <vector>
+
+#include "flow/flow_record.h"
+
+namespace tfd::flow {
+
+/// Masks the low `bits` bits of src/dst addresses in flow records and
+/// packets. Ports and counts are untouched.
+class anonymizer {
+public:
+    /// Throws std::invalid_argument if bits outside [0, 32].
+    explicit anonymizer(int bits = 11);
+
+    int bits() const noexcept { return bits_; }
+
+    /// Anonymized copy of one record.
+    flow_record apply(const flow_record& r) const noexcept;
+
+    /// Anonymized copy of one packet.
+    packet apply(const packet& p) const noexcept;
+
+    /// In-place anonymization of a record batch.
+    void apply(std::vector<flow_record>& records) const noexcept;
+
+private:
+    int bits_;
+};
+
+}  // namespace tfd::flow

@@ -1,0 +1,49 @@
+#include "flow/flow_capture.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace tfd::flow {
+
+flow_capture::flow_capture(const capture_options& opts)
+    : opts_(opts), sampler_(opts.sampling_rate) {}
+
+void flow_capture::add_packet(const packet& p) {
+    if (!sampler_.sample()) return;
+    const flow_key key{p.src, p.dst, p.src_port, p.dst_port, p.protocol};
+    auto [it, inserted] = table_.try_emplace(key);
+    flow_record& r = it->second;
+    if (inserted) {
+        r.key = key;
+        r.first_us = p.time_us;
+        r.last_us = p.time_us;
+        r.ingress_pop = opts_.ingress_pop;
+    }
+    r.packets += 1;
+    r.bytes += p.bytes;
+    r.first_us = std::min(r.first_us, p.time_us);
+    r.last_us = std::max(r.last_us, p.time_us);
+}
+
+void flow_capture::add_packets(const std::vector<packet>& ps) {
+    for (const packet& p : ps) add_packet(p);
+}
+
+std::vector<flow_record> flow_capture::flush() {
+    std::vector<flow_record> out;
+    out.reserve(table_.size());
+    for (auto& [key, rec] : table_) out.push_back(rec);
+    table_.clear();
+    std::sort(out.begin(), out.end(),
+              [](const flow_record& a, const flow_record& b) {
+                  return std::tie(a.first_us, a.key.src.value, a.key.dst.value,
+                                  a.key.src_port, a.key.dst_port,
+                                  a.key.protocol) <
+                         std::tie(b.first_us, b.key.src.value, b.key.dst.value,
+                                  b.key.src_port, b.key.dst_port,
+                                  b.key.protocol);
+              });
+    return out;
+}
+
+}  // namespace tfd::flow

@@ -1,0 +1,58 @@
+// tfd::flow — NetFlow-style flow capture.
+//
+// Aggregates a (sampled) packet stream observed at one ingress PoP into
+// flow records keyed by 5-tuple. Records are exported when flush() is
+// called (the networks studied export statistics every 5 minutes, so the
+// natural usage is one capture per 5-minute bin) or when an idle/active
+// timeout would have fired.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/flow_record.h"
+#include "flow/sampler.h"
+
+namespace tfd::flow {
+
+/// Options for the capture process.
+struct capture_options {
+    std::uint64_t sampling_rate = 1;  ///< periodic 1-in-N packet sampling
+    int ingress_pop = -1;             ///< PoP id stamped on exported records
+};
+
+/// Packet-to-flow-record aggregation with periodic sampling, as performed
+/// by router-embedded NetFlow/cflowd.
+class flow_capture {
+public:
+    explicit flow_capture(const capture_options& opts = {});
+
+    /// Offer one packet to the capture; it may be dropped by sampling.
+    void add_packet(const packet& p);
+
+    /// Offer a batch.
+    void add_packets(const std::vector<packet>& ps);
+
+    /// Export all current records and clear state. Record order is
+    /// deterministic (sorted by first_us, then key) so downstream results
+    /// are reproducible.
+    std::vector<flow_record> flush();
+
+    /// Number of distinct active flows.
+    std::size_t active_flows() const noexcept { return table_.size(); }
+
+    /// Packets offered / selected by the sampler so far (never reset by
+    /// flush, matching router counters).
+    std::uint64_t packets_offered() const noexcept { return sampler_.offered(); }
+    std::uint64_t packets_selected() const noexcept {
+        return sampler_.selected();
+    }
+
+private:
+    capture_options opts_;
+    periodic_sampler sampler_;
+    std::unordered_map<flow_key, flow_record, flow_key_hash> table_;
+};
+
+}  // namespace tfd::flow

@@ -1,0 +1,42 @@
+#include "flow/flow_record.h"
+
+namespace tfd::flow {
+
+const char* feature_name(feature f) noexcept {
+    switch (f) {
+        case feature::src_ip: return "srcIP";
+        case feature::src_port: return "srcPort";
+        case feature::dst_ip: return "dstIP";
+        case feature::dst_port: return "dstPort";
+    }
+    return "?";
+}
+
+std::uint32_t flow_record::feature_value(feature f) const noexcept {
+    switch (f) {
+        case feature::src_ip: return key.src.value;
+        case feature::src_port: return key.src_port;
+        case feature::dst_ip: return key.dst.value;
+        case feature::dst_port: return key.dst_port;
+    }
+    return 0;
+}
+
+std::size_t flow_key_hash::operator()(const flow_key& k) const noexcept {
+    // FNV-1a over the packed tuple.
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v, int bytes) {
+        for (int i = 0; i < bytes; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    };
+    mix(k.src.value, 4);
+    mix(k.dst.value, 4);
+    mix(k.src_port, 2);
+    mix(k.dst_port, 2);
+    mix(k.protocol, 1);
+    return static_cast<std::size_t>(h);
+}
+
+}  // namespace tfd::flow

@@ -1,0 +1,73 @@
+// tfd::flow — packet and flow-record types.
+//
+// The measurement substrate mirrors what backbone operators collect:
+// sampled packet headers aggregated into NetFlow-style flow records.
+// Entropy histograms are built from these records, weighting each
+// feature value by the record's packet count (the paper computes sample
+// entropy of feature distributions constructed from packet counts).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/ip.h"
+
+namespace tfd::flow {
+
+/// The four packet-header fields the paper analyzes (Section 3).
+enum class feature : int {
+    src_ip = 0,
+    src_port = 1,
+    dst_ip = 2,
+    dst_port = 3,
+};
+
+/// Number of traffic features (fixed at 4 throughout the paper).
+inline constexpr int feature_count = 4;
+
+/// Display name for a feature ("srcIP", "srcPort", "dstIP", "dstPort").
+const char* feature_name(feature f) noexcept;
+
+/// A sampled packet header (payloads are never collected on backbones).
+struct packet {
+    std::uint64_t time_us = 0;   ///< timestamp, microseconds
+    net::ipv4 src;               ///< source address
+    net::ipv4 dst;               ///< destination address
+    std::uint16_t src_port = 0;  ///< transport source port
+    std::uint16_t dst_port = 0;  ///< transport destination port
+    std::uint8_t protocol = 6;   ///< IP protocol (6 = TCP, 17 = UDP, 1 = ICMP)
+    std::uint32_t bytes = 0;     ///< IP length of this packet
+};
+
+/// 5-tuple flow key.
+struct flow_key {
+    net::ipv4 src;
+    net::ipv4 dst;
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    std::uint8_t protocol = 6;
+
+    bool operator==(const flow_key&) const = default;
+};
+
+/// NetFlow-style record: a 5-tuple with sampled packet/byte counts and
+/// first/last timestamps, annotated with the ingress PoP where the flow
+/// was observed.
+struct flow_record {
+    flow_key key;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t first_us = 0;
+    std::uint64_t last_us = 0;
+    int ingress_pop = -1;  ///< PoP where the record was captured (-1 unknown)
+
+    /// The value of a given traffic feature for this record.
+    std::uint32_t feature_value(feature f) const noexcept;
+};
+
+/// Key extraction for hashing.
+struct flow_key_hash {
+    std::size_t operator()(const flow_key& k) const noexcept;
+};
+
+}  // namespace tfd::flow

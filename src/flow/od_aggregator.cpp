@@ -1,0 +1,32 @@
+#include "flow/od_aggregator.h"
+
+namespace tfd::flow {
+
+std::optional<int> od_resolver::resolve(const flow_record& r) const noexcept {
+    if (r.ingress_pop < 0 || r.ingress_pop >= topo_->pop_count())
+        return std::nullopt;
+    const auto egress = topo_->egress_pop(r.key.dst);
+    if (!egress) return std::nullopt;
+    return topo_->od_index(r.ingress_pop, *egress);
+}
+
+std::vector<binned_record> bin_records(const od_resolver& resolver,
+                                       const std::vector<flow_record>& records,
+                                       std::uint64_t bin_us,
+                                       std::size_t* dropped) {
+    std::vector<binned_record> out;
+    out.reserve(records.size());
+    std::size_t drop_count = 0;
+    for (const flow_record& r : records) {
+        const auto od = resolver.resolve(r);
+        if (!od) {
+            ++drop_count;
+            continue;
+        }
+        out.push_back(binned_record{bin_index(r.first_us, bin_us), *od, r});
+    }
+    if (dropped) *dropped = drop_count;
+    return out;
+}
+
+}  // namespace tfd::flow

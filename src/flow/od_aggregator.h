@@ -1,0 +1,60 @@
+// tfd::flow — OD-flow aggregation and time binning.
+//
+// "The traffic in an origin-destination pair consists of IP-level flows
+// that enter the network at a given ingress PoP and exit at another
+// egress PoP. ... This egress PoP resolution is accomplished by using BGP
+// and ISIS routing tables" (Section 5). Here the ingress PoP comes from
+// the capture location stamped on each record and the egress PoP from
+// longest-prefix match on the destination address.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "flow/flow_record.h"
+#include "net/topology.h"
+
+namespace tfd::flow {
+
+/// Duration of one timeseries bin; both networks report flow statistics
+/// every 5 minutes.
+inline constexpr std::uint64_t default_bin_us = 5ull * 60 * 1000 * 1000;
+
+/// Bin index for a timestamp.
+constexpr std::size_t bin_index(std::uint64_t time_us,
+                                std::uint64_t bin_us = default_bin_us) {
+    return static_cast<std::size_t>(time_us / bin_us);
+}
+
+/// Resolves flow records to OD-flow indices using the topology's egress
+/// table. Records with unknown ingress or unresolvable egress are counted
+/// and skipped (real exports contain such flows too).
+class od_resolver {
+public:
+    explicit od_resolver(const net::topology& topo) : topo_(&topo) {}
+
+    /// OD index for a record, or std::nullopt if unresolvable.
+    std::optional<int> resolve(const flow_record& r) const noexcept;
+
+    const net::topology& topo() const noexcept { return *topo_; }
+
+private:
+    const net::topology* topo_;
+};
+
+/// A flow record attributed to an OD flow and a timebin.
+struct binned_record {
+    std::size_t bin = 0;
+    int od = 0;
+    flow_record record;
+};
+
+/// Attribute a batch of records to (bin, OD); unresolvable records are
+/// dropped and counted in `dropped` if non-null.
+std::vector<binned_record> bin_records(const od_resolver& resolver,
+                                       const std::vector<flow_record>& records,
+                                       std::uint64_t bin_us = default_bin_us,
+                                       std::size_t* dropped = nullptr);
+
+}  // namespace tfd::flow

@@ -1,0 +1,36 @@
+#include "flow/sampler.h"
+
+#include <stdexcept>
+
+namespace tfd::flow {
+
+periodic_sampler::periodic_sampler(std::uint64_t rate, std::uint64_t phase)
+    : rate_(rate), phase_(phase % (rate == 0 ? 1 : rate)) {
+    if (rate < 1)
+        throw std::invalid_argument("periodic_sampler: rate must be >= 1");
+}
+
+bool periodic_sampler::sample() noexcept {
+    const bool keep = (offered_ % rate_) == phase_;
+    ++offered_;
+    if (keep) ++selected_;
+    return keep;
+}
+
+void periodic_sampler::reset() noexcept {
+    offered_ = 0;
+    selected_ = 0;
+}
+
+std::vector<packet> thin(const std::vector<packet>& packets,
+                         std::uint64_t rate, std::uint64_t phase) {
+    if (rate <= 1) return packets;
+    periodic_sampler s(rate, phase);
+    std::vector<packet> out;
+    out.reserve(packets.size() / rate + 1);
+    for (const packet& p : packets)
+        if (s.sample()) out.push_back(p);
+    return out;
+}
+
+}  // namespace tfd::flow

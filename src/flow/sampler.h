@@ -1,0 +1,51 @@
+// tfd::flow — periodic packet sampling.
+//
+// Abilene samples 1 out of 100 packets, Geant 1 out of 1000, both
+// periodically (every Nth packet), which is what router-embedded NetFlow
+// implementations of the era did. The same mechanism implements the
+// "thinning" of attack traces in the injection methodology (Section
+// 6.3.1: "we thinned the original trace by selecting 1 out of every N
+// packets").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/flow_record.h"
+
+namespace tfd::flow {
+
+/// Deterministic periodic 1-in-N packet sampler.
+class periodic_sampler {
+public:
+    /// rate == 1 keeps every packet. Throws std::invalid_argument if
+    /// rate < 1. `phase` selects which residue class is kept (0 keeps the
+    /// first packet seen).
+    explicit periodic_sampler(std::uint64_t rate, std::uint64_t phase = 0);
+
+    /// True if this packet is selected; advances the counter either way.
+    bool sample() noexcept;
+
+    /// Packets offered so far.
+    std::uint64_t offered() const noexcept { return offered_; }
+    /// Packets selected so far.
+    std::uint64_t selected() const noexcept { return selected_; }
+    /// Configured sampling rate N (1 in N).
+    std::uint64_t rate() const noexcept { return rate_; }
+
+    /// Reset counters (rate and phase are retained).
+    void reset() noexcept;
+
+private:
+    std::uint64_t rate_;
+    std::uint64_t phase_;
+    std::uint64_t offered_ = 0;
+    std::uint64_t selected_ = 0;
+};
+
+/// Convenience: periodically thin a packet vector (1 out of every N),
+/// preserving order. rate == 1 returns the input unchanged.
+std::vector<packet> thin(const std::vector<packet>& packets,
+                         std::uint64_t rate, std::uint64_t phase = 0);
+
+}  // namespace tfd::flow

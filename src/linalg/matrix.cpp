@@ -1,0 +1,241 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace tfd::linalg {
+
+matrix::matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+matrix::matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+matrix matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+    if (rows.empty()) return {};
+    const std::size_t nc = rows.front().size();
+    matrix m(rows.size(), nc);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (rows[r].size() != nc)
+            throw std::invalid_argument("matrix::from_rows: ragged rows");
+        for (std::size_t c = 0; c < nc; ++c) m(r, c) = rows[r][c];
+    }
+    return m;
+}
+
+matrix matrix::identity(std::size_t n) {
+    matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+}
+
+double& matrix::at(std::size_t r, std::size_t c) {
+    if (r >= rows_ || c >= cols_)
+        throw std::out_of_range("matrix::at: index out of range");
+    return data_[r * cols_ + c];
+}
+
+double matrix::at(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_)
+        throw std::out_of_range("matrix::at: index out of range");
+    return data_[r * cols_ + c];
+}
+
+std::span<double> matrix::row(std::size_t r) {
+    if (r >= rows_) throw std::out_of_range("matrix::row: index out of range");
+    return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> matrix::row(std::size_t r) const {
+    if (r >= rows_) throw std::out_of_range("matrix::row: index out of range");
+    return {data_.data() + r * cols_, cols_};
+}
+
+std::vector<double> matrix::col(std::size_t c) const {
+    if (c >= cols_) throw std::out_of_range("matrix::col: index out of range");
+    std::vector<double> out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+    return out;
+}
+
+void matrix::resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+}
+
+void matrix::fill(double v) noexcept {
+    for (double& x : data_) x = v;
+}
+
+matrix matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
+                     std::size_t nc) const {
+    if (r0 + nr > rows_ || c0 + nc > cols_)
+        throw std::out_of_range("matrix::block: block exceeds matrix");
+    matrix out(nr, nc);
+    for (std::size_t r = 0; r < nr; ++r)
+        for (std::size_t c = 0; c < nc; ++c) out(r, c) = (*this)(r0 + r, c0 + c);
+    return out;
+}
+
+void matrix::set_block(std::size_t r0, std::size_t c0, const matrix& src) {
+    if (r0 + src.rows() > rows_ || c0 + src.cols() > cols_)
+        throw std::out_of_range("matrix::set_block: block exceeds matrix");
+    for (std::size_t r = 0; r < src.rows(); ++r)
+        for (std::size_t c = 0; c < src.cols(); ++c)
+            (*this)(r0 + r, c0 + c) = src(r, c);
+}
+
+namespace {
+void require_same_shape(const matrix& a, const matrix& b, const char* what) {
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        throw std::invalid_argument(std::string(what) + ": shape mismatch");
+}
+}  // namespace
+
+matrix add(const matrix& a, const matrix& b) {
+    require_same_shape(a, b, "add");
+    matrix c(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] + b.data()[i];
+    return c;
+}
+
+matrix subtract(const matrix& a, const matrix& b) {
+    require_same_shape(a, b, "subtract");
+    matrix c(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] - b.data()[i];
+    return c;
+}
+
+matrix scale(const matrix& a, double s) {
+    matrix c(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = s * a.data()[i];
+    return c;
+}
+
+matrix multiply(const matrix& a, const matrix& b) {
+    if (a.cols() != b.rows())
+        throw std::invalid_argument("multiply: inner dimension mismatch");
+    matrix c(a.rows(), b.cols());
+    const std::size_t n = a.rows(), k_dim = a.cols(), m = b.cols();
+    for (std::size_t i = 0; i < n; ++i) {
+        double* ci = c.row(i).data();
+        for (std::size_t k = 0; k < k_dim; ++k) {
+            const double aik = a(i, k);
+            if (aik == 0.0) continue;
+            const double* bk = b.row(k).data();
+            for (std::size_t j = 0; j < m; ++j) ci[j] += aik * bk[j];
+        }
+    }
+    return c;
+}
+
+std::vector<double> multiply(const matrix& a, std::span<const double> x) {
+    if (a.cols() != x.size())
+        throw std::invalid_argument("multiply(mat,vec): dimension mismatch");
+    std::vector<double> y(a.rows(), 0.0);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        const double* ai = a.row(i).data();
+        double acc = 0.0;
+        for (std::size_t j = 0; j < a.cols(); ++j) acc += ai[j] * x[j];
+        y[i] = acc;
+    }
+    return y;
+}
+
+std::vector<double> multiply_transpose(const matrix& a,
+                                       std::span<const double> x) {
+    if (a.rows() != x.size())
+        throw std::invalid_argument("multiply_transpose: dimension mismatch");
+    std::vector<double> y(a.cols(), 0.0);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        const double xi = x[i];
+        if (xi == 0.0) continue;
+        const double* ai = a.row(i).data();
+        for (std::size_t j = 0; j < a.cols(); ++j) y[j] += ai[j] * xi;
+    }
+    return y;
+}
+
+matrix transpose(const matrix& a) {
+    matrix t(a.cols(), a.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+    return t;
+}
+
+matrix gram(const matrix& a) {
+    // C = A^T A, exploiting symmetry: compute upper triangle, mirror.
+    const std::size_t n = a.cols();
+    matrix c(n, n);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        const double* ar = a.row(r).data();
+        for (std::size_t i = 0; i < n; ++i) {
+            const double v = ar[i];
+            if (v == 0.0) continue;
+            double* ci = c.row(i).data();
+            for (std::size_t j = i; j < n; ++j) ci[j] += v * ar[j];
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < i; ++j) c(i, j) = c(j, i);
+    return c;
+}
+
+matrix outer_gram(const matrix& a) {
+    const std::size_t n = a.rows();
+    matrix c(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto ri = a.row(i);
+        for (std::size_t j = i; j < n; ++j) {
+            const double v = dot(ri, a.row(j));
+            c(i, j) = v;
+            c(j, i) = v;
+        }
+    }
+    return c;
+}
+
+double frobenius_norm(const matrix& a) noexcept {
+    double s = 0.0;
+    for (double v : a.data()) s += v * v;
+    return std::sqrt(s);
+}
+
+double norm2(std::span<const double> x) noexcept {
+    double s = 0.0;
+    for (double v : x) s += v * v;
+    return std::sqrt(s);
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+    if (x.size() != y.size())
+        throw std::invalid_argument("dot: length mismatch");
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+    return s;
+}
+
+double max_abs_diff(const matrix& a, const matrix& b) {
+    require_same_shape(a, b, "max_abs_diff");
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::fabs(a.data()[i] - b.data()[i]));
+    return m;
+}
+
+std::string to_string(const matrix& a, int precision) {
+    std::ostringstream os;
+    os.precision(precision);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < a.cols(); ++j) {
+            if (j) os << ' ';
+            os << a(i, j);
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace tfd::linalg

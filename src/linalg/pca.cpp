@@ -1,0 +1,141 @@
+#include "linalg/pca.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/stats.h"
+#include "linalg/symmetric_eigen.h"
+
+namespace tfd::linalg {
+
+double pca_result::variance_captured(std::size_t m) const {
+    if (total_variance <= 0.0) return 0.0;
+    double s = 0.0;
+    for (std::size_t j = 0; j < std::min(m, eigenvalues.size()); ++j)
+        s += eigenvalues[j];
+    return s / total_variance;
+}
+
+std::size_t pca_result::components_for_variance(double fraction) const {
+    double s = 0.0;
+    for (std::size_t j = 0; j < eigenvalues.size(); ++j) {
+        s += eigenvalues[j];
+        if (total_variance > 0.0 && s / total_variance >= fraction) return j + 1;
+    }
+    return eigenvalues.size();
+}
+
+pca_result fit_pca(const matrix& x, const pca_options& opts) {
+    if (x.rows() < 2)
+        throw std::invalid_argument("fit_pca: need at least two observations");
+    if (x.cols() == 0) throw std::invalid_argument("fit_pca: no columns");
+
+    pca_result out;
+    matrix xc = x;
+    if (opts.center) {
+        out.mean = column_means(x);
+        xc = center_columns(x);
+    } else {
+        out.mean.assign(x.cols(), 0.0);
+    }
+
+    const std::size_t t = x.rows(), n = x.cols();
+    const double denom = static_cast<double>(t - 1);
+
+    if (opts.allow_gram_trick && t < n) {
+        // Gram trick: eigen of (1/(t-1)) Xc Xc^T gives the nonzero spectrum;
+        // feature-space axes are recovered as v = Xc^T u / ||Xc^T u||.
+        matrix g = outer_gram(xc);
+        for (double& v : g.data()) v /= denom;
+        eigen_result eg = symmetric_eigen(g);
+
+        out.eigenvalues.assign(n, 0.0);
+        out.components.resize(n, n);
+        std::size_t filled = 0;
+        for (std::size_t j = 0; j < t && filled < n; ++j) {
+            const double lambda = std::max(eg.values[j], 0.0);
+            if (lambda <= 1e-14 * std::max(1.0, eg.values.empty() ? 0.0 : eg.values[0]))
+                break;
+            std::vector<double> u = eg.vectors.col(j);
+            std::vector<double> v = multiply_transpose(xc, u);
+            const double nrm = norm2(v);
+            if (nrm == 0.0) continue;
+            for (std::size_t i = 0; i < n; ++i) out.components(i, filled) = v[i] / nrm;
+            out.eigenvalues[filled] = lambda;
+            ++filled;
+        }
+        // Complete the basis for the rank-deficient tail via Gram-Schmidt
+        // against already-filled columns, starting from canonical vectors.
+        // The residual subspace projector only needs an orthonormal
+        // complement; exact choice is irrelevant.
+        std::size_t next_canon = 0;
+        while (filled < n && next_canon < n) {
+            std::vector<double> v(n, 0.0);
+            v[next_canon++] = 1.0;
+            for (std::size_t j = 0; j < filled; ++j) {
+                double pj = 0.0;
+                for (std::size_t i = 0; i < n; ++i) pj += v[i] * out.components(i, j);
+                for (std::size_t i = 0; i < n; ++i) v[i] -= pj * out.components(i, j);
+            }
+            const double nrm = norm2(v);
+            if (nrm < 1e-8) continue;
+            for (std::size_t i = 0; i < n; ++i) out.components(i, filled) = v[i] / nrm;
+            out.eigenvalues[filled] = 0.0;
+            ++filled;
+        }
+    } else {
+        matrix cov = gram(xc);
+        for (double& v : cov.data()) v /= denom;
+        eigen_result eg = symmetric_eigen(cov);
+        out.eigenvalues = std::move(eg.values);
+        for (double& v : out.eigenvalues) v = std::max(v, 0.0);
+        out.components = std::move(eg.vectors);
+    }
+
+    out.total_variance = 0.0;
+    for (double v : out.eigenvalues) out.total_variance += v;
+    return out;
+}
+
+namespace {
+void require_dim(const pca_result& p, std::span<const double> x) {
+    if (x.size() != p.components.rows())
+        throw std::invalid_argument("pca: observation dimension mismatch");
+}
+}  // namespace
+
+std::vector<double> project_normal(const pca_result& p,
+                                   std::span<const double> x, std::size_t m) {
+    require_dim(p, x);
+    const std::size_t n = x.size();
+    m = std::min(m, p.components.cols());
+    std::vector<double> centered(n);
+    for (std::size_t i = 0; i < n; ++i) centered[i] = x[i] - p.mean[i];
+
+    std::vector<double> xhat(n, 0.0);
+    for (std::size_t j = 0; j < m; ++j) {
+        double score = 0.0;
+        for (std::size_t i = 0; i < n; ++i) score += centered[i] * p.components(i, j);
+        for (std::size_t i = 0; i < n; ++i) xhat[i] += score * p.components(i, j);
+    }
+    for (std::size_t i = 0; i < n; ++i) xhat[i] += p.mean[i];
+    return xhat;
+}
+
+std::vector<double> residual(const pca_result& p, std::span<const double> x,
+                             std::size_t m) {
+    std::vector<double> xhat = project_normal(p, x, m);
+    std::vector<double> r(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) r[i] = x[i] - xhat[i];
+    return r;
+}
+
+double squared_prediction_error(const pca_result& p, std::span<const double> x,
+                                std::size_t m) {
+    const std::vector<double> r = residual(p, x, m);
+    double s = 0.0;
+    for (double v : r) s += v * v;
+    return s;
+}
+
+}  // namespace tfd::linalg

@@ -1,0 +1,64 @@
+// tfd::linalg — principal component analysis.
+//
+// PCA over a data matrix whose rows are observations (timebins) and whose
+// columns are variables (OD flows, or OD-flow x feature columns of the
+// unfolded multiway matrix). Used by the subspace method to separate
+// normal from residual traffic variation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace tfd::linalg {
+
+/// Fitted PCA model.
+struct pca_result {
+    /// Per-column means that were removed before fitting (all zero when
+    /// centering was disabled).
+    std::vector<double> mean;
+    /// Covariance eigenvalues, descending; length = number of columns.
+    std::vector<double> eigenvalues;
+    /// cols x cols orthonormal matrix; column j is the j-th principal axis.
+    matrix components;
+    /// Sum of all eigenvalues (= total variance).
+    double total_variance = 0.0;
+
+    /// Fraction of total variance captured by the first m components.
+    double variance_captured(std::size_t m) const;
+
+    /// Smallest m whose captured-variance fraction reaches `fraction`.
+    std::size_t components_for_variance(double fraction) const;
+};
+
+/// Options controlling the PCA fit.
+struct pca_options {
+    /// Subtract column means first (the subspace method centers its data).
+    bool center = true;
+    /// If true and rows < cols, use the Gram trick (eigen of X X^T) which
+    /// is much cheaper for wide matrices; results are identical up to the
+    /// rank of the data.
+    bool allow_gram_trick = true;
+};
+
+/// Fit PCA on data matrix `x` (rows = observations, columns = variables).
+///
+/// Throws std::invalid_argument if x has fewer than 2 rows or no columns.
+pca_result fit_pca(const matrix& x, const pca_options& opts = {});
+
+/// Project a single observation (length = cols) onto the first m principal
+/// axes and reconstruct it in the original space: the "modelled" part
+/// x_hat. The residual is x - x_hat. Mean handling matches the fit.
+std::vector<double> project_normal(const pca_result& p,
+                                   std::span<const double> x, std::size_t m);
+
+/// Residual component x_tilde = x - project_normal(...).
+std::vector<double> residual(const pca_result& p, std::span<const double> x,
+                             std::size_t m);
+
+/// Squared Euclidean norm of the residual (the SPE / Q statistic).
+double squared_prediction_error(const pca_result& p, std::span<const double> x,
+                                std::size_t m);
+
+}  // namespace tfd::linalg

@@ -1,0 +1,118 @@
+#include "linalg/stats.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tfd::linalg {
+
+double mean(std::span<const double> x) {
+    if (x.empty()) throw std::invalid_argument("mean: empty input");
+    double s = 0.0;
+    for (double v : x) s += v;
+    return s / static_cast<double>(x.size());
+}
+
+double variance(std::span<const double> x) {
+    if (x.size() < 2) return 0.0;
+    const double m = mean(x);
+    double s = 0.0;
+    for (double v : x) s += (v - m) * (v - m);
+    return s / static_cast<double>(x.size() - 1);
+}
+
+double stddev(std::span<const double> x) { return std::sqrt(variance(x)); }
+
+std::vector<double> column_means(const matrix& x) {
+    std::vector<double> mu(x.cols(), 0.0);
+    if (x.rows() == 0) return mu;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const auto row = x.row(r);
+        for (std::size_t c = 0; c < x.cols(); ++c) mu[c] += row[c];
+    }
+    for (double& v : mu) v /= static_cast<double>(x.rows());
+    return mu;
+}
+
+matrix center_columns(const matrix& x) {
+    const auto mu = column_means(x);
+    matrix out = x;
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+        auto row = out.row(r);
+        for (std::size_t c = 0; c < out.cols(); ++c) row[c] -= mu[c];
+    }
+    return out;
+}
+
+matrix covariance(const matrix& x) {
+    if (x.rows() < 2)
+        throw std::invalid_argument("covariance: need at least two rows");
+    matrix c = gram(center_columns(x));
+    const double inv = 1.0 / static_cast<double>(x.rows() - 1);
+    for (double& v : c.data()) v *= inv;
+    return c;
+}
+
+double normal_cdf(double z) noexcept {
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double normal_quantile(double p) {
+    if (!(p > 0.0 && p < 1.0))
+        throw std::invalid_argument("normal_quantile: p must be in (0,1)");
+
+    // Acklam's rational approximation.
+    static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                   -2.759285104469687e+02, 1.383577518672690e+02,
+                                   -3.066479806614716e+01, 2.506628277459239e+00};
+    static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                   -1.556989798598866e+02, 6.680131188771972e+01,
+                                   -1.328068155288572e+01};
+    static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                   -2.400758277161838e+00, -2.549732539343734e+00,
+                                   4.374664141464968e+00,  2.938163982698783e+00};
+    static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                   2.445134137142996e+00, 3.754408661907416e+00};
+    constexpr double plow = 0.02425;
+    constexpr double phigh = 1.0 - plow;
+
+    double q, r, x;
+    if (p < plow) {
+        q = std::sqrt(-2.0 * std::log(p));
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (p <= phigh) {
+        q = p - 0.5;
+        r = q * q;
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+    } else {
+        q = std::sqrt(-2.0 * std::log(1.0 - p));
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+
+    // One Halley refinement step using the accurate normal CDF.
+    const double e = normal_cdf(x) - p;
+    const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+    x = x - u / (1.0 + x * u / 2.0);
+    return x;
+}
+
+double correlation(std::span<const double> x, std::span<const double> y) {
+    if (x.size() != y.size())
+        throw std::invalid_argument("correlation: length mismatch");
+    if (x.size() < 2)
+        throw std::invalid_argument("correlation: need at least two points");
+    const double mx = mean(x), my = mean(y);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double dx = x[i] - mx, dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0) return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace tfd::linalg

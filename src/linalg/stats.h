@@ -1,0 +1,45 @@
+// tfd::linalg — descriptive statistics and distribution helpers used by
+// the subspace method (covariance construction, Q-statistic thresholds).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace tfd::linalg {
+
+/// Arithmetic mean. Throws std::invalid_argument on empty input.
+double mean(std::span<const double> x);
+
+/// Unbiased sample variance (n-1 denominator). Returns 0 for n < 2.
+double variance(std::span<const double> x);
+
+/// Sample standard deviation (sqrt of `variance`).
+double stddev(std::span<const double> x);
+
+/// Per-column means of a data matrix (rows = observations).
+std::vector<double> column_means(const matrix& x);
+
+/// Subtract per-column means; returns the centered copy.
+matrix center_columns(const matrix& x);
+
+/// Sample covariance matrix (1/(t-1) X_c^T X_c) of a data matrix whose
+/// rows are observations. Throws std::invalid_argument if fewer than two
+/// rows.
+matrix covariance(const matrix& x);
+
+/// Standard normal CDF.
+double normal_cdf(double z) noexcept;
+
+/// Inverse standard normal CDF (quantile function).
+///
+/// Acklam's rational approximation, |relative error| < 1.15e-9 across the
+/// open interval (0, 1). Throws std::invalid_argument for p outside (0,1).
+double normal_quantile(double p);
+
+/// Pearson correlation of two equally sized series.
+/// Throws std::invalid_argument on length mismatch or length < 2.
+double correlation(std::span<const double> x, std::span<const double> y);
+
+}  // namespace tfd::linalg

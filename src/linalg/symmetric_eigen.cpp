@@ -1,0 +1,205 @@
+#include "linalg/symmetric_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace tfd::linalg {
+
+namespace {
+
+void require_symmetric(const matrix& a, double tol) {
+    if (a.rows() != a.cols())
+        throw std::invalid_argument("symmetric_eigen: matrix not square");
+    double scale = 0.0;
+    for (double v : a.data()) scale = std::max(scale, std::fabs(v));
+    if (scale == 0.0) return;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = i + 1; j < a.cols(); ++j)
+            if (std::fabs(a(i, j) - a(j, i)) > tol * scale)
+                throw std::invalid_argument(
+                    "symmetric_eigen: matrix not symmetric");
+}
+
+// Householder reduction of a real symmetric matrix to tridiagonal form.
+// On exit: d holds the diagonal, e the subdiagonal (e[0] unused), and if
+// accumulate is true, `z` holds the orthogonal transformation Q such that
+// Q^T A Q = T.
+void tridiagonalize(matrix& z, std::vector<double>& d, std::vector<double>& e,
+                    bool accumulate) {
+    const std::size_t n = z.rows();
+    d.assign(n, 0.0);
+    e.assign(n, 0.0);
+    if (n == 0) return;
+
+    for (std::size_t i = n - 1; i >= 1; --i) {
+        const std::size_t l = i - 1;
+        double h = 0.0;
+        if (i > 1) {
+            double sc = 0.0;
+            for (std::size_t k = 0; k <= l; ++k) sc += std::fabs(z(i, k));
+            if (sc == 0.0) {
+                e[i] = z(i, l);
+            } else {
+                for (std::size_t k = 0; k <= l; ++k) {
+                    z(i, k) /= sc;
+                    h += z(i, k) * z(i, k);
+                }
+                double f = z(i, l);
+                double g = (f >= 0.0) ? -std::sqrt(h) : std::sqrt(h);
+                e[i] = sc * g;
+                h -= f * g;
+                z(i, l) = f - g;
+                f = 0.0;
+                for (std::size_t j = 0; j <= l; ++j) {
+                    if (accumulate) z(j, i) = z(i, j) / h;
+                    g = 0.0;
+                    for (std::size_t k = 0; k <= j; ++k) g += z(j, k) * z(i, k);
+                    for (std::size_t k = j + 1; k <= l; ++k)
+                        g += z(k, j) * z(i, k);
+                    e[j] = g / h;
+                    f += e[j] * z(i, j);
+                }
+                const double hh = f / (h + h);
+                for (std::size_t j = 0; j <= l; ++j) {
+                    f = z(i, j);
+                    e[j] = g = e[j] - hh * f;
+                    for (std::size_t k = 0; k <= j; ++k)
+                        z(j, k) -= f * e[k] + g * z(i, k);
+                }
+            }
+        } else {
+            e[i] = z(i, l);
+        }
+        d[i] = h;
+    }
+
+    if (accumulate) d[0] = 0.0;
+    e[0] = 0.0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (accumulate) {
+            if (d[i] != 0.0) {
+                for (std::size_t j = 0; j < i; ++j) {
+                    double g = 0.0;
+                    for (std::size_t k = 0; k < i; ++k) g += z(i, k) * z(k, j);
+                    for (std::size_t k = 0; k < i; ++k) z(k, j) -= g * z(k, i);
+                }
+            }
+            d[i] = z(i, i);
+            z(i, i) = 1.0;
+            for (std::size_t j = 0; j < i; ++j) z(j, i) = z(i, j) = 0.0;
+        } else {
+            d[i] = z(i, i);
+        }
+    }
+}
+
+double hypot2(double a, double b) { return std::hypot(a, b); }
+
+// Implicit-shift QL on a tridiagonal matrix (d diagonal, e subdiagonal with
+// e[0] unused). If accumulate, applies rotations to z's columns so that on
+// exit column j of z is the eigenvector for d[j].
+void ql_implicit(std::vector<double>& d, std::vector<double>& e, matrix& z,
+                 bool accumulate) {
+    const std::size_t n = d.size();
+    if (n == 0) return;
+    for (std::size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+    e[n - 1] = 0.0;
+
+    for (std::size_t l = 0; l < n; ++l) {
+        int iter = 0;
+        std::size_t m;
+        do {
+            for (m = l; m + 1 < n; ++m) {
+                const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+                if (std::fabs(e[m]) <= 1e-300 ||
+                    std::fabs(e[m]) <= std::numeric_limits<double>::epsilon() * dd)
+                    break;
+            }
+            if (m != l) {
+                if (++iter == 50)
+                    throw std::runtime_error(
+                        "symmetric_eigen: QL failed to converge");
+                double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+                double r = hypot2(g, 1.0);
+                g = d[m] - d[l] + e[l] / (g + (g >= 0 ? std::fabs(r) : -std::fabs(r)));
+                double s = 1.0, c = 1.0, p = 0.0;
+                for (std::size_t i = m; i-- > l;) {
+                    double f = s * e[i];
+                    const double b = c * e[i];
+                    r = hypot2(f, g);
+                    e[i + 1] = r;
+                    if (r == 0.0) {
+                        d[i + 1] -= p;
+                        e[m] = 0.0;
+                        break;
+                    }
+                    s = f / r;
+                    c = g / r;
+                    g = d[i + 1] - p;
+                    r = (d[i] - g) * s + 2.0 * c * b;
+                    p = s * r;
+                    d[i + 1] = g + p;
+                    g = c * r - b;
+                    if (accumulate) {
+                        for (std::size_t k = 0; k < n; ++k) {
+                            f = z(k, i + 1);
+                            z(k, i + 1) = s * z(k, i) + c * f;
+                            z(k, i) = c * z(k, i) - s * f;
+                        }
+                    }
+                }
+                if (r == 0.0 && m - l > 1) continue;
+                d[l] -= p;
+                e[l] = g;
+                e[m] = 0.0;
+            }
+        } while (m != l);
+    }
+}
+
+void sort_descending(std::vector<double>& d, matrix* z) {
+    const std::size_t n = d.size();
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), 0);
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::size_t a, std::size_t b) { return d[a] > d[b]; });
+    std::vector<double> ds(n);
+    for (std::size_t j = 0; j < n; ++j) ds[j] = d[idx[j]];
+    if (z) {
+        matrix zs(z->rows(), z->cols());
+        for (std::size_t j = 0; j < n; ++j)
+            for (std::size_t i = 0; i < z->rows(); ++i)
+                zs(i, j) = (*z)(i, idx[j]);
+        *z = std::move(zs);
+    }
+    d = std::move(ds);
+}
+
+}  // namespace
+
+eigen_result symmetric_eigen(const matrix& a, double symmetry_tol) {
+    require_symmetric(a, symmetry_tol);
+    eigen_result out;
+    out.vectors = a;
+    std::vector<double> e;
+    tridiagonalize(out.vectors, out.values, e, /*accumulate=*/true);
+    ql_implicit(out.values, e, out.vectors, /*accumulate=*/true);
+    sort_descending(out.values, &out.vectors);
+    return out;
+}
+
+std::vector<double> symmetric_eigenvalues(const matrix& a, double symmetry_tol) {
+    require_symmetric(a, symmetry_tol);
+    matrix work = a;
+    std::vector<double> d, e;
+    tridiagonalize(work, d, e, /*accumulate=*/false);
+    ql_implicit(d, e, work, /*accumulate=*/false);
+    sort_descending(d, nullptr);
+    return d;
+}
+
+}  // namespace tfd::linalg

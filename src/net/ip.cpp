@@ -1,0 +1,83 @@
+#include "net/ip.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace tfd::net {
+
+namespace {
+
+// Parse an integer in [lo, hi] from [first, last), advancing first.
+int parse_bounded_int(const char*& first, const char* last, int lo, int hi,
+                      const char* what) {
+    int out = 0;
+    auto [ptr, ec] = std::from_chars(first, last, out);
+    if (ec != std::errc{} || out < lo || out > hi)
+        throw std::invalid_argument(std::string("parse: bad ") + what);
+    first = ptr;
+    return out;
+}
+
+}  // namespace
+
+ipv4 parse_ipv4(const std::string& text) {
+    const char* p = text.data();
+    const char* end = p + text.size();
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+        const int octet = parse_bounded_int(p, end, 0, 255, "octet");
+        value = (value << 8) | static_cast<std::uint32_t>(octet);
+        if (i < 3) {
+            if (p == end || *p != '.')
+                throw std::invalid_argument("parse_ipv4: expected '.'");
+            ++p;
+        }
+    }
+    if (p != end) throw std::invalid_argument("parse_ipv4: trailing characters");
+    return ipv4{value};
+}
+
+std::string to_string(ipv4 addr) {
+    return std::to_string((addr.value >> 24) & 0xff) + '.' +
+           std::to_string((addr.value >> 16) & 0xff) + '.' +
+           std::to_string((addr.value >> 8) & 0xff) + '.' +
+           std::to_string(addr.value & 0xff);
+}
+
+prefix::prefix(ipv4 addr, int len) : length(len) {
+    if (len < 0 || len > 32)
+        throw std::invalid_argument("prefix: length must be in [0,32]");
+    network = ipv4{addr.value & mask()};
+}
+
+std::uint32_t prefix::mask() const noexcept {
+    if (length <= 0) return 0;
+    return ~std::uint32_t{0} << (32 - length);
+}
+
+bool prefix::contains(ipv4 addr) const noexcept {
+    return (addr.value & mask()) == network.value;
+}
+
+std::uint64_t prefix::size() const noexcept {
+    return std::uint64_t{1} << (32 - length);
+}
+
+prefix parse_prefix(const std::string& text) {
+    const auto slash = text.find('/');
+    if (slash == std::string::npos)
+        throw std::invalid_argument("parse_prefix: missing '/'");
+    const ipv4 addr = parse_ipv4(text.substr(0, slash));
+    const char* p = text.data() + slash + 1;
+    const char* end = text.data() + text.size();
+    const int len = parse_bounded_int(p, end, 0, 32, "prefix length");
+    if (p != end)
+        throw std::invalid_argument("parse_prefix: trailing characters");
+    return prefix{addr, len};
+}
+
+std::string to_string(const prefix& p) {
+    return to_string(p.network) + '/' + std::to_string(p.length);
+}
+
+}  // namespace tfd::net

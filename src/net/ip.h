@@ -1,0 +1,76 @@
+// tfd::net — IPv4 addresses and prefixes.
+//
+// Addresses are plain 32-bit values (host byte order) wrapped in a strong
+// type; prefixes carry an address plus length and support containment
+// tests. Parsing/formatting of dotted-quad strings is provided for
+// examples and diagnostics.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace tfd::net {
+
+/// IPv4 address (host byte order).
+struct ipv4 {
+    std::uint32_t value = 0;
+
+    constexpr ipv4() = default;
+    constexpr explicit ipv4(std::uint32_t v) : value(v) {}
+
+    /// Build from dotted-quad octets.
+    static constexpr ipv4 from_octets(std::uint8_t a, std::uint8_t b,
+                                      std::uint8_t c, std::uint8_t d) {
+        return ipv4{(std::uint32_t(a) << 24) | (std::uint32_t(b) << 16) |
+                    (std::uint32_t(c) << 8) | std::uint32_t(d)};
+    }
+
+    auto operator<=>(const ipv4&) const = default;
+};
+
+/// Parse "a.b.c.d". Throws std::invalid_argument on malformed input.
+ipv4 parse_ipv4(const std::string& text);
+
+/// Render as dotted quad.
+std::string to_string(ipv4 addr);
+
+/// IPv4 prefix (CIDR block).
+struct prefix {
+    ipv4 network;      ///< network address (low bits zero)
+    int length = 0;    ///< prefix length in [0, 32]
+
+    constexpr prefix() = default;
+
+    /// Construct, canonicalizing the network address (masks host bits).
+    /// Throws std::invalid_argument if length outside [0, 32].
+    prefix(ipv4 addr, int len);
+
+    /// Netmask as a 32-bit value.
+    std::uint32_t mask() const noexcept;
+
+    /// True if `addr` falls inside this prefix.
+    bool contains(ipv4 addr) const noexcept;
+
+    /// Number of addresses covered (2^(32-length), saturates at 2^32-1 for
+    /// display purposes when length == 0).
+    std::uint64_t size() const noexcept;
+
+    auto operator<=>(const prefix&) const = default;
+};
+
+/// Parse "a.b.c.d/len". Throws std::invalid_argument on malformed input.
+prefix parse_prefix(const std::string& text);
+
+/// Render as "a.b.c.d/len".
+std::string to_string(const prefix& p);
+
+/// Mask out the low `bits` bits of an address (used to model the Abilene
+/// anonymization, which zeroes the last 11 bits).
+constexpr ipv4 mask_low_bits(ipv4 addr, int bits) {
+    if (bits <= 0) return addr;
+    if (bits >= 32) return ipv4{0};
+    return ipv4{addr.value & ~((std::uint32_t{1} << bits) - 1)};
+}
+
+}  // namespace tfd::net

@@ -1,0 +1,49 @@
+#include "net/prefix_table.h"
+
+namespace tfd::net {
+
+void prefix_table::insert(const prefix& p, int target) {
+    auto& m = maps_[p.length];
+    auto [it, inserted] = m.insert_or_assign(p.network.value, target);
+    (void)it;
+    if (inserted) ++count_;
+}
+
+std::optional<int> prefix_table::lookup(ipv4 addr) const noexcept {
+    for (int len = 32; len >= 0; --len) {
+        const auto& m = maps_[len];
+        if (m.empty()) continue;
+        const std::uint32_t mask =
+            len == 0 ? 0u : (~std::uint32_t{0} << (32 - len));
+        const auto it = m.find(addr.value & mask);
+        if (it != m.end()) return it->second;
+    }
+    return std::nullopt;
+}
+
+std::optional<int> prefix_table::exact(const prefix& p) const noexcept {
+    const auto& m = maps_[p.length];
+    const auto it = m.find(p.network.value);
+    if (it == m.end()) return std::nullopt;
+    return it->second;
+}
+
+bool prefix_table::erase(const prefix& p) noexcept {
+    auto& m = maps_[p.length];
+    if (m.erase(p.network.value) > 0) {
+        --count_;
+        return true;
+    }
+    return false;
+}
+
+std::vector<std::pair<prefix, int>> prefix_table::entries() const {
+    std::vector<std::pair<prefix, int>> out;
+    out.reserve(count_);
+    for (int len = 0; len <= 32; ++len)
+        for (const auto& [net, target] : maps_[len])
+            out.emplace_back(prefix{ipv4{net}, len}, target);
+    return out;
+}
+
+}  // namespace tfd::net

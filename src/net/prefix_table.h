@@ -1,0 +1,51 @@
+// tfd::net — longest-prefix-match table.
+//
+// Stand-in for the BGP/ISIS-derived egress resolution of Feldmann et al.
+// [10] used by the paper to attribute each sampled flow to an egress PoP:
+// a static table mapping destination prefixes to PoP ids, queried with
+// longest-prefix match.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.h"
+
+namespace tfd::net {
+
+/// Longest-prefix-match table from IPv4 prefixes to integer route targets
+/// (PoP ids here, but the value type is an opaque int).
+///
+/// Implementation: one hash map per prefix length, probed from /32 down to
+/// /0. Insertion replaces an existing identical prefix.
+class prefix_table {
+public:
+    /// Add (or replace) a route. Throws std::invalid_argument via prefix
+    /// validation if the prefix is malformed.
+    void insert(const prefix& p, int target);
+
+    /// Longest-prefix match; std::nullopt if no prefix covers `addr`.
+    std::optional<int> lookup(ipv4 addr) const noexcept;
+
+    /// Exact-prefix lookup (no LPM semantics).
+    std::optional<int> exact(const prefix& p) const noexcept;
+
+    /// Remove an exact prefix; returns true if something was removed.
+    bool erase(const prefix& p) noexcept;
+
+    /// Number of routes installed.
+    std::size_t size() const noexcept { return count_; }
+    bool empty() const noexcept { return count_ == 0; }
+
+    /// All routes, for iteration/diagnostics (unspecified order).
+    std::vector<std::pair<prefix, int>> entries() const;
+
+private:
+    // maps_[len]: network address -> target for prefixes of that length.
+    std::unordered_map<std::uint32_t, int> maps_[33];
+    std::size_t count_ = 0;
+};
+
+}  // namespace tfd::net

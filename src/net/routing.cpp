@@ -1,0 +1,68 @@
+#include "net/routing.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace tfd::net {
+
+router::router(const topology& topo) : n_(topo.pop_count()) {
+    dist_.assign(static_cast<std::size_t>(n_) * n_, -1);
+    parent_.assign(static_cast<std::size_t>(n_) * n_, -1);
+
+    for (int src = 0; src < n_; ++src) {
+        // BFS with deterministic neighbor order (sorted ids).
+        std::vector<std::vector<int>> adj = topo.adjacency();
+        for (auto& nb : adj) std::sort(nb.begin(), nb.end());
+
+        auto d = [&](int v) -> int& { return dist_[index(src, v)]; };
+        auto par = [&](int v) -> int& { return parent_[index(src, v)]; };
+
+        std::queue<int> q;
+        d(src) = 0;
+        par(src) = src;
+        q.push(src);
+        while (!q.empty()) {
+            const int u = q.front();
+            q.pop();
+            for (int v : adj[u]) {
+                if (d(v) >= 0) continue;
+                d(v) = d(u) + 1;
+                par(v) = u;
+                q.push(v);
+            }
+        }
+        for (int v = 0; v < n_; ++v)
+            if (d(v) < 0)
+                throw std::invalid_argument("router: topology disconnected");
+    }
+}
+
+int router::index(int from, int to) const {
+    if (from < 0 || from >= n_ || to < 0 || to >= n_)
+        throw std::out_of_range("router: PoP id out of range");
+    return from * n_ + to;
+}
+
+int router::distance(int from, int to) const { return dist_[index(from, to)]; }
+
+std::vector<int> router::path(int from, int to) const {
+    index(from, to);  // bounds check
+    std::vector<int> rev;
+    int cur = to;
+    while (cur != from) {
+        rev.push_back(cur);
+        cur = parent_[index(from, cur)];
+    }
+    rev.push_back(from);
+    std::reverse(rev.begin(), rev.end());
+    return rev;
+}
+
+int router::next_hop(int from, int to) const {
+    if (from == to) return from;
+    const auto p = path(from, to);
+    return p[1];
+}
+
+}  // namespace tfd::net

@@ -1,0 +1,43 @@
+// tfd::net — shortest-path routing over a topology.
+//
+// ISIS-like intra-domain routing with unit link weights: precomputes
+// shortest paths between all PoP pairs (BFS per source, deterministic
+// lowest-id tie-breaking). Used to map OD flows onto link paths and to
+// model outage-induced traffic shifts.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+
+namespace tfd::net {
+
+/// All-pairs shortest paths for a topology.
+class router {
+public:
+    /// Precomputes paths; throws std::invalid_argument if the topology is
+    /// disconnected (every backbone studied here is connected).
+    explicit router(const topology& topo);
+
+    /// Hop distance between PoPs (0 for from == to).
+    int distance(int from, int to) const;
+
+    /// Shortest path as PoP ids, inclusive of both endpoints.
+    /// path(x, x) == {x}.
+    std::vector<int> path(int from, int to) const;
+
+    /// First hop on the path from `from` to `to` (== to if adjacent,
+    /// == from if from == to).
+    int next_hop(int from, int to) const;
+
+    int pop_count() const noexcept { return n_; }
+
+private:
+    int index(int from, int to) const;
+
+    int n_ = 0;
+    std::vector<int> dist_;      // n*n hop counts
+    std::vector<int> parent_;    // parent[to] on BFS tree rooted at from
+};
+
+}  // namespace tfd::net

@@ -1,0 +1,90 @@
+// tfd::traffic — anomaly taxonomy and record-level generators.
+//
+// One generator per anomaly class of Table 1. Each generator produces the
+// flow records an operator would see for that anomaly inside a single
+// (5-minute bin, OD flow) cell, with the distributional signature the
+// paper describes: e.g. a port scan concentrates dstIP while dispersing
+// dstPort; a network scan disperses dstIP and srcPort while concentrating
+// dstPort.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flow/flow_record.h"
+#include "net/topology.h"
+#include "traffic/rng.h"
+
+namespace tfd::traffic {
+
+/// Anomaly classes of Table 1 (plus `none` for background-only cells).
+enum class anomaly_type : int {
+    none = 0,
+    alpha,             ///< unusually large point-to-point flow
+    dos,               ///< single-source denial of service
+    ddos,              ///< distributed denial of service
+    flash_crowd,       ///< burst to one destination from typical sources
+    port_scan,         ///< probes to many ports on few destinations
+    network_scan,      ///< probes to many destinations on few ports
+    worm,              ///< worm scanning (special case of network scan)
+    outage,            ///< traffic shift/dip from equipment failure
+    point_multipoint,  ///< single source to many destinations
+};
+
+/// Number of distinct anomaly types (excluding `none`).
+inline constexpr int anomaly_type_count = 9;
+
+/// Human-readable label matching the paper's Table 1 names.
+const char* anomaly_name(anomaly_type t) noexcept;
+
+/// Parse a label produced by anomaly_name; throws std::invalid_argument.
+anomaly_type parse_anomaly(const std::string& name);
+
+/// A ground-truth anomaly planted in a scenario.
+struct planted_anomaly {
+    anomaly_type type = anomaly_type::none;
+    std::size_t start_bin = 0;     ///< first affected timebin
+    std::size_t duration_bins = 1; ///< number of affected bins
+    std::vector<int> od_flows;     ///< OD flows carrying the anomaly
+    double packets_per_second = 0; ///< post-sampling anomaly intensity
+    std::uint64_t id = 0;          ///< stable identifier within a scenario
+
+    bool active_in(std::size_t bin) const noexcept {
+        return bin >= start_bin && bin < start_bin + duration_bins;
+    }
+};
+
+/// Parameters for a single-cell anomaly generation.
+struct anomaly_cell {
+    anomaly_type type = anomaly_type::none;
+    int od = 0;                     ///< OD flow (origin PoP defines ingress)
+    std::size_t bin = 0;            ///< timebin index
+    double packets = 0;             ///< anomaly packets in this bin (sampled)
+    std::uint64_t bin_us = 5ull * 60 * 1000 * 1000;  ///< bin duration
+};
+
+/// Generate the flow records for one anomaly cell.
+///
+/// Record counts are capped (distinct-key cardinality preserved up to the
+/// cap; per-record packet counts absorb the remainder) so that even
+/// violent anomalies stay cheap to materialize. `outage` yields no
+/// records — it suppresses background instead (see background_model
+/// generation tweaks).
+///
+/// Throws std::invalid_argument for `none` or out-of-range OD.
+std::vector<flow::flow_record> generate_anomaly_records(
+    const net::topology& topo, const anomaly_cell& cell, rng gen);
+
+/// Weights giving the relative frequency of each type in a random
+/// scenario; shaped after the Abilene manual-inspection breakdown in
+/// Table 3 (alpha flows dominate; scans common; flash crowds and
+/// point-to-multipoint rare).
+double default_type_weight(anomaly_type t) noexcept;
+
+/// Default per-type sampled intensity range (packets/sec) used when
+/// planting anomalies; low-volume types (scans) sit well below volume
+/// detectability, high-volume types (alpha, DOS) above it.
+std::pair<double, double> default_intensity_range(anomaly_type t) noexcept;
+
+}  // namespace tfd::traffic

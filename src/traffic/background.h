@@ -1,0 +1,100 @@
+// tfd::traffic — normal (background) traffic model.
+//
+// The subspace method rests on an empirical fact established in Lakhina
+// et al., "Structural Analysis of Network Traffic Flows" (SIGMETRICS'04,
+// the paper's reference [25]): the ensemble of OD-flow timeseries is
+// effectively low-dimensional — a handful of shared "eigenflows"
+// (diurnal/weekly periodicities and common noise) explain most variance.
+// This generator reproduces that structure synthetically:
+//
+//   volume(od, t) = base(od) * max(eps, 1 + sum_k W[od,k] f_k(t)) * noise
+//
+// with smooth quasi-periodic latent factors f_k and non-negative mixing
+// weights. Base rates follow a gravity model over PoP sizes. Per-record
+// features are drawn from Zipfian host populations and a realistic
+// service-port mix, so sample entropy has a stable per-OD baseline with
+// the mild volume coupling the paper notes in Section 3.
+//
+// Generation is counter-based: generate(bin, od) derives an independent
+// RNG stream from (seed, bin, od), so any cell can be (re)generated in
+// isolation — the whole 3-week x 484-OD dataset never has to exist in
+// memory at once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/flow_record.h"
+#include "net/topology.h"
+#include "traffic/rng.h"
+#include "traffic/zipf.h"
+
+namespace tfd::traffic {
+
+/// Tuning knobs for the background model.
+struct background_options {
+    std::uint64_t seed = 1;             ///< master seed
+    /// Number of shared eigenflows. Nonlinear couplings (activity
+    /// clamps, Poisson sampling) add ~2 effective dimensions, so 8
+    /// factors yield the ~10-dimensional normal space the paper found
+    /// (m = 10 captured 85% of variance).
+    int latent_factors = 8;
+    double mean_records_per_bin = 90;   ///< average sampled records per OD bin
+    double diurnal_strength = 0.35;     ///< amplitude of seasonal modulation
+    double noise_level = 0.06;          ///< multiplicative per-bin noise
+    std::size_t hosts_per_pop = 4096;   ///< host population behind each PoP
+    double host_zipf_exponent = 1.1;    ///< popularity skew of hosts
+    std::uint64_t bin_us = 5ull * 60 * 1000 * 1000;  ///< bin duration
+    std::size_t bins_per_day = 288;     ///< 24h / 5min
+};
+
+/// Per-cell generation adjustments, used to model outages (volume dip,
+/// heavy hitters vanish) without a separate code path.
+struct generation_tweaks {
+    double volume_scale = 1.0;        ///< multiply expected record count
+    std::size_t host_rank_offset = 0; ///< skip the top-k popular hosts
+};
+
+/// Deterministic background-traffic generator for a whole network.
+class background_model {
+public:
+    /// Builds latent factors and per-OD mixing weights from `opts.seed`.
+    /// Throws std::invalid_argument on nonsensical options.
+    background_model(const net::topology& topo, background_options opts = {});
+
+    /// Expected records for (od) in a typical bin (before modulation).
+    double base_records(int od) const;
+
+    /// Deterministic seasonal volume multiplier (no noise) at (od, bin).
+    double volume_multiplier(int od, std::size_t bin) const;
+
+    /// Deterministic seasonal multiplier driving the active-host
+    /// population (and hence sample entropy) at (od, bin); mixes the same
+    /// latent factors as volume through independent weights.
+    double entropy_multiplier(int od, std::size_t bin) const;
+
+    /// Generate the sampled flow records for one (bin, od) cell.
+    /// Deterministic in (seed, bin, od, tweaks).
+    std::vector<flow::flow_record> generate(std::size_t bin, int od,
+                                            const generation_tweaks& tweaks = {}) const;
+
+    const net::topology& topo() const noexcept { return *topo_; }
+    const background_options& options() const noexcept { return opts_; }
+
+private:
+    double latent_factor(int k, std::size_t bin) const;
+
+    const net::topology* topo_;
+    background_options opts_;
+    std::vector<double> base_records_;       // per OD
+    std::vector<double> weights_;            // od x latent_factors
+    std::vector<double> entropy_weights_;    // od x latent_factors
+    std::vector<double> factor_period_;      // per factor, in bins
+    std::vector<double> factor_phase_;       // per factor
+    std::vector<double> factor_scale_;       // per factor
+    zipf_sampler host_popularity_;
+    zipf_sampler service_ports_;
+    std::vector<std::uint16_t> well_known_ports_;
+};
+
+}  // namespace tfd::traffic

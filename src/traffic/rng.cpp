@@ -1,0 +1,107 @@
+#include "traffic/rng.h"
+
+#include <cmath>
+
+namespace tfd::traffic {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+rng::rng(std::uint64_t seed) noexcept : seed_key_(seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+    // xoshiro must not start at the all-zero state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t rng::next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double rng::uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double rng::uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t rng::uniform_int(std::uint64_t n) noexcept {
+    if (n == 0) return 0;
+    // Rejection-free multiply-shift; bias is negligible for our n.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * n) >> 64);
+}
+
+double rng::normal() noexcept {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u1 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double rng::normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+}
+
+double rng::exponential(double lambda) noexcept {
+    double u = uniform();
+    if (u < 1e-300) u = 1e-300;
+    return -std::log(u) / lambda;
+}
+
+std::uint64_t rng::poisson(double mean) noexcept {
+    if (mean <= 0.0) return 0;
+    if (mean > 64.0) {
+        const double v = normal(mean, std::sqrt(mean));
+        return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+    }
+    const double limit = std::exp(-mean);
+    double prod = uniform();
+    std::uint64_t k = 0;
+    while (prod > limit) {
+        prod *= uniform();
+        ++k;
+    }
+    return k;
+}
+
+std::uint64_t rng::geometric(double p) noexcept {
+    if (p >= 1.0) return 0;
+    if (p <= 0.0) return 0;  // degenerate; callers validate
+    double u = uniform();
+    if (u < 1e-300) u = 1e-300;
+    return static_cast<std::uint64_t>(std::log(u) / std::log(1.0 - p));
+}
+
+rng rng::derive(std::uint64_t a, std::uint64_t b, std::uint64_t c) const noexcept {
+    // Mix the base seed with the indices through SplitMix64 rounds.
+    std::uint64_t k = seed_key_;
+    k ^= splitmix64(a) + 0x9E3779B97F4A7C15ULL;
+    std::uint64_t t = k + (b << 1) + 0x632BE59BD9B4E019ULL;
+    k ^= splitmix64(t);
+    t = k + (c << 2) + 0x2545F4914F6CDD1DULL;
+    k ^= splitmix64(t);
+    return rng(k);
+}
+
+}  // namespace tfd::traffic

@@ -1,0 +1,73 @@
+// tfd::traffic — deterministic random number generation.
+//
+// All synthetic-trace randomness in the library flows through this RNG so
+// every experiment is reproducible from a single printed seed. The
+// generator is xoshiro256** seeded via SplitMix64; `derive` provides
+// counter-based sub-streams so each (bin, OD flow) pair can regenerate
+// its traffic independently — this is what gives the dataset random
+// access without storing terabytes of records.
+#pragma once
+
+#include <cstdint>
+
+namespace tfd::traffic {
+
+/// SplitMix64 step (used for seeding and stream derivation).
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with convenience distributions.
+class rng {
+public:
+    /// Seeded via SplitMix64 expansion of `seed`.
+    explicit rng(std::uint64_t seed = 0x5DEECE66DULL) noexcept;
+
+    /// Next raw 64-bit value.
+    std::uint64_t next() noexcept;
+
+    /// Uniform double in [0, 1).
+    double uniform() noexcept;
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) noexcept;
+
+    /// Uniform integer in [0, n) (n == 0 returns 0).
+    std::uint64_t uniform_int(std::uint64_t n) noexcept;
+
+    /// Standard normal (Box-Muller, cached pair).
+    double normal() noexcept;
+
+    /// Normal with mean/stddev.
+    double normal(double mean, double stddev) noexcept;
+
+    /// Exponential with rate lambda (> 0).
+    double exponential(double lambda) noexcept;
+
+    /// Poisson-distributed count with the given mean (>= 0). Uses Knuth's
+    /// method for small means and a normal approximation above 64.
+    std::uint64_t poisson(double mean) noexcept;
+
+    /// Geometric (number of failures before success), p in (0, 1].
+    std::uint64_t geometric(double p) noexcept;
+
+    /// Bernoulli trial.
+    bool chance(double p) noexcept { return uniform() < p; }
+
+    /// Derive an independent sub-stream keyed by up to three indices.
+    /// Deterministic: same (seed, a, b, c) -> same stream.
+    rng derive(std::uint64_t a, std::uint64_t b = 0,
+               std::uint64_t c = 0) const noexcept;
+
+private:
+    std::uint64_t s_[4];
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+    std::uint64_t seed_key_;  // retained for derive()
+};
+
+}  // namespace tfd::traffic

@@ -1,0 +1,305 @@
+#include "traffic/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace tfd::traffic {
+
+namespace {
+
+using flow::packet;
+
+// Materialize `true_count` packets under the cap; returns (count, weight).
+std::pair<std::size_t, double> materialization(double true_count,
+                                               std::size_t cap) {
+    if (true_count <= static_cast<double>(cap))
+        return {static_cast<std::size_t>(std::llround(true_count)), 1.0};
+    return {cap, true_count / static_cast<double>(cap)};
+}
+
+std::uint64_t time_in(rng& g, double duration_seconds) {
+    return static_cast<std::uint64_t>(g.uniform() * duration_seconds * 1e6);
+}
+
+}  // namespace
+
+attack_trace make_single_source_dos_trace(const trace_options& opts) {
+    attack_trace t;
+    t.name = "single-source-dos";
+    t.duration_seconds = opts.duration_seconds;
+    rng g = rng(opts.seed).derive(0xD05, 1, 0);
+
+    const double true_count = 3.47e5 * opts.duration_seconds;  // Table 4
+    const auto [n, w] = materialization(true_count, opts.max_materialized);
+    t.weight = w;
+    t.packets.reserve(n);
+
+    const net::ipv4 attacker{static_cast<std::uint32_t>(g.next())};
+    const net::ipv4 victim{static_cast<std::uint32_t>(g.next())};
+    for (std::size_t i = 0; i < n; ++i) {
+        packet p;
+        p.time_us = time_in(g, opts.duration_seconds);
+        p.src = attacker;
+        p.dst = victim;
+        p.src_port = static_cast<std::uint16_t>(g.uniform_int(65536));  // spoofed
+        p.dst_port = 80;
+        p.protocol = 6;
+        p.bytes = 40;
+        t.packets.push_back(p);
+    }
+    std::sort(t.packets.begin(), t.packets.end(),
+              [](const packet& a, const packet& b) { return a.time_us < b.time_us; });
+    return t;
+}
+
+attack_trace make_multi_source_ddos_trace(const trace_options& opts) {
+    attack_trace t;
+    t.name = "multi-source-ddos";
+    t.duration_seconds = opts.duration_seconds;
+    rng g = rng(opts.seed).derive(0xD05, 2, 0);
+
+    const double true_count = 2.75e4 * opts.duration_seconds;  // Table 4
+    const auto [n, w] = materialization(true_count, opts.max_materialized);
+    t.weight = w;
+    t.packets.reserve(n);
+
+    const std::size_t attackers = 150;
+    std::vector<net::ipv4> srcs(attackers);
+    for (auto& s : srcs) s = net::ipv4{static_cast<std::uint32_t>(g.next())};
+    const net::ipv4 victim{static_cast<std::uint32_t>(g.next())};
+
+    for (std::size_t i = 0; i < n; ++i) {
+        packet p;
+        p.time_us = time_in(g, opts.duration_seconds);
+        p.src = srcs[g.uniform_int(attackers)];
+        p.dst = victim;
+        p.src_port = static_cast<std::uint16_t>(g.uniform_int(65536));
+        p.dst_port = 6667;  // irc, a frequent DOS target port
+        p.protocol = 6;
+        p.bytes = 40;
+        t.packets.push_back(p);
+    }
+    std::sort(t.packets.begin(), t.packets.end(),
+              [](const packet& a, const packet& b) { return a.time_us < b.time_us; });
+    return t;
+}
+
+attack_trace make_worm_scan_trace(const trace_options& opts) {
+    attack_trace t;
+    t.name = "worm-scan";
+    t.duration_seconds = opts.duration_seconds;
+    rng g = rng(opts.seed).derive(0xD05, 3, 0);
+
+    const double true_count = 141.0 * opts.duration_seconds;  // Table 4
+    const auto [n, w] = materialization(true_count, opts.max_materialized);
+    t.weight = w;
+    t.packets.reserve(n);
+
+    const std::size_t infected = 4;
+    std::vector<net::ipv4> srcs(infected);
+    for (auto& s : srcs) s = net::ipv4{static_cast<std::uint32_t>(g.next())};
+
+    for (std::size_t i = 0; i < n; ++i) {
+        packet p;
+        p.time_us = time_in(g, opts.duration_seconds);
+        p.src = srcs[g.uniform_int(infected)];
+        p.dst = net::ipv4{static_cast<std::uint32_t>(g.next())};  // random probe
+        p.src_port = static_cast<std::uint16_t>(1024 + g.uniform_int(64512));
+        p.dst_port = 1433;  // MS-SQL Snake worm target port
+        p.protocol = 6;
+        p.bytes = 44;
+        t.packets.push_back(p);
+    }
+    std::sort(t.packets.begin(), t.packets.end(),
+              [](const packet& a, const packet& b) { return a.time_us < b.time_us; });
+    return t;
+}
+
+attack_trace mix_with_background(const attack_trace& trace,
+                                 double background_pps, std::uint64_t seed) {
+    attack_trace out = trace;
+    rng g = rng(seed).derive(0xB6, 0, 0);
+    // Background is materialized at the trace's weight so the combined
+    // trace keeps one uniform weight.
+    const double true_bg = background_pps * trace.duration_seconds;
+    const auto n = static_cast<std::size_t>(true_bg / trace.weight);
+    out.packets.reserve(out.packets.size() + n);
+    for (std::size_t i = 0; i < n; ++i) {
+        packet p;
+        p.time_us = time_in(g, trace.duration_seconds);
+        p.src = net::ipv4{static_cast<std::uint32_t>(g.next())};
+        p.dst = net::ipv4{static_cast<std::uint32_t>(g.next())};
+        p.src_port = static_cast<std::uint16_t>(1024 + g.uniform_int(64512));
+        p.dst_port = g.chance(0.7) ? 80 : static_cast<std::uint16_t>(
+                                              g.uniform_int(65536));
+        p.protocol = 6;
+        p.bytes = g.chance(0.5) ? 1500 : 576;
+        out.packets.push_back(p);
+    }
+    std::sort(out.packets.begin(), out.packets.end(),
+              [](const packet& a, const packet& b) { return a.time_us < b.time_us; });
+    return out;
+}
+
+net::ipv4 identify_victim(const attack_trace& trace) {
+    if (trace.packets.empty())
+        throw std::invalid_argument("identify_victim: empty trace");
+    std::unordered_map<std::uint32_t, std::uint64_t> counts;
+    for (const packet& p : trace.packets) ++counts[p.dst.value];
+    std::uint32_t best = 0;
+    std::uint64_t best_count = 0;
+    for (const auto& [addr, c] : counts)
+        if (c > best_count || (c == best_count && addr < best)) {
+            best = addr;
+            best_count = c;
+        }
+    return net::ipv4{best};
+}
+
+attack_trace extract_to_victim(const attack_trace& trace) {
+    const net::ipv4 victim = identify_victim(trace);
+    attack_trace out;
+    out.name = trace.name + "-extracted";
+    out.weight = trace.weight;
+    out.duration_seconds = trace.duration_seconds;
+    for (const packet& p : trace.packets)
+        if (p.dst == victim) out.packets.push_back(p);
+    return out;
+}
+
+attack_trace extract_by_port(const attack_trace& trace, std::uint16_t port) {
+    attack_trace out;
+    out.name = trace.name + "-extracted";
+    out.weight = trace.weight;
+    out.duration_seconds = trace.duration_seconds;
+    for (const packet& p : trace.packets)
+        if (p.dst_port == port) out.packets.push_back(p);
+    return out;
+}
+
+attack_trace thin_trace(const attack_trace& trace, std::uint64_t factor) {
+    if (factor <= 1) return trace;
+    attack_trace out;
+    out.name = trace.name;
+    out.weight = trace.weight;
+    out.duration_seconds = trace.duration_seconds;
+    out.packets.reserve(trace.packets.size() / factor + 1);
+    for (std::size_t i = 0; i < trace.packets.size(); i += factor)
+        out.packets.push_back(trace.packets[i]);
+    return out;
+}
+
+std::vector<attack_trace> split_by_sources(const attack_trace& trace, int k,
+                                           std::uint64_t seed) {
+    if (k < 1) throw std::invalid_argument("split_by_sources: k must be >= 1");
+    // Greedy balance: assign each distinct source to the lightest group.
+    std::unordered_map<std::uint32_t, std::uint64_t> per_source;
+    for (const packet& p : trace.packets) ++per_source[p.src.value];
+
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> sources(
+        per_source.begin(), per_source.end());
+    std::sort(sources.begin(), sources.end(),
+              [](const auto& a, const auto& b) {
+                  return a.second > b.second ||
+                         (a.second == b.second && a.first < b.first);
+              });
+    (void)seed;
+
+    std::unordered_map<std::uint32_t, int> group_of;
+    std::vector<std::uint64_t> load(k, 0);
+    for (const auto& [src, count] : sources) {
+        const int g = static_cast<int>(
+            std::min_element(load.begin(), load.end()) - load.begin());
+        group_of[src] = g;
+        load[g] += count;
+    }
+
+    std::vector<attack_trace> out(k);
+    for (int g = 0; g < k; ++g) {
+        out[g].name = trace.name + "-part" + std::to_string(g);
+        out[g].weight = trace.weight;
+        out[g].duration_seconds = trace.duration_seconds;
+    }
+    for (const packet& p : trace.packets)
+        out[group_of[p.src.value]].packets.push_back(p);
+    return out;
+}
+
+std::vector<flow::flow_record> map_into_od(const attack_trace& trace,
+                                           const net::topology& topo, int od,
+                                           std::size_t bin, std::uint64_t seed,
+                                           int anonymize_bits,
+                                           std::uint64_t bin_us) {
+    if (od < 0 || od >= topo.od_count())
+        throw std::invalid_argument("map_into_od: bad OD index");
+    const auto [origin, dest] = topo.od_pair(od);
+    rng g = rng(seed).derive(0x3A9, static_cast<std::uint64_t>(od), bin);
+
+    // Consistent random remapping of (masked) addresses and ports.
+    std::unordered_map<std::uint32_t, net::ipv4> src_map, dst_map;
+    std::unordered_map<std::uint16_t, std::uint16_t> port_map;
+    auto map_src = [&](net::ipv4 a) {
+        const auto masked = net::mask_low_bits(a, anonymize_bits);
+        auto [it, inserted] = src_map.try_emplace(masked.value);
+        if (inserted)
+            it->second =
+                topo.address_in_pop(origin, static_cast<std::uint32_t>(g.next()));
+        return it->second;
+    };
+    auto map_dst = [&](net::ipv4 a) {
+        const auto masked = net::mask_low_bits(a, anonymize_bits);
+        auto [it, inserted] = dst_map.try_emplace(masked.value);
+        if (inserted)
+            it->second =
+                topo.address_in_pop(dest, static_cast<std::uint32_t>(g.next()));
+        return it->second;
+    };
+    auto map_port = [&](std::uint16_t p) {
+        auto [it, inserted] = port_map.try_emplace(p);
+        if (inserted)
+            it->second = static_cast<std::uint16_t>(g.uniform_int(65536));
+        return it->second;
+    };
+
+    // Aggregate mapped packets into flow records, honouring the weight.
+    const std::uint64_t bin_start = static_cast<std::uint64_t>(bin) * bin_us;
+    std::unordered_map<flow::flow_key, flow::flow_record, flow::flow_key_hash>
+        table;
+    for (const packet& p : trace.packets) {
+        flow::flow_key key{map_src(p.src), map_dst(p.dst), map_port(p.src_port),
+                           map_port(p.dst_port), p.protocol};
+        auto [it, inserted] = table.try_emplace(key);
+        flow::flow_record& r = it->second;
+        if (inserted) {
+            r.key = key;
+            r.ingress_pop = origin;
+            r.first_us = bin_start + p.time_us % bin_us;
+            r.last_us = r.first_us;
+        }
+        r.packets += 1;  // scaled by weight below
+        r.bytes += p.bytes;
+    }
+
+    std::vector<flow::flow_record> out;
+    out.reserve(table.size());
+    for (auto& [key, rec] : table) {
+        rec.packets = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   std::llround(static_cast<double>(rec.packets) * trace.weight)));
+        rec.bytes = static_cast<std::uint64_t>(
+            std::llround(static_cast<double>(rec.bytes) * trace.weight));
+        out.push_back(rec);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const flow::flow_record& a, const flow::flow_record& b) {
+                  return std::tie(a.first_us, a.key.src.value, a.key.dst.value,
+                                  a.key.src_port, a.key.dst_port) <
+                         std::tie(b.first_us, b.key.src.value, b.key.dst.value,
+                                  b.key.src_port, b.key.dst_port);
+              });
+    return out;
+}
+
+}  // namespace tfd::traffic

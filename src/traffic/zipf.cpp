@@ -1,0 +1,46 @@
+#include "traffic/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tfd::traffic {
+
+zipf_sampler::zipf_sampler(std::size_t n, double s) : s_(s) {
+    if (n == 0) throw std::invalid_argument("zipf_sampler: n must be >= 1");
+    if (s < 0.0) throw std::invalid_argument("zipf_sampler: s must be >= 0");
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        acc += std::pow(static_cast<double>(k + 1), -s);
+        cdf_[k] = acc;
+    }
+    const double inv = 1.0 / acc;
+    for (double& v : cdf_) v *= inv;
+    cdf_.back() = 1.0;  // guard against round-off
+}
+
+std::size_t zipf_sampler::sample(rng& gen) const noexcept {
+    const double u = gen.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double zipf_sampler::pmf(std::size_t rank) const {
+    if (rank >= cdf_.size())
+        throw std::out_of_range("zipf_sampler::pmf: rank out of range");
+    return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+double zipf_sampler::entropy_bits() const noexcept {
+    double h = 0.0;
+    double prev = 0.0;
+    for (double c : cdf_) {
+        const double p = c - prev;
+        prev = c;
+        if (p > 0.0) h -= p * std::log2(p);
+    }
+    return h;
+}
+
+}  // namespace tfd::traffic

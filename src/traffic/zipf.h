@@ -1,0 +1,42 @@
+// tfd::traffic — Zipf-distributed sampling.
+//
+// Feature values in backbone traffic (hosts, services) are heavy-tailed:
+// a few values account for most packets while a long tail appears rarely.
+// The rank-frequency histograms of Figure 1 have exactly this shape. We
+// model feature populations as Zipf(s) over N ranks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "traffic/rng.h"
+
+namespace tfd::traffic {
+
+/// Sampler for Zipf-distributed ranks: P(rank = k) ∝ 1/(k+1)^s for
+/// k in [0, n). Precomputes the CDF; sampling is a binary search.
+class zipf_sampler {
+public:
+    /// n >= 1 ranks, exponent s >= 0 (s == 0 is uniform).
+    /// Throws std::invalid_argument if n == 0 or s < 0.
+    zipf_sampler(std::size_t n, double s);
+
+    /// Sample a rank in [0, n).
+    std::size_t sample(rng& gen) const noexcept;
+
+    /// Probability mass of a rank; throws std::out_of_range.
+    double pmf(std::size_t rank) const;
+
+    std::size_t size() const noexcept { return cdf_.size(); }
+    double exponent() const noexcept { return s_; }
+
+    /// Exact entropy (bits) of the distribution — handy as the expected
+    /// value that sample entropy estimates at large sample sizes.
+    double entropy_bits() const noexcept;
+
+private:
+    double s_;
+    std::vector<double> cdf_;
+};
+
+}  // namespace tfd::traffic

@@ -1,0 +1,150 @@
+// Unit tests for hierarchical agglomerative clustering.
+#include "cluster/hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace la = tfd::linalg;
+using namespace tfd::cluster;
+
+namespace {
+
+la::matrix blobs(std::size_t per_blob, int n_blobs, double spread = 8.0) {
+    la::matrix x(per_blob * n_blobs, 2);
+    std::uint64_t s = 11;
+    auto jitter = [&s]() {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        return static_cast<double>(s >> 40) / (1 << 24) - 0.5;
+    };
+    for (int b = 0; b < n_blobs; ++b)
+        for (std::size_t i = 0; i < per_blob; ++i) {
+            x(b * per_blob + i, 0) = spread * b + jitter();
+            x(b * per_blob + i, 1) = spread * (b % 2) + jitter();
+        }
+    return x;
+}
+
+}  // namespace
+
+TEST(HierarchicalTest, RejectsEmpty) {
+    EXPECT_THROW(agglomerate(la::matrix{}), std::invalid_argument);
+}
+
+TEST(HierarchicalTest, SinglePointDendrogram) {
+    la::matrix x(1, 2);
+    auto tree = agglomerate(x);
+    EXPECT_EQ(tree.points, 1u);
+    EXPECT_TRUE(tree.merges.empty());
+    auto labels = tree.cut(1);
+    EXPECT_EQ(labels, std::vector<int>{0});
+}
+
+TEST(HierarchicalTest, MergeCountIsNMinusOne) {
+    auto x = blobs(5, 3);
+    auto tree = agglomerate(x);
+    EXPECT_EQ(tree.merges.size(), 14u);
+}
+
+TEST(HierarchicalTest, SingleLinkageMergeDistancesNonDecreasing) {
+    // For single linkage the merge sequence is exactly the MST edge order.
+    auto x = blobs(6, 4);
+    auto tree = agglomerate(x, linkage::single);
+    for (std::size_t i = 1; i < tree.merges.size(); ++i)
+        EXPECT_GE(tree.merges[i].distance, tree.merges[i - 1].distance - 1e-12);
+}
+
+TEST(HierarchicalTest, CutValidation) {
+    auto x = blobs(4, 2);
+    auto tree = agglomerate(x);
+    EXPECT_THROW(tree.cut(0), std::invalid_argument);
+    EXPECT_THROW(tree.cut(9), std::invalid_argument);
+    EXPECT_EQ(tree.cut(8).size(), 8u);
+}
+
+TEST(HierarchicalTest, CutAtOneGivesSingleCluster) {
+    auto x = blobs(5, 3);
+    auto labels = agglomerate(x).cut(1);
+    for (int l : labels) EXPECT_EQ(l, 0);
+}
+
+TEST(HierarchicalTest, CutAtNGivesSingletons) {
+    auto x = blobs(4, 2);
+    auto labels = agglomerate(x).cut(8);
+    std::set<int> distinct(labels.begin(), labels.end());
+    EXPECT_EQ(distinct.size(), 8u);
+}
+
+TEST(HierarchicalTest, RecoversWellSeparatedBlobs) {
+    for (auto link : {linkage::single, linkage::complete, linkage::average,
+                      linkage::ward}) {
+        auto x = blobs(10, 3);
+        auto c = hierarchical_cluster(x, 3, link);
+        for (int b = 0; b < 3; ++b) {
+            std::set<int> labels;
+            for (std::size_t i = 0; i < 10; ++i)
+                labels.insert(c.assignment[b * 10 + i]);
+            EXPECT_EQ(labels.size(), 1u)
+                << linkage_name(link) << ": blob " << b << " split";
+        }
+    }
+}
+
+TEST(HierarchicalTest, SingleLinkageChains) {
+    // A chain of equidistant points plus one distant point: single
+    // linkage keeps the chain whole at k=2, complete linkage splits it.
+    la::matrix x(7, 1);
+    for (int i = 0; i < 6; ++i) x(i, 0) = i * 1.0;  // chain 0..5
+    x(6, 0) = 50.0;                                  // outlier
+    auto single_labels = hierarchical_cluster(x, 2, linkage::single).assignment;
+    for (int i = 1; i < 6; ++i) EXPECT_EQ(single_labels[i], single_labels[0]);
+    EXPECT_NE(single_labels[6], single_labels[0]);
+}
+
+TEST(HierarchicalTest, WardMatchesKnownPairOrder) {
+    // Two tight pairs and one far point: Ward merges the pairs first.
+    auto x = la::matrix::from_rows({{0.0, 0.0},
+                                    {0.1, 0.0},
+                                    {5.0, 0.0},
+                                    {5.1, 0.0},
+                                    {20.0, 0.0}});
+    auto tree = agglomerate(x, linkage::ward);
+    const auto& m0 = tree.merges[0];
+    const auto& m1 = tree.merges[1];
+    const std::set<int> first{m0.a, m0.b}, second{m1.a, m1.b};
+    EXPECT_TRUE((first == std::set<int>{0, 1}) || (first == std::set<int>{2, 3}));
+    EXPECT_TRUE((second == std::set<int>{0, 1}) ||
+                (second == std::set<int>{2, 3}));
+    EXPECT_NE(first, second);
+}
+
+TEST(HierarchicalTest, DeterministicAcrossRuns) {
+    auto x = blobs(8, 3);
+    auto a = hierarchical_cluster(x, 4, linkage::average);
+    auto b = hierarchical_cluster(x, 4, linkage::average);
+    EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(HierarchicalTest, LinkageNames) {
+    EXPECT_EQ(std::string(linkage_name(linkage::single)), "single");
+    EXPECT_EQ(std::string(linkage_name(linkage::ward)), "ward");
+}
+
+// Paper Section 4.3/7: results should be broadly insensitive to the
+// clustering algorithm — k-means and agglomerative agree on clean blobs.
+TEST(HierarchicalTest, AgreesWithKmeansOnSeparatedData) {
+    auto x = blobs(12, 3);
+    auto h = hierarchical_cluster(x, 3, linkage::single).assignment;
+    auto km = kmeans(x, 3).assignment;
+    // Compare as partitions: same pairs together.
+    int disagreements = 0;
+    for (std::size_t i = 0; i < x.rows(); ++i)
+        for (std::size_t j = i + 1; j < x.rows(); ++j) {
+            const bool same_h = h[i] == h[j];
+            const bool same_k = km[i] == km[j];
+            if (same_h != same_k) ++disagreements;
+        }
+    EXPECT_EQ(disagreements, 0);
+}

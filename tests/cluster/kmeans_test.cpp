@@ -1,0 +1,143 @@
+// Unit tests for k-means clustering.
+#include "cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace la = tfd::linalg;
+using namespace tfd::cluster;
+
+namespace {
+
+// Three well-separated Gaussian-ish blobs in 2-D.
+la::matrix three_blobs(std::size_t per_blob = 30) {
+    const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+    la::matrix x(3 * per_blob, 2);
+    std::uint64_t s = 7;
+    auto jitter = [&s]() {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        return static_cast<double>(s >> 40) / (1 << 24) - 0.5;
+    };
+    for (int b = 0; b < 3; ++b)
+        for (std::size_t i = 0; i < per_blob; ++i) {
+            x(b * per_blob + i, 0) = centers[b][0] + jitter();
+            x(b * per_blob + i, 1) = centers[b][1] + jitter();
+        }
+    return x;
+}
+
+}  // namespace
+
+TEST(KmeansTest, RejectsBadArguments) {
+    la::matrix x(5, 2);
+    EXPECT_THROW(kmeans(x, 0), std::invalid_argument);
+    EXPECT_THROW(kmeans(x, 6), std::invalid_argument);
+    EXPECT_THROW(kmeans(la::matrix{}, 1), std::invalid_argument);
+}
+
+TEST(KmeansTest, SingleClusterCenterIsMean) {
+    auto x = la::matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+    auto c = kmeans(x, 1);
+    EXPECT_EQ(c.k, 1u);
+    EXPECT_NEAR(c.centers(0, 0), 3.0, 1e-12);
+    EXPECT_NEAR(c.centers(0, 1), 4.0, 1e-12);
+    for (int a : c.assignment) EXPECT_EQ(a, 0);
+}
+
+TEST(KmeansTest, SeparatesThreeBlobs) {
+    auto x = three_blobs();
+    auto c = kmeans(x, 3);
+    // Each blob maps to exactly one cluster.
+    for (int b = 0; b < 3; ++b) {
+        std::set<int> labels;
+        for (std::size_t i = 0; i < 30; ++i) labels.insert(c.assignment[b * 30 + i]);
+        EXPECT_EQ(labels.size(), 1u) << "blob " << b << " split";
+    }
+    // And the three clusters are distinct.
+    std::set<int> all(c.assignment.begin(), c.assignment.end());
+    EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(KmeansTest, DeterministicForSeed) {
+    auto x = three_blobs();
+    kmeans_options opts;
+    opts.seed = 42;
+    auto a = kmeans(x, 3, opts);
+    auto b = kmeans(x, 3, opts);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_EQ(la::max_abs_diff(a.centers, b.centers), 0.0);
+}
+
+TEST(KmeansTest, InertiaDecreasesWithMoreClusters) {
+    auto x = three_blobs();
+    double prev = kmeans(x, 1).inertia;
+    for (std::size_t k : {2u, 3u, 5u, 8u}) {
+        const double inertia = kmeans(x, k).inertia;
+        EXPECT_LE(inertia, prev + 1e-9) << "k=" << k;
+        prev = inertia;
+    }
+}
+
+TEST(KmeansTest, KEqualsNGivesZeroInertia) {
+    auto x = la::matrix::from_rows({{0, 0}, {5, 5}, {9, 1}});
+    auto c = kmeans(x, 3);
+    EXPECT_NEAR(c.inertia, 0.0, 1e-12);
+    std::set<int> labels(c.assignment.begin(), c.assignment.end());
+    EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(KmeansTest, ClusterSizesAndMembers) {
+    auto x = three_blobs(10);
+    auto c = kmeans(x, 3);
+    auto sizes = c.cluster_sizes();
+    std::size_t total = 0;
+    for (auto s : sizes) total += s;
+    EXPECT_EQ(total, 30u);
+    for (int cl = 0; cl < 3; ++cl) {
+        auto mem = c.members(cl);
+        EXPECT_EQ(mem.size(), sizes[cl]);
+        for (auto i : mem) EXPECT_EQ(c.assignment[i], cl);
+    }
+}
+
+TEST(KmeansTest, UniformSeedingAlsoWorks) {
+    auto x = three_blobs();
+    kmeans_options opts;
+    opts.plus_plus = false;
+    opts.seed = 5;
+    auto c = kmeans(x, 3, opts);
+    EXPECT_EQ(c.assignment.size(), 90u);
+    // Inertia bounded: blobs have jitter <= 0.5 per axis.
+    EXPECT_LT(c.inertia / 90.0, 30.0);
+}
+
+TEST(KmeansTest, IdenticalPointsHandled) {
+    la::matrix x(10, 3, 1.0);
+    auto c = kmeans(x, 3);
+    EXPECT_NEAR(c.inertia, 0.0, 1e-12);
+}
+
+TEST(SquaredDistanceTest, BasicsAndValidation) {
+    std::vector<double> a{0, 3}, b{4, 0}, c{1};
+    EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+    EXPECT_DOUBLE_EQ(squared_distance(a, a), 0.0);
+    EXPECT_THROW(squared_distance(a, c), std::invalid_argument);
+}
+
+// Sweep k on a fixed dataset: assignment labels are always in [0, k).
+class KmeansKSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KmeansKSweep, LabelsInRange) {
+    auto x = three_blobs();
+    const std::size_t k = GetParam();
+    auto c = kmeans(x, k);
+    for (int a : c.assignment) {
+        EXPECT_GE(a, 0);
+        EXPECT_LT(a, static_cast<int>(k));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KmeansKSweep,
+                         ::testing::Values(1, 2, 3, 5, 10, 25, 90));

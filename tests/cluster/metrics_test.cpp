@@ -1,0 +1,170 @@
+// Unit tests for cluster variation metrics (trace(W)/trace(B)) and
+// cluster summaries / signatures.
+#include "cluster/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cluster/summary.h"
+
+namespace la = tfd::linalg;
+using namespace tfd::cluster;
+
+namespace {
+
+la::matrix two_blobs() {
+    // Blob A around (1,0), blob B around (-1,0).
+    return la::matrix::from_rows({{1.0, 0.1},
+                                  {1.1, -0.1},
+                                  {0.9, 0.0},
+                                  {-1.0, 0.1},
+                                  {-1.1, -0.1},
+                                  {-0.9, 0.0}});
+}
+
+}  // namespace
+
+TEST(VariationTest, DecompositionIdentity) {
+    // T = B + W must hold exactly (the paper's W = T - B definition).
+    auto x = two_blobs();
+    std::vector<int> labels{0, 0, 0, 1, 1, 1};
+    auto v = variation(x, labels, 2);
+    EXPECT_NEAR(v.trace_total, v.trace_between + v.trace_within, 1e-10);
+    EXPECT_GT(v.trace_between, 0.0);
+    EXPECT_GT(v.trace_within, 0.0);
+}
+
+TEST(VariationTest, PerfectClusteringMaximizesBetween) {
+    auto x = two_blobs();
+    auto good = variation(x, {0, 0, 0, 1, 1, 1}, 2);
+    auto bad = variation(x, {0, 1, 0, 1, 0, 1}, 2);
+    EXPECT_GT(good.trace_between, bad.trace_between);
+    EXPECT_LT(good.trace_within, bad.trace_within);
+}
+
+TEST(VariationTest, SingleClusterBetweenEqualsMeanEnergy) {
+    auto x = two_blobs();
+    auto v = variation(x, {0, 0, 0, 0, 0, 0}, 1);
+    // B = n * ||mean||^2; mean here ~ 0 -> between ~ 0.
+    EXPECT_NEAR(v.trace_between, 0.0, 1e-2);
+}
+
+TEST(VariationTest, SingletonsHaveZeroWithin) {
+    auto x = two_blobs();
+    auto v = variation(x, {0, 1, 2, 3, 4, 5}, 6);
+    EXPECT_NEAR(v.trace_within, 0.0, 1e-12);
+}
+
+TEST(VariationTest, Validation) {
+    auto x = two_blobs();
+    EXPECT_THROW(variation(x, {0, 0}, 1), std::invalid_argument);
+    EXPECT_THROW(variation(x, {0, 0, 0, 0, 0, 7}, 2), std::invalid_argument);
+}
+
+TEST(VariationSweepTest, WithinDecreasesBetweenIncreases) {
+    auto x = two_blobs();
+    for (auto algo : {cluster_algorithm::kmeans_pp,
+                      cluster_algorithm::hierarchical_single}) {
+        auto sweep = variation_sweep(x, 1, 6, algo);
+        ASSERT_EQ(sweep.size(), 6u);
+        for (std::size_t i = 1; i < sweep.size(); ++i) {
+            EXPECT_LE(sweep[i].within, sweep[i - 1].within + 1e-6);
+            EXPECT_GE(sweep[i].between, sweep[i - 1].between - 1e-6);
+        }
+    }
+    EXPECT_THROW(variation_sweep(x, 0, 3, cluster_algorithm::kmeans_pp),
+                 std::invalid_argument);
+    EXPECT_THROW(variation_sweep(x, 4, 3, cluster_algorithm::kmeans_pp),
+                 std::invalid_argument);
+}
+
+TEST(KneeTest, FindsObviousKnee) {
+    // Within-variation drops hugely from k=1..3 then flattens: knee ~ 3.
+    std::vector<variation_point> sweep{
+        {1, 100.0, 0.0}, {2, 40.0, 60.0},  {3, 8.0, 92.0},
+        {4, 7.0, 93.0},  {5, 6.5, 93.5},   {6, 6.2, 93.8},
+    };
+    const auto k = knee_of(sweep);
+    EXPECT_GE(k, 2u);
+    EXPECT_LE(k, 4u);
+}
+
+TEST(KneeTest, DegenerateSweeps) {
+    EXPECT_EQ(knee_of({}), 0u);
+    EXPECT_EQ(knee_of({{3, 1.0, 0.0}}), 3u);
+    // Flat curve: knee at second point.
+    std::vector<variation_point> flat{{1, 5, 0}, {2, 5, 0}, {3, 5, 0}};
+    EXPECT_EQ(knee_of(flat), 1u);
+}
+
+TEST(SummaryTest, MeansStddevAndSizes) {
+    auto x = two_blobs();
+    std::vector<int> labels{0, 0, 0, 1, 1, 1};
+    auto sums = summarize_clusters(x, labels, 2, 3.0);
+    ASSERT_EQ(sums.size(), 2u);
+    EXPECT_EQ(sums[0].size, 3u);
+    EXPECT_NEAR(sums[0].mean[0], 1.0, 0.1);
+    EXPECT_NEAR(sums[1].mean[0], -1.0, 0.1);
+    EXPECT_GT(sums[0].stddev[0], 0.0);
+}
+
+TEST(SummaryTest, SignatureSigns) {
+    auto x = two_blobs();
+    std::vector<int> labels{0, 0, 0, 1, 1, 1};
+    auto sums = summarize_clusters(x, labels, 2, 3.0);
+    // Dim 0 means are +-1 with stddev ~0.1 -> clear +/- signs.
+    EXPECT_EQ(sums[0].signature[0], signature_sign::positive);
+    EXPECT_EQ(sums[1].signature[0], signature_sign::negative);
+    // Dim 1 means ~0 -> zero sign.
+    EXPECT_EQ(sums[0].signature[1], signature_sign::zero);
+    EXPECT_EQ(sums[0].signature_string().front(), '+');
+    EXPECT_EQ(sums[1].signature_string().front(), '-');
+}
+
+TEST(SummaryTest, ThresholdControlsSignAssignment) {
+    auto x = two_blobs();
+    std::vector<int> labels{0, 0, 0, 1, 1, 1};
+    // With an absurd threshold everything is 0.
+    auto strict = summarize_clusters(x, labels, 2, 1000.0);
+    for (const auto& s : strict)
+        for (auto sig : s.signature) EXPECT_EQ(sig, signature_sign::zero);
+}
+
+TEST(SummaryTest, Validation) {
+    auto x = two_blobs();
+    EXPECT_THROW(summarize_clusters(x, {0, 0}, 1), std::invalid_argument);
+    EXPECT_THROW(summarize_clusters(x, {0, 0, 0, 0, 0, 9}, 2),
+                 std::invalid_argument);
+}
+
+TEST(MatchClustersTest, MatchesNearestAndRespectsCutoff) {
+    auto x = two_blobs();
+    std::vector<int> labels{0, 0, 0, 1, 1, 1};
+    auto a = summarize_clusters(x, labels, 2);
+
+    // b: same clusters plus one far-away cluster.
+    auto y = la::matrix::from_rows({{1.0, 0.0},
+                                    {1.05, 0.0},
+                                    {-1.0, 0.0},
+                                    {-1.05, 0.0},
+                                    {50.0, 50.0}});
+    std::vector<int> ylab{0, 0, 1, 1, 2};
+    auto b = summarize_clusters(y, ylab, 3);
+
+    auto match = match_clusters(a, b, 0.6);
+    EXPECT_EQ(match[0], 0);
+    EXPECT_EQ(match[1], 1);
+
+    auto rev = match_clusters(b, a, 0.6);
+    EXPECT_EQ(rev[0], 0);
+    EXPECT_EQ(rev[1], 1);
+    EXPECT_EQ(rev[2], -1);  // the far cluster corresponds to none
+}
+
+TEST(SignatureCharTest, AllSigns) {
+    EXPECT_EQ(signature_char(signature_sign::zero), '0');
+    EXPECT_EQ(signature_char(signature_sign::positive), '+');
+    EXPECT_EQ(signature_char(signature_sign::negative), '-');
+}

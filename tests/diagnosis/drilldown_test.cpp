@@ -1,0 +1,125 @@
+// Tests for the anomaly drill-down — the paper's "expose the raw flow
+// records involved in the anomaly" future-work item.
+#include "diagnosis/drilldown.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/topology.h"
+#include "traffic/anomaly.h"
+#include "traffic/background.h"
+
+using namespace tfd::diagnosis;
+using namespace tfd::traffic;
+
+namespace {
+
+const tfd::net::topology& abilene() {
+    static const auto t = tfd::net::topology::abilene();
+    return t;
+}
+
+struct cell_pair {
+    std::vector<tfd::flow::flow_record> anomalous;
+    std::vector<tfd::flow::flow_record> baseline;
+    std::set<tfd::flow::flow_key, bool (*)(const tfd::flow::flow_key&,
+                                           const tfd::flow::flow_key&)>
+        anomaly_keys{+[](const tfd::flow::flow_key& a,
+                         const tfd::flow::flow_key& b) {
+            return std::tie(a.src.value, a.dst.value, a.src_port, a.dst_port,
+                            a.protocol) < std::tie(b.src.value, b.dst.value,
+                                                   b.src_port, b.dst_port,
+                                                   b.protocol);
+        }};
+};
+
+cell_pair make_cells(anomaly_type t, double pps, std::uint64_t seed = 9) {
+    static background_model bg(abilene());
+    const int od = abilene().od_index(2, 6);
+    cell_pair out;
+    out.baseline = bg.generate(49, od);
+    out.anomalous = bg.generate(50, od);
+    anomaly_cell cell;
+    cell.type = t;
+    cell.od = od;
+    cell.bin = 50;
+    cell.packets = pps * 300.0;
+    auto extra = generate_anomaly_records(abilene(), cell, rng(seed));
+    for (const auto& r : extra) out.anomaly_keys.insert(r.key);
+    out.anomalous.insert(out.anomalous.end(), extra.begin(), extra.end());
+    return out;
+}
+
+}  // namespace
+
+TEST(DrilldownTest, EmptyCellsHandled) {
+    EXPECT_TRUE(rank_anomalous_records({}, {}).empty());
+    EXPECT_EQ(coverage({}, {}), 0.0);
+}
+
+TEST(DrilldownTest, AlphaFlowTopsRanking) {
+    auto cells = make_cells(anomaly_type::alpha, 50);
+    auto ranked = rank_anomalous_records(cells.anomalous, cells.baseline, 5);
+    ASSERT_FALSE(ranked.empty());
+    // The top record must be one of the injected alpha records.
+    EXPECT_TRUE(cells.anomaly_keys.count(ranked.front().record.key));
+    EXPECT_GT(ranked.front().score, 0.0);
+    // The handful of alpha records carry nearly all anomalous packets.
+    EXPECT_GT(coverage(ranked, cells.anomalous), 0.8);
+}
+
+TEST(DrilldownTest, ScanRecordsRankAboveBackground) {
+    auto cells = make_cells(anomaly_type::network_scan, 2);
+    auto ranked = rank_anomalous_records(cells.anomalous, cells.baseline, 50);
+    ASSERT_GE(ranked.size(), 20u);
+    int anomalous_in_top = 0;
+    for (std::size_t i = 0; i < 20; ++i)
+        if (cells.anomaly_keys.count(ranked[i].record.key)) ++anomalous_in_top;
+    EXPECT_GE(anomalous_in_top, 15);
+}
+
+TEST(DrilldownTest, QuietCellScoresNearZero) {
+    static background_model bg(abilene());
+    const int od = abilene().od_index(2, 6);
+    const auto a = bg.generate(60, od);
+    const auto b = bg.generate(61, od);
+    auto ranked = rank_anomalous_records(b, a, 10);
+    ASSERT_FALSE(ranked.empty());
+    // No record should be dramatically surprising between two ordinary
+    // bins of the same flow (popular hosts recur; tail hosts are smoothed).
+    auto worst = rank_anomalous_records(make_cells(anomaly_type::dos, 100)
+                                            .anomalous,
+                                        a, 1);
+    ASSERT_FALSE(worst.empty());
+    EXPECT_LT(ranked.front().score, worst.front().score);
+}
+
+TEST(DrilldownTest, PerFeatureBreakdownMatchesSignature) {
+    // For a DOS flood the surprise should concentrate in dstIP (one
+    // hammered victim address) rather than srcPort (spoofed, dispersed).
+    auto cells = make_cells(anomaly_type::dos, 80);
+    auto ranked = rank_anomalous_records(cells.anomalous, cells.baseline, 3);
+    ASSERT_FALSE(ranked.empty());
+    const auto& top = ranked.front();
+    EXPECT_GT(top.per_feature[2], 0.0);                    // dstIP surprise
+    EXPECT_GT(top.per_feature[2], top.per_feature[1]);     // > srcPort
+}
+
+TEST(DrilldownTest, TopKLimitsOutput) {
+    auto cells = make_cells(anomaly_type::worm, 3);
+    EXPECT_EQ(rank_anomalous_records(cells.anomalous, cells.baseline, 7).size(),
+              7u);
+    // top_k == 0 returns all.
+    EXPECT_EQ(rank_anomalous_records(cells.anomalous, cells.baseline, 0).size(),
+              cells.anomalous.size());
+}
+
+TEST(DrilldownTest, ClassifyTopRecordsSharpensLabel) {
+    // Even with background mixed in, the top-ranked records alone carry
+    // the anomaly's signature.
+    auto cells = make_cells(anomaly_type::port_scan, 2);
+    auto ranked = rank_anomalous_records(cells.anomalous, cells.baseline, 300);
+    const auto l = classify_top_records(ranked, /*expected_packets=*/0.0);
+    EXPECT_EQ(l, label::port_scan);
+}

@@ -1,0 +1,161 @@
+// Tests for the heuristic flow-level labeler: every generator anomaly
+// type must be recovered from its records by the inspection rules.
+#include "diagnosis/labeler.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/topology.h"
+#include "traffic/background.h"
+
+using namespace tfd::diagnosis;
+using namespace tfd::traffic;
+
+namespace {
+
+const tfd::net::topology& abilene() {
+    static const auto t = tfd::net::topology::abilene();
+    return t;
+}
+
+// Records for one anomaly type over a realistic background cell.
+inspection_input make_input(anomaly_type t, double pps, std::uint64_t seed = 3,
+                            double expected_packets = 0.0) {
+    static background_model bg(abilene());
+    inspection_input in;
+    const int od = abilene().od_index(3, 8);
+    in.records = bg.generate(50, od);
+    if (expected_packets == 0.0)
+        expected_packets =
+            bg.base_records(od) * bg.volume_multiplier(od, 50) * 2.2;
+    if (t != anomaly_type::none) {
+        anomaly_cell cell;
+        cell.type = t;
+        cell.od = od;
+        cell.bin = 50;
+        cell.packets = pps * 300.0;
+        auto extra = generate_anomaly_records(abilene(), cell, rng(seed));
+        in.records.insert(in.records.end(), extra.begin(), extra.end());
+    }
+    in.expected_packets = expected_packets;
+    return in;
+}
+
+}  // namespace
+
+TEST(LabelTest, NamesAndFamilies) {
+    EXPECT_EQ(std::string(label_name(label::alpha)), "Alpha");
+    EXPECT_EQ(std::string(label_name(label::false_alarm)), "False Alarm");
+    EXPECT_TRUE(is_dos_family(label::dos));
+    EXPECT_TRUE(is_dos_family(label::ddos));
+    EXPECT_FALSE(is_dos_family(label::alpha));
+}
+
+TEST(LabelTest, GroundTruthMapping) {
+    EXPECT_EQ(label_of(anomaly_type::alpha), label::alpha);
+    EXPECT_EQ(label_of(anomaly_type::worm), label::worm);
+    EXPECT_EQ(label_of(anomaly_type::none), label::false_alarm);
+}
+
+TEST(InspectTest, StatsOnEmptyInput) {
+    inspection_input in;
+    auto st = inspect(in);
+    EXPECT_EQ(st.total_packets, 0.0);
+    EXPECT_EQ(st.distinct_dst_ips, 0u);
+}
+
+TEST(InspectTest, SequentialityDetectsRuns) {
+    inspection_input in;
+    for (int i = 0; i < 100; ++i) {
+        tfd::flow::flow_record r;
+        r.key.dst = tfd::net::ipv4{1000u + i};  // sequential addresses
+        r.key.dst_port = static_cast<std::uint16_t>(2000 + 7 * i);  // gaps
+        r.packets = 1;
+        in.records.push_back(r);
+    }
+    auto st = inspect(in);
+    EXPECT_GT(st.dst_ip_sequentiality, 0.95);
+    EXPECT_LT(st.dst_port_sequentiality, 0.05);
+}
+
+TEST(LabelerTest, BackgroundOnlyIsFalseAlarm) {
+    auto in = make_input(anomaly_type::none, 0.0);
+    EXPECT_EQ(classify(in), label::false_alarm);
+}
+
+TEST(LabelerTest, RecognizesAlpha) {
+    EXPECT_EQ(classify(make_input(anomaly_type::alpha, 200)), label::alpha);
+}
+
+TEST(LabelerTest, RecognizesDos) {
+    EXPECT_EQ(classify(make_input(anomaly_type::dos, 150)), label::dos);
+}
+
+TEST(LabelerTest, RecognizesDdos) {
+    EXPECT_EQ(classify(make_input(anomaly_type::ddos, 150)), label::ddos);
+}
+
+TEST(LabelerTest, RecognizesFlashCrowd) {
+    // Flash crowd: surge to one web port; packet sizes are data-like.
+    EXPECT_EQ(classify(make_input(anomaly_type::flash_crowd, 120)),
+              label::flash_crowd);
+}
+
+TEST(LabelerTest, RecognizesPortScan) {
+    EXPECT_EQ(classify(make_input(anomaly_type::port_scan, 3)),
+              label::port_scan);
+}
+
+TEST(LabelerTest, RecognizesNetworkScan) {
+    EXPECT_EQ(classify(make_input(anomaly_type::network_scan, 3)),
+              label::network_scan);
+}
+
+TEST(LabelerTest, RecognizesWorm) {
+    EXPECT_EQ(classify(make_input(anomaly_type::worm, 4)), label::worm);
+}
+
+TEST(LabelerTest, RecognizesPointMultipoint) {
+    EXPECT_EQ(classify(make_input(anomaly_type::point_multipoint, 8)),
+              label::point_multipoint);
+}
+
+TEST(LabelerTest, RecognizesOutage) {
+    // Outage: the cell's records collapse to near nothing.
+    static background_model bg(abilene());
+    inspection_input in;
+    generation_tweaks tweaks;
+    tweaks.volume_scale = 0.05;
+    tweaks.host_rank_offset = 64;
+    const int od = abilene().od_index(3, 8);
+    in.records = bg.generate(50, od, tweaks);
+    in.expected_packets = bg.base_records(od) * bg.volume_multiplier(od, 50) * 2.2;
+    EXPECT_EQ(classify(in), label::outage);
+}
+
+// Sweep: labeler accuracy across seeds — at least 80% of cells carrying
+// a planted anomaly must be labeled with the right type (the paper's
+// manual inspection was not perfect either; unknowns are expected).
+class LabelerAccuracySweep
+    : public ::testing::TestWithParam<anomaly_type> {};
+
+TEST_P(LabelerAccuracySweep, MostSeedsCorrect) {
+    const anomaly_type t = GetParam();
+    const auto [lo, hi] = default_intensity_range(t);
+    int correct = 0;
+    const int trials = 10;
+    for (int s = 0; s < trials; ++s) {
+        const double pps = lo + (hi - lo) * (s + 0.5) / trials;
+        const auto got = classify(make_input(t, pps, 100 + s));
+        if (got == label_of(t)) ++correct;
+    }
+    EXPECT_GE(correct, 8) << anomaly_name(t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Types, LabelerAccuracySweep,
+    ::testing::Values(anomaly_type::alpha, anomaly_type::dos,
+                      anomaly_type::ddos, anomaly_type::flash_crowd,
+                      anomaly_type::port_scan, anomaly_type::network_scan,
+                      anomaly_type::worm, anomaly_type::point_multipoint));

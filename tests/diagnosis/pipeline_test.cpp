@@ -1,0 +1,181 @@
+// Tests for dataset synthesis, the diagnosis pipeline, the injection
+// laboratory, and report formatting.
+#include "diagnosis/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "diagnosis/injection.h"
+#include "diagnosis/report.h"
+#include "traffic/trace.h"
+
+using namespace tfd::diagnosis;
+
+TEST(DatasetConfigTest, PaperGeometry) {
+    const auto a = dataset_config::abilene();
+    EXPECT_EQ(a.name, "Abilene");
+    EXPECT_EQ(a.anonymize_bits, 11);
+    const auto g = dataset_config::geant();
+    EXPECT_EQ(g.anonymize_bits, 0);
+    EXPECT_LT(g.background.mean_records_per_bin,
+              a.background.mean_records_per_bin);
+}
+
+TEST(NetworkStudyTest, BuildsScheduleAndRecords) {
+    auto cfg = dataset_config::abilene(7, /*bins=*/288);
+    cfg.schedule.anomalies_per_day = 20;
+    network_study study(cfg);
+    EXPECT_EQ(study.topo().pop_count(), 11);
+    EXPECT_GT(study.schedule().size(), 5u);
+
+    // Cell records are anonymized: low 11 address bits zero.
+    auto recs = study.cell_records(10, 40);
+    ASSERT_FALSE(recs.empty());
+    for (const auto& r : recs) {
+        EXPECT_EQ(r.key.src.value & 0x7FFu, 0u);
+        EXPECT_EQ(r.key.dst.value & 0x7FFu, 0u);
+    }
+}
+
+TEST(NetworkStudyTest, AnomalousCellsCarryExtraRecords) {
+    auto cfg = dataset_config::abilene(11, 288);
+    cfg.schedule.anomalies_per_day = 30;
+    network_study study(cfg);
+
+    // Find a planted non-outage anomaly and compare its cell against the
+    // same cell's background-only generation.
+    const tfd::traffic::planted_anomaly* target = nullptr;
+    for (const auto& a : study.schedule().anomalies())
+        if (a.type != tfd::traffic::anomaly_type::outage &&
+            a.packets_per_second > 20) {
+            target = &a;
+            break;
+        }
+    ASSERT_NE(target, nullptr);
+    const int od = target->od_flows.front();
+    const auto with = study.cell_records(target->start_bin, od);
+    const auto without = study.background().generate(target->start_bin, od);
+    double with_packets = 0, without_packets = 0;
+    for (const auto& r : with) with_packets += static_cast<double>(r.packets);
+    for (const auto& r : without)
+        without_packets += static_cast<double>(r.packets);
+    EXPECT_GT(with_packets, without_packets * 1.5);
+}
+
+TEST(NetworkStudyTest, OutageCellsDip) {
+    auto cfg = dataset_config::abilene(13, 2016);
+    network_study study(cfg);
+    const tfd::traffic::planted_anomaly* outage = nullptr;
+    for (const auto& a : study.schedule().anomalies())
+        if (a.type == tfd::traffic::anomaly_type::outage) {
+            outage = &a;
+            break;
+        }
+    ASSERT_NE(outage, nullptr);
+    const int od = outage->od_flows.front();
+    const auto dipped = study.cell_records(outage->start_bin, od);
+    const auto normal = study.background().generate(outage->start_bin, od);
+    EXPECT_LT(dipped.size() * 5, normal.size() + 5);
+}
+
+TEST(PipelineTest, EndToEndFindsPlantedAnomalies) {
+    auto cfg = dataset_config::abilene(17, /*bins=*/576);
+    cfg.schedule.anomalies_per_day = 12;
+    network_study study(cfg);
+
+    diagnosis_options opts;
+    opts.alpha = 0.999;
+    auto report = run_diagnosis(study, opts);
+
+    // Some events must be detected and most of them match ground truth.
+    ASSERT_GT(report.events.size(), 3u);
+    EXPECT_GT(report.true_detections() * 2, report.events.size());
+
+    // Overlap partition is consistent.
+    EXPECT_EQ(report.overlap.entropy_only.size() + report.overlap.both.size(),
+              report.entropy.rows.anomalous_bins.size());
+
+    // h_tilde vectors are unit norm.
+    for (const auto& e : report.events) {
+        double n = 0;
+        for (double x : e.event.h_tilde) n += x * x;
+        EXPECT_NEAR(n, 1.0, 1e-6);
+    }
+
+    // Scoring: a decent share of planted anomalies detected.
+    auto score = score_against_truth(study, report.entropy);
+    EXPECT_GT(score.planted, 0u);
+    EXPECT_GT(score.rate(), 0.3);
+}
+
+TEST(InjectionLabTest, CleanBinPassesAndInjectionFires) {
+    const auto topo = tfd::net::topology::abilene();
+    tfd::traffic::background_model bg(topo);
+    injection_options opts;
+    opts.bins = 288;
+    opts.inject_bin = 150;
+    injection_lab lab(topo, bg, opts);
+
+    // No injection: the clean bin is below threshold.
+    auto clean = lab.evaluate({}, 0.999);
+    EXPECT_FALSE(clean.entropy_detected);
+
+    // A strong injected worm scan fires the entropy detector.
+    auto trace = tfd::traffic::make_worm_scan_trace();
+    injection inj;
+    inj.od = topo.od_index(4, 9);
+    inj.records = tfd::traffic::map_into_od(trace, topo, inj.od,
+                                            opts.inject_bin, /*seed=*/5);
+    auto hit = lab.evaluate({inj}, 0.999);
+    EXPECT_GT(hit.entropy_spe, clean.entropy_spe);
+    EXPECT_TRUE(hit.entropy_detected);
+}
+
+TEST(InjectionLabTest, ThresholdsOrderedByAlpha) {
+    const auto topo = tfd::net::topology::abilene();
+    tfd::traffic::background_model bg(topo);
+    injection_options opts;
+    opts.bins = 96;
+    opts.inject_bin = 50;
+    injection_lab lab(topo, bg, opts);
+    const auto t995 = lab.thresholds(0.995);
+    const auto t999 = lab.thresholds(0.999);
+    for (int i = 0; i < 3; ++i) EXPECT_LT(t995[i], t999[i]);
+    EXPECT_GT(lab.mean_od_packet_rate(), 0.0);
+}
+
+TEST(InjectionLabTest, Validation) {
+    const auto topo = tfd::net::topology::abilene();
+    tfd::traffic::background_model bg(topo);
+    injection_options opts;
+    opts.bins = 10;
+    opts.inject_bin = 10;
+    EXPECT_THROW(injection_lab(topo, bg, opts), std::invalid_argument);
+
+    opts.inject_bin = 5;
+    injection_lab lab(topo, bg, opts);
+    injection bad;
+    bad.od = -1;
+    EXPECT_THROW(lab.evaluate({bad}, 0.999), std::invalid_argument);
+}
+
+TEST(TextTableTest, RendersAligned) {
+    text_table t({"name", "value"});
+    t.add_row({"x", "1"});
+    t.add_row({"longer-name", "2.5"});
+    const auto s = t.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("longer-name"), std::string::npos);
+    EXPECT_NE(s.find("----"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_THROW(t.add_row({"a", "b", "c"}), std::invalid_argument);
+}
+
+TEST(FormatTest, Fixed) {
+    EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt_fixed(-1.0, 0), "-1");
+    EXPECT_EQ(fmt_percent(0.125, 1), "12.5%");
+    EXPECT_EQ(fmt_mean_std(1.0, 0.25, 2), "1.00 +- 0.25");
+    EXPECT_NE(fmt_sci(347000.0).find("e+05"), std::string::npos);
+}

@@ -1,0 +1,61 @@
+// Unit tests for packet/flow-record types.
+#include "flow/flow_record.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+
+using namespace tfd::flow;
+using tfd::net::parse_ipv4;
+
+TEST(FeatureTest, NamesMatchPaperNotation) {
+    EXPECT_EQ(std::string(feature_name(feature::src_ip)), "srcIP");
+    EXPECT_EQ(std::string(feature_name(feature::src_port)), "srcPort");
+    EXPECT_EQ(std::string(feature_name(feature::dst_ip)), "dstIP");
+    EXPECT_EQ(std::string(feature_name(feature::dst_port)), "dstPort");
+}
+
+TEST(FlowRecordTest, FeatureValueExtraction) {
+    flow_record r;
+    r.key.src = parse_ipv4("10.0.0.1");
+    r.key.dst = parse_ipv4("20.0.0.2");
+    r.key.src_port = 1234;
+    r.key.dst_port = 80;
+    EXPECT_EQ(r.feature_value(feature::src_ip), parse_ipv4("10.0.0.1").value);
+    EXPECT_EQ(r.feature_value(feature::dst_ip), parse_ipv4("20.0.0.2").value);
+    EXPECT_EQ(r.feature_value(feature::src_port), 1234u);
+    EXPECT_EQ(r.feature_value(feature::dst_port), 80u);
+}
+
+TEST(FlowKeyTest, EqualityIsFieldwise) {
+    flow_key a{parse_ipv4("1.1.1.1"), parse_ipv4("2.2.2.2"), 1, 2, 6};
+    flow_key b = a;
+    EXPECT_EQ(a, b);
+    b.dst_port = 3;
+    EXPECT_NE(a, b);
+    b = a;
+    b.protocol = 17;
+    EXPECT_NE(a, b);
+}
+
+TEST(FlowKeyHashTest, DistinctKeysMostlyDistinctHashes) {
+    flow_key_hash h;
+    std::unordered_set<std::size_t> seen;
+    int collisions = 0;
+    for (int i = 0; i < 1000; ++i) {
+        flow_key k{tfd::net::ipv4{static_cast<std::uint32_t>(i * 2654435761u)},
+                   tfd::net::ipv4{static_cast<std::uint32_t>(i)},
+                   static_cast<std::uint16_t>(i % 65536),
+                   static_cast<std::uint16_t>((i * 7) % 65536), 6};
+        if (!seen.insert(h(k)).second) ++collisions;
+    }
+    EXPECT_LE(collisions, 2);
+}
+
+TEST(FlowKeyHashTest, EqualKeysEqualHashes) {
+    flow_key_hash h;
+    flow_key a{parse_ipv4("1.2.3.4"), parse_ipv4("5.6.7.8"), 10, 20, 17};
+    flow_key b = a;
+    EXPECT_EQ(h(a), h(b));
+}

@@ -1,0 +1,78 @@
+// Unit and property tests for periodic sampling / trace thinning.
+#include "flow/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+using namespace tfd::flow;
+
+TEST(SamplerTest, RateOneKeepsEverything) {
+    periodic_sampler s(1);
+    for (int i = 0; i < 100; ++i) EXPECT_TRUE(s.sample());
+    EXPECT_EQ(s.offered(), 100u);
+    EXPECT_EQ(s.selected(), 100u);
+}
+
+TEST(SamplerTest, RejectsZeroRate) {
+    EXPECT_THROW(periodic_sampler(0), std::invalid_argument);
+}
+
+TEST(SamplerTest, OneInHundredIsPeriodic) {
+    periodic_sampler s(100);
+    int kept = 0;
+    for (int i = 0; i < 10000; ++i)
+        if (s.sample()) ++kept;
+    EXPECT_EQ(kept, 100);
+    EXPECT_EQ(s.selected(), 100u);
+}
+
+TEST(SamplerTest, PhaseShiftsSelection) {
+    periodic_sampler s0(10, 0), s3(10, 3);
+    std::vector<int> kept0, kept3;
+    for (int i = 0; i < 30; ++i) {
+        if (s0.sample()) kept0.push_back(i);
+        if (s3.sample()) kept3.push_back(i);
+    }
+    EXPECT_EQ(kept0, (std::vector<int>{0, 10, 20}));
+    EXPECT_EQ(kept3, (std::vector<int>{3, 13, 23}));
+}
+
+TEST(SamplerTest, ResetClearsCounters) {
+    periodic_sampler s(5);
+    for (int i = 0; i < 12; ++i) s.sample();
+    s.reset();
+    EXPECT_EQ(s.offered(), 0u);
+    EXPECT_EQ(s.selected(), 0u);
+    EXPECT_TRUE(s.sample());  // phase preserved: first packet kept again
+}
+
+TEST(ThinTest, RateOneIsIdentity) {
+    std::vector<packet> ps(17);
+    for (std::size_t i = 0; i < ps.size(); ++i) ps[i].time_us = i;
+    auto out = thin(ps, 1);
+    EXPECT_EQ(out.size(), ps.size());
+}
+
+TEST(ThinTest, PreservesOrderAndSpacing) {
+    std::vector<packet> ps(1000);
+    for (std::size_t i = 0; i < ps.size(); ++i) ps[i].time_us = i;
+    auto out = thin(ps, 100);
+    ASSERT_EQ(out.size(), 10u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i].time_us, i * 100);
+}
+
+// Paper Table 5: thinning by N divides intensity by N. Sweep rates.
+class ThinSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ThinSweep, KeepsOneOverN) {
+    const std::uint64_t n = GetParam();
+    std::vector<packet> ps(100000);
+    auto out = thin(ps, n);
+    const double expected = 100000.0 / static_cast<double>(n);
+    EXPECT_NEAR(static_cast<double>(out.size()), expected, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ThinSweep,
+                         ::testing::Values(1, 10, 100, 500, 1000, 10000));

@@ -1,0 +1,92 @@
+// Integration: full studies on both networks, anonymization impact, and
+// volume/entropy complementarity — small-scale versions of the paper's
+// Section 5/6 analyses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "diagnosis/injection.h"
+#include "diagnosis/pipeline.h"
+#include "traffic/trace.h"
+
+using namespace tfd::diagnosis;
+
+TEST(EndToEndTest, GeantStudyRuns) {
+    auto cfg = dataset_config::geant(23, /*bins=*/288);
+    cfg.schedule.anomalies_per_day = 16;
+    network_study study(cfg);
+    EXPECT_EQ(study.topo().od_count(), 484);
+
+    auto data = study.build();
+    EXPECT_EQ(data.flows(), 484u);
+
+    diagnosis_options opts;
+    opts.alpha = 0.999;
+    auto report = run_diagnosis(study, data, opts);
+    // Sanity: SPE computed for every bin; some events found on a network
+    // this dense with anomalies.
+    EXPECT_EQ(report.entropy.rows.spe.size(), 288u);
+    EXPECT_GT(report.events.size(), 0u);
+}
+
+TEST(EndToEndTest, AnonymizationCostsFewDetections) {
+    // Section 5: anonymizing one week of Geant cost 4 of 132 detections.
+    // At our scale: masking 11 bits must not change detection counts by
+    // more than a modest fraction.
+    auto base = dataset_config::geant(29, /*bins=*/288);
+    base.schedule.anomalies_per_day = 16;
+
+    auto anon = base;
+    anon.anonymize_bits = 11;
+
+    network_study clear_study(base);
+    network_study anon_study(anon);
+
+    diagnosis_options opts;
+    opts.alpha = 0.999;
+    const auto clear_report = run_diagnosis(clear_study, opts);
+    const auto anon_report = run_diagnosis(anon_study, opts);
+
+    const double clear_n =
+        static_cast<double>(clear_report.entropy.rows.anomalous_bins.size());
+    const double anon_n =
+        static_cast<double>(anon_report.entropy.rows.anomalous_bins.size());
+    ASSERT_GT(clear_n, 0.0);
+    EXPECT_NEAR(anon_n, clear_n, std::max(4.0, clear_n * 0.35));
+}
+
+TEST(EndToEndTest, EntropyFindsLowVolumeAnomaliesVolumeMisses) {
+    // The Table 3 story — scans detected by entropy, invisible to volume
+    // — via the paper's own Section 6.3 methodology: inject a thinned
+    // worm scan into OD flows under clean fitted models and compare the
+    // two detectors at the same intensity.
+    const auto topo = tfd::net::topology::abilene();
+    tfd::traffic::background_model bg(topo);
+    tfd::diagnosis::injection_options opts;
+    opts.bins = 288;
+    opts.inject_bin = 170;
+    tfd::diagnosis::injection_lab lab(topo, bg, opts);
+
+    const auto trace = tfd::traffic::extract_by_port(
+        tfd::traffic::make_worm_scan_trace(), 1433);
+    // Thin to ~0.5 pkts/s: below the volume noise floor of a cell.
+    const auto thinned = tfd::traffic::thin_trace(trace, 300);
+
+    int entropy_hits = 0, volume_hits = 0, trials = 0;
+    for (int od = 0; od < topo.od_count(); od += 5) {
+        tfd::diagnosis::injection inj;
+        inj.od = od;
+        inj.records = tfd::traffic::map_into_od(thinned, topo, od,
+                                                opts.inject_bin, 31 + od);
+        const auto out = lab.evaluate({inj}, 0.999);
+        if (out.entropy_detected) ++entropy_hits;
+        if (out.volume_detected) ++volume_hits;
+        ++trials;
+    }
+    // Paper: none of the scans were volume-detected while entropy found
+    // them; at our scale entropy catches a solid fraction and volume
+    // essentially none.
+    EXPECT_GE(entropy_hits * 100, trials * 30);
+    EXPECT_LE(volume_hits * 100, trials * 10);
+    EXPECT_GE(entropy_hits, volume_hits + 5);
+}

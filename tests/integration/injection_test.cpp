@@ -1,0 +1,125 @@
+// Integration: the Section 6.3 injection methodology end to end — known
+// traces, thinning sweeps, and multi-OD DDOS splitting.
+#include <gtest/gtest.h>
+
+#include "diagnosis/injection.h"
+#include "traffic/trace.h"
+
+using namespace tfd::diagnosis;
+using namespace tfd::traffic;
+
+namespace {
+
+struct lab_fixture {
+    tfd::net::topology topo = tfd::net::topology::abilene();
+    background_model bg{topo};
+    injection_lab lab;
+
+    lab_fixture() : lab(topo, bg, make_options()) {}
+
+    static injection_options make_options() {
+        injection_options o;
+        o.bins = 288;
+        o.inject_bin = 170;
+        return o;
+    }
+};
+
+lab_fixture& fixture() {
+    static lab_fixture f;  // built once: the lab fit is the slow part
+    return f;
+}
+
+}  // namespace
+
+TEST(InjectionIntegration, DetectionRateFallsWithThinning) {
+    auto& f = fixture();
+    const auto trace = make_worm_scan_trace();
+    const auto extracted = extract_by_port(trace, 1433);
+
+    double prev_rate = 1.1;
+    for (std::uint64_t thin : {1ull, 100ull, 100000ull}) {
+        const auto thinned = thin_trace(extracted, thin);
+        int detected = 0, trials = 0;
+        for (int od = 0; od < f.topo.od_count(); od += 13) {
+            injection inj;
+            inj.od = od;
+            inj.records = map_into_od(thinned, f.topo, od,
+                                      f.lab.options().inject_bin, 7);
+            if (f.lab.evaluate({inj}, 0.999).entropy_detected) ++detected;
+            ++trials;
+        }
+        const double rate = static_cast<double>(detected) / trials;
+        EXPECT_LE(rate, prev_rate + 0.15)
+            << "rate should not rise with thinning (thin=" << thin << ")";
+        prev_rate = rate;
+        if (thin == 1) {
+            EXPECT_GT(rate, 0.8);  // full worm: detected
+        }
+        if (thin == 100000) {
+            EXPECT_LT(rate, 0.5);  // ~0 packets left
+        }
+    }
+}
+
+TEST(InjectionIntegration, StrongDosDetectedByVolumeAndEntropy) {
+    auto& f = fixture();
+    trace_options topts;
+    topts.max_materialized = 100000;
+    const auto trace = make_single_source_dos_trace(topts);
+    const auto extracted = extract_to_victim(trace);
+
+    injection inj;
+    inj.od = f.topo.od_index(2, 7);
+    inj.records =
+        map_into_od(extracted, f.topo, inj.od, f.lab.options().inject_bin, 9);
+    const auto out = f.lab.evaluate({inj}, 0.999);
+    EXPECT_TRUE(out.entropy_detected);
+    EXPECT_TRUE(out.volume_detected);  // 3.47e5 pps is a volume monster
+}
+
+TEST(InjectionIntegration, MultiOdSplitStillDetected) {
+    // Split the DDOS across k origins toward one destination PoP; the
+    // multiway method sees the correlated change across OD flows.
+    auto& f = fixture();
+    trace_options topts;
+    topts.max_materialized = 100000;
+    const auto trace = make_multi_source_ddos_trace(topts);
+    const auto extracted = extract_to_victim(trace);
+    const auto thinned = thin_trace(extracted, 100);
+
+    const int dest = 6;
+    const int k = 5;
+    const auto parts = split_by_sources(thinned, k, 3);
+    std::vector<injection> injections;
+    int origin = 0;
+    for (const auto& part : parts) {
+        if (origin == dest) ++origin;
+        injection inj;
+        inj.od = f.topo.od_index(origin, dest);
+        inj.records =
+            map_into_od(part, f.topo, inj.od, f.lab.options().inject_bin, 11);
+        injections.push_back(std::move(inj));
+        ++origin;
+    }
+    const auto out = f.lab.evaluate(injections, 0.999);
+    EXPECT_TRUE(out.entropy_detected);
+}
+
+TEST(InjectionIntegration, LowerAlphaDetectsMore) {
+    auto& f = fixture();
+    const auto trace = make_worm_scan_trace();
+    const auto thinned = thin_trace(extract_by_port(trace, 1433), 500);
+
+    int d995 = 0, d999 = 0, trials = 0;
+    for (int od = 3; od < f.topo.od_count(); od += 17) {
+        injection inj;
+        inj.od = od;
+        inj.records =
+            map_into_od(thinned, f.topo, od, f.lab.options().inject_bin, 13);
+        if (f.lab.evaluate({inj}, 0.995).entropy_detected) ++d995;
+        if (f.lab.evaluate({inj}, 0.999).entropy_detected) ++d999;
+        ++trials;
+    }
+    EXPECT_GE(d995, d999);  // paper: lower threshold, higher detection rate
+}

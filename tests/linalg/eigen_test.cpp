@@ -1,0 +1,160 @@
+// Unit and property tests for the symmetric eigensolver.
+#include "linalg/symmetric_eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "linalg/matrix.h"
+
+namespace la = tfd::linalg;
+
+namespace {
+
+// Deterministic symmetric test matrix A = B + B^T.
+la::matrix random_symmetric(std::size_t n, std::uint64_t seed) {
+    la::matrix b(n, n);
+    std::uint64_t s = seed;
+    for (auto& v : b.data()) {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        v = static_cast<double>((s >> 33) % 2000) / 100.0 - 10.0;
+    }
+    return la::add(b, la::transpose(b));
+}
+
+double reconstruction_error(const la::matrix& a, const la::eigen_result& e) {
+    // ||A - V diag(w) V^T||_inf
+    const std::size_t n = a.rows();
+    la::matrix vd(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) vd(i, j) = e.vectors(i, j) * e.values[j];
+    auto rec = la::multiply(vd, la::transpose(e.vectors));
+    return la::max_abs_diff(a, rec);
+}
+
+}  // namespace
+
+TEST(EigenTest, RejectsNonSquare) {
+    EXPECT_THROW(la::symmetric_eigen(la::matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(EigenTest, RejectsAsymmetric) {
+    auto a = la::matrix::from_rows({{1, 2}, {0, 1}});
+    EXPECT_THROW(la::symmetric_eigen(a), std::invalid_argument);
+}
+
+TEST(EigenTest, DiagonalMatrixEigenvaluesSortedDescending) {
+    auto a = la::matrix::from_rows({{1, 0, 0}, {0, 5, 0}, {0, 0, 3}});
+    auto e = la::symmetric_eigen(a);
+    ASSERT_EQ(e.values.size(), 3u);
+    EXPECT_NEAR(e.values[0], 5.0, 1e-12);
+    EXPECT_NEAR(e.values[1], 3.0, 1e-12);
+    EXPECT_NEAR(e.values[2], 1.0, 1e-12);
+}
+
+TEST(EigenTest, TwoByTwoKnownSpectrum) {
+    // [[2,1],[1,2]] has eigenvalues 3 and 1.
+    auto a = la::matrix::from_rows({{2, 1}, {1, 2}});
+    auto e = la::symmetric_eigen(a);
+    EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+    EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+    // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+    EXPECT_NEAR(std::fabs(e.vectors(0, 0)), std::sqrt(0.5), 1e-10);
+    EXPECT_NEAR(e.vectors(0, 0), e.vectors(1, 0), 1e-10);
+}
+
+TEST(EigenTest, ZeroMatrix) {
+    auto e = la::symmetric_eigen(la::matrix(4, 4));
+    for (double v : e.values) EXPECT_EQ(v, 0.0);
+}
+
+TEST(EigenTest, OneByOne) {
+    auto a = la::matrix::from_rows({{-7.0}});
+    auto e = la::symmetric_eigen(a);
+    ASSERT_EQ(e.values.size(), 1u);
+    EXPECT_DOUBLE_EQ(e.values[0], -7.0);
+    EXPECT_NEAR(std::fabs(e.vectors(0, 0)), 1.0, 1e-14);
+}
+
+TEST(EigenTest, EigenvaluesOnlyMatchesFullDecomposition) {
+    auto a = random_symmetric(12, 99);
+    auto full = la::symmetric_eigen(a);
+    auto vals = la::symmetric_eigenvalues(a);
+    ASSERT_EQ(vals.size(), full.values.size());
+    for (std::size_t i = 0; i < vals.size(); ++i)
+        EXPECT_NEAR(vals[i], full.values[i], 1e-8);
+}
+
+TEST(EigenTest, TraceEqualsEigenvalueSum) {
+    auto a = random_symmetric(20, 7);
+    auto vals = la::symmetric_eigenvalues(a);
+    double trace = 0.0, sum = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) trace += a(i, i);
+    for (double v : vals) sum += v;
+    EXPECT_NEAR(trace, sum, 1e-7 * std::max(1.0, std::fabs(trace)));
+}
+
+// Property sweep across sizes and seeds: reconstruction + orthonormality.
+class EigenSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(EigenSweep, ReconstructsAndIsOrthonormal) {
+    auto [n, seed] = GetParam();
+    auto a = random_symmetric(n, seed);
+    auto e = la::symmetric_eigen(a);
+
+    double max_elem = 0.0;
+    for (double v : a.data()) max_elem = std::max(max_elem, std::fabs(v));
+    EXPECT_LT(reconstruction_error(a, e), 1e-8 * std::max(1.0, max_elem));
+
+    auto vtv = la::gram(e.vectors);
+    EXPECT_LT(la::max_abs_diff(vtv, la::matrix::identity(n)), 1e-9);
+
+    for (std::size_t j = 1; j < n; ++j)
+        EXPECT_GE(e.values[j - 1], e.values[j] - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, EigenSweep,
+    ::testing::Values(std::tuple{2, 1}, std::tuple{3, 2}, std::tuple{5, 3},
+                      std::tuple{8, 4}, std::tuple{13, 5}, std::tuple{21, 6},
+                      std::tuple{34, 7}, std::tuple{55, 8}, std::tuple{80, 9}));
+
+TEST(EigenTest, RankDeficientMatrixHasZeroEigenvalues) {
+    // Rank-1: outer product of v with itself.
+    const std::size_t n = 6;
+    std::vector<double> v{1, 2, 3, 4, 5, 6};
+    la::matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) a(i, j) = v[i] * v[j];
+    auto e = la::symmetric_eigen(a);
+    double vnorm2 = 0.0;
+    for (double x : v) vnorm2 += x * x;
+    EXPECT_NEAR(e.values[0], vnorm2, 1e-8);
+    for (std::size_t j = 1; j < n; ++j) EXPECT_NEAR(e.values[j], 0.0, 1e-8);
+}
+
+TEST(EigenTest, NegativeEigenvaluesHandled) {
+    auto a = la::matrix::from_rows({{0, 1}, {1, 0}});  // eigenvalues +1, -1
+    auto e = la::symmetric_eigen(a);
+    EXPECT_NEAR(e.values[0], 1.0, 1e-12);
+    EXPECT_NEAR(e.values[1], -1.0, 1e-12);
+}
+
+TEST(EigenTest, ClusteredEigenvaluesConverge) {
+    // Nearly-degenerate spectrum exercises the QL shift logic.
+    auto a = la::matrix::from_rows({{1.0, 1e-9, 0.0},
+                                    {1e-9, 1.0, 1e-9},
+                                    {0.0, 1e-9, 1.0 + 1e-9}});
+    auto e = la::symmetric_eigen(a);
+    for (double v : e.values) EXPECT_NEAR(v, 1.0, 1e-6);
+    EXPECT_LT(reconstruction_error(a, e), 1e-10);
+}
+
+TEST(EigenTest, LargeMatrixSmokeTest) {
+    auto a = random_symmetric(200, 2024);
+    auto e = la::symmetric_eigen(a);
+    EXPECT_LT(reconstruction_error(a, e), 1e-6);
+}

@@ -1,0 +1,205 @@
+// Unit tests for tfd::linalg::matrix and free-function arithmetic.
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace la = tfd::linalg;
+
+TEST(MatrixTest, DefaultConstructedIsEmpty) {
+    la::matrix m;
+    EXPECT_EQ(m.rows(), 0u);
+    EXPECT_EQ(m.cols(), 0u);
+    EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ConstructorZeroInitializes) {
+    la::matrix m(3, 4);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 0.0);
+}
+
+TEST(MatrixTest, FillConstructor) {
+    la::matrix m(2, 2, 7.5);
+    EXPECT_EQ(m(0, 0), 7.5);
+    EXPECT_EQ(m(1, 1), 7.5);
+}
+
+TEST(MatrixTest, FromRowsBuildsCorrectly) {
+    auto m = la::matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m(0, 0), 1);
+    EXPECT_EQ(m(1, 2), 6);
+}
+
+TEST(MatrixTest, FromRowsRejectsRagged) {
+    EXPECT_THROW(la::matrix::from_rows({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(MatrixTest, IdentityHasOnesOnDiagonal) {
+    auto id = la::matrix::identity(3);
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_EQ(id(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(MatrixTest, AtThrowsOutOfRange) {
+    la::matrix m(2, 2);
+    EXPECT_THROW(m.at(2, 0), std::out_of_range);
+    EXPECT_THROW(m.at(0, 2), std::out_of_range);
+    EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(MatrixTest, RowSpanAliasesStorage) {
+    la::matrix m(2, 3);
+    auto r = m.row(1);
+    r[2] = 42.0;
+    EXPECT_EQ(m(1, 2), 42.0);
+    EXPECT_THROW(m.row(5), std::out_of_range);
+}
+
+TEST(MatrixTest, ColCopies) {
+    auto m = la::matrix::from_rows({{1, 2}, {3, 4}});
+    auto c = m.col(1);
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_EQ(c[0], 2);
+    EXPECT_EQ(c[1], 4);
+    EXPECT_THROW(m.col(2), std::out_of_range);
+}
+
+TEST(MatrixTest, BlockExtractsSubmatrix) {
+    auto m = la::matrix::from_rows({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+    auto b = m.block(1, 1, 2, 2);
+    EXPECT_EQ(b(0, 0), 5);
+    EXPECT_EQ(b(1, 1), 9);
+    EXPECT_THROW(m.block(2, 2, 2, 2), std::out_of_range);
+}
+
+TEST(MatrixTest, SetBlockWrites) {
+    la::matrix m(3, 3);
+    m.set_block(1, 1, la::matrix::from_rows({{1, 2}, {3, 4}}));
+    EXPECT_EQ(m(1, 1), 1);
+    EXPECT_EQ(m(2, 2), 4);
+    EXPECT_EQ(m(0, 0), 0);
+    EXPECT_THROW(m.set_block(2, 2, la::matrix(2, 2)), std::out_of_range);
+}
+
+TEST(MatrixArithmeticTest, AddSubtract) {
+    auto a = la::matrix::from_rows({{1, 2}, {3, 4}});
+    auto b = la::matrix::from_rows({{5, 6}, {7, 8}});
+    auto s = la::add(a, b);
+    EXPECT_EQ(s(0, 0), 6);
+    EXPECT_EQ(s(1, 1), 12);
+    auto d = la::subtract(b, a);
+    EXPECT_EQ(d(0, 0), 4);
+    EXPECT_EQ(d(1, 1), 4);
+    EXPECT_THROW(la::add(a, la::matrix(3, 2)), std::invalid_argument);
+}
+
+TEST(MatrixArithmeticTest, Scale) {
+    auto a = la::matrix::from_rows({{1, -2}});
+    auto s = la::scale(a, -2.0);
+    EXPECT_EQ(s(0, 0), -2);
+    EXPECT_EQ(s(0, 1), 4);
+}
+
+TEST(MatrixArithmeticTest, MultiplyKnownProduct) {
+    auto a = la::matrix::from_rows({{1, 2}, {3, 4}});
+    auto b = la::matrix::from_rows({{5, 6}, {7, 8}});
+    auto c = la::multiply(a, b);
+    EXPECT_EQ(c(0, 0), 19);
+    EXPECT_EQ(c(0, 1), 22);
+    EXPECT_EQ(c(1, 0), 43);
+    EXPECT_EQ(c(1, 1), 50);
+    EXPECT_THROW(la::multiply(a, la::matrix(3, 3)), std::invalid_argument);
+}
+
+TEST(MatrixArithmeticTest, MultiplyByIdentityIsNoop) {
+    auto a = la::matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+    auto c = la::multiply(a, la::matrix::identity(3));
+    EXPECT_EQ(la::max_abs_diff(a, c), 0.0);
+}
+
+TEST(MatrixArithmeticTest, MatVecAndTransposeVec) {
+    auto a = la::matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+    std::vector<double> x{1, 1};
+    auto y = la::multiply(a, x);
+    ASSERT_EQ(y.size(), 3u);
+    EXPECT_EQ(y[0], 3);
+    EXPECT_EQ(y[2], 11);
+
+    std::vector<double> z{1, 0, 1};
+    auto w = la::multiply_transpose(a, z);
+    ASSERT_EQ(w.size(), 2u);
+    EXPECT_EQ(w[0], 6);
+    EXPECT_EQ(w[1], 8);
+}
+
+TEST(MatrixArithmeticTest, TransposeRoundTrip) {
+    auto a = la::matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+    auto t = la::transpose(a);
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_EQ(t(2, 1), 6);
+    EXPECT_EQ(la::max_abs_diff(la::transpose(t), a), 0.0);
+}
+
+TEST(MatrixArithmeticTest, GramMatchesExplicitProduct) {
+    auto a = la::matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+    auto g = la::gram(a);
+    auto expected = la::multiply(la::transpose(a), a);
+    EXPECT_LT(la::max_abs_diff(g, expected), 1e-12);
+
+    auto og = la::outer_gram(a);
+    auto expected2 = la::multiply(a, la::transpose(a));
+    EXPECT_LT(la::max_abs_diff(og, expected2), 1e-12);
+}
+
+TEST(MatrixArithmeticTest, Norms) {
+    auto a = la::matrix::from_rows({{3, 4}});
+    EXPECT_DOUBLE_EQ(la::frobenius_norm(a), 5.0);
+    std::vector<double> v{3, 4};
+    EXPECT_DOUBLE_EQ(la::norm2(v), 5.0);
+}
+
+TEST(MatrixArithmeticTest, DotChecksLength) {
+    std::vector<double> x{1, 2}, y{3, 4}, z{1};
+    EXPECT_DOUBLE_EQ(la::dot(x, y), 11.0);
+    EXPECT_THROW(la::dot(x, z), std::invalid_argument);
+}
+
+TEST(MatrixArithmeticTest, ToStringRendersValues) {
+    auto a = la::matrix::from_rows({{1, 2}});
+    EXPECT_EQ(la::to_string(a), "1 2\n");
+}
+
+// Property-style sweep: (A B)^T == B^T A^T across shapes.
+class MatrixShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatrixShapeSweep, TransposeOfProductIsReversedProduct) {
+    auto [n, k, m] = GetParam();
+    la::matrix a(n, k), b(k, m);
+    // Deterministic pseudo-random fill.
+    std::uint64_t s = 12345;
+    auto next = [&s]() {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        return static_cast<double>((s >> 33) % 1000) / 100.0 - 5.0;
+    };
+    for (auto& v : a.data()) v = next();
+    for (auto& v : b.data()) v = next();
+    auto lhs = la::transpose(la::multiply(a, b));
+    auto rhs = la::multiply(la::transpose(b), la::transpose(a));
+    EXPECT_LT(la::max_abs_diff(lhs, rhs), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatrixShapeSweep,
+                         ::testing::Values(std::tuple{1, 1, 1},
+                                           std::tuple{2, 3, 4},
+                                           std::tuple{5, 1, 5},
+                                           std::tuple{7, 8, 3},
+                                           std::tuple{16, 16, 16}));

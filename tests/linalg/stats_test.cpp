@@ -1,0 +1,98 @@
+// Unit tests for descriptive statistics and the normal quantile.
+#include "linalg/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace la = tfd::linalg;
+
+TEST(StatsTest, MeanBasics) {
+    std::vector<double> x{1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(la::mean(x), 2.5);
+    EXPECT_THROW(la::mean(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(StatsTest, VarianceUnbiased) {
+    std::vector<double> x{2, 4, 4, 4, 5, 5, 7, 9};
+    // Known: sample variance with n-1 denominator = 32/7.
+    EXPECT_NEAR(la::variance(x), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(la::stddev(x), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, VarianceOfSingletonIsZero) {
+    std::vector<double> x{5.0};
+    EXPECT_EQ(la::variance(x), 0.0);
+}
+
+TEST(StatsTest, ColumnMeansAndCentering) {
+    auto m = la::matrix::from_rows({{1, 10}, {3, 20}});
+    auto mu = la::column_means(m);
+    ASSERT_EQ(mu.size(), 2u);
+    EXPECT_DOUBLE_EQ(mu[0], 2.0);
+    EXPECT_DOUBLE_EQ(mu[1], 15.0);
+
+    auto c = la::center_columns(m);
+    EXPECT_DOUBLE_EQ(c(0, 0), -1.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 5.0);
+    auto mu2 = la::column_means(c);
+    EXPECT_NEAR(mu2[0], 0.0, 1e-15);
+    EXPECT_NEAR(mu2[1], 0.0, 1e-15);
+}
+
+TEST(StatsTest, CovarianceKnownValues) {
+    // Perfectly correlated columns.
+    auto m = la::matrix::from_rows({{1, 2}, {2, 4}, {3, 6}});
+    auto c = la::covariance(m);
+    EXPECT_NEAR(c(0, 0), 1.0, 1e-12);
+    EXPECT_NEAR(c(0, 1), 2.0, 1e-12);
+    EXPECT_NEAR(c(1, 1), 4.0, 1e-12);
+    EXPECT_NEAR(c(1, 0), c(0, 1), 1e-15);
+    EXPECT_THROW(la::covariance(la::matrix(1, 2)), std::invalid_argument);
+}
+
+TEST(StatsTest, NormalCdfSymmetry) {
+    EXPECT_NEAR(la::normal_cdf(0.0), 0.5, 1e-15);
+    EXPECT_NEAR(la::normal_cdf(1.0) + la::normal_cdf(-1.0), 1.0, 1e-12);
+    EXPECT_NEAR(la::normal_cdf(1.959963985), 0.975, 1e-6);
+}
+
+TEST(StatsTest, NormalQuantileKnownValues) {
+    EXPECT_NEAR(la::normal_quantile(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(la::normal_quantile(0.975), 1.959963985, 1e-6);
+    EXPECT_NEAR(la::normal_quantile(0.995), 2.575829304, 1e-6);
+    EXPECT_NEAR(la::normal_quantile(0.999), 3.090232306, 1e-6);
+    EXPECT_NEAR(la::normal_quantile(0.0013498980316301), -3.0, 1e-6);
+}
+
+TEST(StatsTest, NormalQuantileRejectsOutOfDomain) {
+    EXPECT_THROW(la::normal_quantile(0.0), std::invalid_argument);
+    EXPECT_THROW(la::normal_quantile(1.0), std::invalid_argument);
+    EXPECT_THROW(la::normal_quantile(-0.1), std::invalid_argument);
+}
+
+// Round trip: quantile(cdf(z)) == z over a sweep of z.
+class QuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRoundTrip, InvertsCdf) {
+    const double z = GetParam();
+    EXPECT_NEAR(la::normal_quantile(la::normal_cdf(z)), z, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(ZSweep, QuantileRoundTrip,
+                         ::testing::Values(-3.5, -2.0, -1.0, -0.25, 0.0, 0.25,
+                                           1.0, 2.0, 3.5));
+
+TEST(StatsTest, CorrelationKnownValues) {
+    std::vector<double> x{1, 2, 3, 4, 5};
+    std::vector<double> y{2, 4, 6, 8, 10};
+    EXPECT_NEAR(la::correlation(x, y), 1.0, 1e-12);
+    std::vector<double> z{10, 8, 6, 4, 2};
+    EXPECT_NEAR(la::correlation(x, z), -1.0, 1e-12);
+    std::vector<double> c{1, 1, 1, 1, 1};
+    EXPECT_EQ(la::correlation(x, c), 0.0);  // zero-variance guard
+    EXPECT_THROW(la::correlation(x, std::vector<double>{1.0}),
+                 std::invalid_argument);
+}

@@ -1,0 +1,94 @@
+// Unit tests for IPv4 addresses and prefixes.
+#include "net/ip.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+using namespace tfd::net;
+
+TEST(IpTest, FromOctetsAndToString) {
+    const ipv4 a = ipv4::from_octets(192, 168, 1, 42);
+    EXPECT_EQ(a.value, 0xC0A8012Au);
+    EXPECT_EQ(to_string(a), "192.168.1.42");
+}
+
+TEST(IpTest, ParseRoundTrip) {
+    for (const char* s : {"0.0.0.0", "255.255.255.255", "10.0.0.1", "1.2.3.4"})
+        EXPECT_EQ(to_string(parse_ipv4(s)), s);
+}
+
+TEST(IpTest, ParseRejectsMalformed) {
+    for (const char* s : {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d",
+                          "1..2.3", "1.2.3.4 "})
+        EXPECT_THROW(parse_ipv4(s), std::invalid_argument) << s;
+}
+
+TEST(IpTest, Ordering) {
+    EXPECT_LT(parse_ipv4("1.0.0.0"), parse_ipv4("2.0.0.0"));
+    EXPECT_EQ(parse_ipv4("9.8.7.6"), parse_ipv4("9.8.7.6"));
+}
+
+TEST(PrefixTest, CanonicalizesHostBits) {
+    const prefix p{parse_ipv4("10.1.2.3"), 16};
+    EXPECT_EQ(to_string(p), "10.1.0.0/16");
+}
+
+TEST(PrefixTest, RejectsBadLength) {
+    EXPECT_THROW(prefix(parse_ipv4("1.2.3.4"), 33), std::invalid_argument);
+    EXPECT_THROW(prefix(parse_ipv4("1.2.3.4"), -1), std::invalid_argument);
+}
+
+TEST(PrefixTest, MaskValues) {
+    EXPECT_EQ(prefix(ipv4{0}, 0).mask(), 0u);
+    EXPECT_EQ(prefix(ipv4{0}, 8).mask(), 0xFF000000u);
+    EXPECT_EQ(prefix(ipv4{0}, 32).mask(), 0xFFFFFFFFu);
+}
+
+TEST(PrefixTest, Containment) {
+    const prefix p = parse_prefix("10.1.0.0/16");
+    EXPECT_TRUE(p.contains(parse_ipv4("10.1.255.1")));
+    EXPECT_FALSE(p.contains(parse_ipv4("10.2.0.0")));
+    EXPECT_TRUE(parse_prefix("0.0.0.0/0").contains(parse_ipv4("200.1.2.3")));
+}
+
+TEST(PrefixTest, SizeCountsAddresses) {
+    EXPECT_EQ(parse_prefix("1.2.3.4/32").size(), 1u);
+    EXPECT_EQ(parse_prefix("10.0.0.0/24").size(), 256u);
+    EXPECT_EQ(parse_prefix("10.0.0.0/8").size(), 1ull << 24);
+}
+
+TEST(PrefixTest, ParseRejectsMalformed) {
+    for (const char* s : {"10.0.0.0", "10.0.0.0/", "10.0.0.0/33", "/8",
+                          "10.0.0.0/8x"})
+        EXPECT_THROW(parse_prefix(s), std::invalid_argument) << s;
+}
+
+TEST(MaskLowBitsTest, AbileneAnonymizationMasksEleven) {
+    // The Abilene feed zeroes the low 11 bits of addresses.
+    const ipv4 a = parse_ipv4("10.7.13.255");  // hosts bits set
+    const ipv4 masked = mask_low_bits(a, 11);
+    EXPECT_EQ(masked.value & 0x7FFu, 0u);
+    EXPECT_EQ(masked.value & ~0x7FFu, a.value & ~0x7FFu);
+}
+
+TEST(MaskLowBitsTest, EdgeCases) {
+    const ipv4 a = parse_ipv4("255.255.255.255");
+    EXPECT_EQ(mask_low_bits(a, 0), a);
+    EXPECT_EQ(mask_low_bits(a, -3), a);
+    EXPECT_EQ(mask_low_bits(a, 32).value, 0u);
+    EXPECT_EQ(mask_low_bits(a, 40).value, 0u);
+}
+
+// Sweep: masking is idempotent and monotone in coarseness.
+class MaskSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaskSweep, Idempotent) {
+    const int bits = GetParam();
+    const ipv4 a = parse_ipv4("172.16.200.123");
+    EXPECT_EQ(mask_low_bits(mask_low_bits(a, bits), bits),
+              mask_low_bits(a, bits));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, MaskSweep,
+                         ::testing::Values(1, 4, 8, 11, 16, 21, 24, 31));

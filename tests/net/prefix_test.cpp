@@ -1,0 +1,101 @@
+// Unit tests for the longest-prefix-match table.
+#include "net/prefix_table.h"
+
+#include <gtest/gtest.h>
+
+#include "net/ip.h"
+
+using namespace tfd::net;
+
+TEST(PrefixTableTest, EmptyTableFindsNothing) {
+    prefix_table t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_FALSE(t.lookup(parse_ipv4("1.2.3.4")).has_value());
+}
+
+TEST(PrefixTableTest, ExactMatchSingleRoute) {
+    prefix_table t;
+    t.insert(parse_prefix("10.0.0.0/8"), 7);
+    EXPECT_EQ(t.size(), 1u);
+    auto r = t.lookup(parse_ipv4("10.200.1.1"));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, 7);
+    EXPECT_FALSE(t.lookup(parse_ipv4("11.0.0.1")).has_value());
+}
+
+TEST(PrefixTableTest, LongestPrefixWins) {
+    prefix_table t;
+    t.insert(parse_prefix("10.0.0.0/8"), 1);
+    t.insert(parse_prefix("10.1.0.0/16"), 2);
+    t.insert(parse_prefix("10.1.2.0/24"), 3);
+    EXPECT_EQ(*t.lookup(parse_ipv4("10.1.2.3")), 3);
+    EXPECT_EQ(*t.lookup(parse_ipv4("10.1.9.9")), 2);
+    EXPECT_EQ(*t.lookup(parse_ipv4("10.200.0.1")), 1);
+}
+
+TEST(PrefixTableTest, DefaultRouteCatchesAll) {
+    prefix_table t;
+    t.insert(parse_prefix("0.0.0.0/0"), 99);
+    t.insert(parse_prefix("10.0.0.0/8"), 1);
+    EXPECT_EQ(*t.lookup(parse_ipv4("200.200.200.200")), 99);
+    EXPECT_EQ(*t.lookup(parse_ipv4("10.0.0.1")), 1);
+}
+
+TEST(PrefixTableTest, InsertReplacesExisting) {
+    prefix_table t;
+    t.insert(parse_prefix("10.0.0.0/8"), 1);
+    t.insert(parse_prefix("10.0.0.0/8"), 2);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(*t.lookup(parse_ipv4("10.0.0.1")), 2);
+}
+
+TEST(PrefixTableTest, EraseRemovesRoute) {
+    prefix_table t;
+    t.insert(parse_prefix("10.0.0.0/8"), 1);
+    t.insert(parse_prefix("10.1.0.0/16"), 2);
+    EXPECT_TRUE(t.erase(parse_prefix("10.1.0.0/16")));
+    EXPECT_FALSE(t.erase(parse_prefix("10.1.0.0/16")));
+    EXPECT_EQ(*t.lookup(parse_ipv4("10.1.2.3")), 1);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(PrefixTableTest, ExactLookupIgnoresLpm) {
+    prefix_table t;
+    t.insert(parse_prefix("10.0.0.0/8"), 1);
+    EXPECT_FALSE(t.exact(parse_prefix("10.1.0.0/16")).has_value());
+    ASSERT_TRUE(t.exact(parse_prefix("10.0.0.0/8")).has_value());
+    EXPECT_EQ(*t.exact(parse_prefix("10.0.0.0/8")), 1);
+}
+
+TEST(PrefixTableTest, HostRoutes) {
+    prefix_table t;
+    t.insert(parse_prefix("10.0.0.0/8"), 1);
+    t.insert(parse_prefix("10.0.0.5/32"), 42);
+    EXPECT_EQ(*t.lookup(parse_ipv4("10.0.0.5")), 42);
+    EXPECT_EQ(*t.lookup(parse_ipv4("10.0.0.6")), 1);
+}
+
+TEST(PrefixTableTest, EntriesEnumerateAllRoutes) {
+    prefix_table t;
+    t.insert(parse_prefix("10.0.0.0/8"), 1);
+    t.insert(parse_prefix("20.0.0.0/8"), 2);
+    t.insert(parse_prefix("10.1.0.0/16"), 3);
+    auto es = t.entries();
+    EXPECT_EQ(es.size(), 3u);
+}
+
+// Sweep: a chain of nested prefixes always resolves to the deepest one.
+class NestedPrefixSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NestedPrefixSweep, DeepestWins) {
+    const int depth = GetParam();
+    prefix_table t;
+    for (int len = 8; len <= depth; ++len)
+        t.insert(prefix{parse_ipv4("10.128.128.128"), len}, len);
+    auto r = t.lookup(parse_ipv4("10.128.128.128"));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, depth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, NestedPrefixSweep,
+                         ::testing::Values(8, 12, 16, 21, 24, 28, 32));

@@ -1,0 +1,144 @@
+// Unit tests for the backbone topology model and shortest-path routing.
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "net/routing.h"
+
+using namespace tfd::net;
+
+TEST(TopologyTest, AbileneHasPaperGeometry) {
+    const auto t = topology::abilene();
+    EXPECT_EQ(t.name(), "Abilene");
+    EXPECT_EQ(t.pop_count(), 11);
+    EXPECT_EQ(t.od_count(), 121);  // paper: 121 OD flows
+    EXPECT_EQ(t.links().size(), 14u);
+}
+
+TEST(TopologyTest, GeantHasPaperGeometry) {
+    const auto t = topology::geant();
+    EXPECT_EQ(t.pop_count(), 22);
+    EXPECT_EQ(t.od_count(), 484);  // paper: 484 OD flows
+}
+
+TEST(TopologyTest, PopLookupByName) {
+    const auto t = topology::abilene();
+    auto id = t.pop_by_name("NYCM");
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(t.pop_at(*id).name, "NYCM");
+    EXPECT_FALSE(t.pop_by_name("NOPE").has_value());
+    EXPECT_THROW(t.pop_at(-1), std::out_of_range);
+    EXPECT_THROW(t.pop_at(11), std::out_of_range);
+}
+
+TEST(TopologyTest, OdIndexRoundTrip) {
+    const auto t = topology::abilene();
+    for (int o = 0; o < t.pop_count(); ++o)
+        for (int d = 0; d < t.pop_count(); ++d) {
+            const int od = t.od_index(o, d);
+            const auto [oo, dd] = t.od_pair(od);
+            EXPECT_EQ(oo, o);
+            EXPECT_EQ(dd, d);
+        }
+    EXPECT_THROW(t.od_index(0, 11), std::out_of_range);
+    EXPECT_THROW(t.od_pair(121), std::out_of_range);
+}
+
+TEST(TopologyTest, AddressSpacesAreDisjointAcrossPops) {
+    const auto t = topology::geant();
+    std::set<std::uint32_t> nets;
+    for (const auto& p : t.pops()) {
+        EXPECT_EQ(p.address_space.length, 8);
+        EXPECT_TRUE(nets.insert(p.address_space.network.value).second);
+    }
+}
+
+TEST(TopologyTest, EgressResolutionMapsAddressesToOwningPop) {
+    const auto t = topology::abilene();
+    for (const auto& p : t.pops()) {
+        const ipv4 a = t.address_in_pop(p.id, 0xDEADBEEF);
+        EXPECT_TRUE(p.address_space.contains(a));
+        auto egress = t.egress_pop(a);
+        ASSERT_TRUE(egress.has_value());
+        EXPECT_EQ(*egress, p.id);
+    }
+}
+
+TEST(TopologyTest, ExternalAddressHasNoEgress) {
+    const auto t = topology::abilene();
+    // Abilene uses base octet 10..20; 200.x is outside.
+    EXPECT_FALSE(t.egress_pop(parse_ipv4("200.1.2.3")).has_value());
+}
+
+TEST(TopologyTest, EgressTableContainsCustomerPrefixes) {
+    const auto t = topology::abilene();
+    // 11 PoPs x (1 aggregate + 3 customer prefixes).
+    EXPECT_EQ(t.egress_table().size(), 11u * 4u);
+}
+
+TEST(TopologyTest, ConstructorValidation) {
+    EXPECT_THROW(topology("x", {}, {}), std::invalid_argument);
+    EXPECT_THROW(topology("x", {"A", "B"}, {{0, 5}}), std::invalid_argument);
+}
+
+TEST(RouterTest, SelfPathIsSingleton) {
+    const auto t = topology::abilene();
+    const router r(t);
+    EXPECT_EQ(r.distance(3, 3), 0);
+    EXPECT_EQ(r.path(3, 3), std::vector<int>{3});
+    EXPECT_EQ(r.next_hop(3, 3), 3);
+}
+
+TEST(RouterTest, AdjacentPopsAreOneHop) {
+    const auto t = topology::abilene();
+    const router r(t);
+    const auto& l = t.links().front();
+    EXPECT_EQ(r.distance(l.a, l.b), 1);
+    EXPECT_EQ(r.next_hop(l.a, l.b), l.b);
+}
+
+TEST(RouterTest, PathsAreSymmetricInLength) {
+    const auto t = topology::geant();
+    const router r(t);
+    for (int a = 0; a < t.pop_count(); ++a)
+        for (int b = 0; b < t.pop_count(); ++b)
+            EXPECT_EQ(r.distance(a, b), r.distance(b, a));
+}
+
+TEST(RouterTest, PathEndpointsAndContiguity) {
+    const auto t = topology::abilene();
+    const router r(t);
+    for (int a = 0; a < t.pop_count(); ++a)
+        for (int b = 0; b < t.pop_count(); ++b) {
+            const auto p = r.path(a, b);
+            ASSERT_FALSE(p.empty());
+            EXPECT_EQ(p.front(), a);
+            EXPECT_EQ(p.back(), b);
+            EXPECT_EQ(static_cast<int>(p.size()) - 1, r.distance(a, b));
+        }
+}
+
+TEST(RouterTest, TriangleInequality) {
+    const auto t = topology::geant();
+    const router r(t);
+    for (int a = 0; a < t.pop_count(); ++a)
+        for (int b = 0; b < t.pop_count(); ++b)
+            for (int c : {0, 4, 20})
+                EXPECT_LE(r.distance(a, b),
+                          r.distance(a, c) + r.distance(c, b));
+}
+
+TEST(RouterTest, DisconnectedTopologyRejected) {
+    topology t("island", {"A", "B", "C"}, {{0, 1}});
+    EXPECT_THROW(router{t}, std::invalid_argument);
+}
+
+TEST(RouterTest, OutOfRangeThrows) {
+    const auto t = topology::abilene();
+    const router r(t);
+    EXPECT_THROW(r.distance(0, 99), std::out_of_range);
+    EXPECT_THROW(r.path(-1, 0), std::out_of_range);
+}

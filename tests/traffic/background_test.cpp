@@ -1,0 +1,192 @@
+// Unit tests for the eigenflow background-traffic model.
+#include "traffic/background.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "net/topology.h"
+
+using namespace tfd::traffic;
+using tfd::net::topology;
+
+namespace {
+const topology& abilene() {
+    static const topology t = topology::abilene();
+    return t;
+}
+}  // namespace
+
+TEST(BackgroundTest, RejectsBadOptions) {
+    background_options bad;
+    bad.latent_factors = 0;
+    EXPECT_THROW(background_model(abilene(), bad), std::invalid_argument);
+    bad = {};
+    bad.mean_records_per_bin = 0;
+    EXPECT_THROW(background_model(abilene(), bad), std::invalid_argument);
+}
+
+TEST(BackgroundTest, GenerationIsDeterministic) {
+    background_model m(abilene());
+    auto a = m.generate(17, 5);
+    auto b = m.generate(17, 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].key, b[i].key);
+        EXPECT_EQ(a[i].packets, b[i].packets);
+    }
+}
+
+TEST(BackgroundTest, DifferentCellsDiffer) {
+    background_model m(abilene());
+    auto a = m.generate(17, 5);
+    auto b = m.generate(18, 5);
+    auto c = m.generate(17, 6);
+    // Extremely unlikely to match exactly if streams are independent.
+    const bool same_ab = a.size() == b.size();
+    const bool same_ac = a.size() == c.size();
+    EXPECT_FALSE(same_ab && same_ac && a.size() > 10 &&
+                 a.front().key == b.front().key &&
+                 a.front().key == c.front().key);
+}
+
+TEST(BackgroundTest, RecordsBelongToOdFlow) {
+    const auto& topo = abilene();
+    background_model m(topo);
+    const int od = topo.od_index(2, 9);
+    auto recs = m.generate(100, od);
+    ASSERT_FALSE(recs.empty());
+    for (const auto& r : recs) {
+        EXPECT_EQ(r.ingress_pop, 2);
+        EXPECT_TRUE(topo.pop_at(2).address_space.contains(r.key.src));
+        EXPECT_TRUE(topo.pop_at(9).address_space.contains(r.key.dst));
+        EXPECT_GE(r.packets, 1u);
+        EXPECT_GE(r.bytes, 40u * r.packets);
+    }
+}
+
+TEST(BackgroundTest, TimestampsInsideBin) {
+    background_model m(abilene());
+    const auto bin_us = m.options().bin_us;
+    auto recs = m.generate(7, 3);
+    for (const auto& r : recs) {
+        EXPECT_GE(r.first_us, 7 * bin_us);
+        EXPECT_LT(r.first_us, 8 * bin_us);
+    }
+}
+
+TEST(BackgroundTest, DiurnalModulationIsPeriodicAndBounded) {
+    background_model m(abilene());
+    const auto& opts = m.options();
+    for (int od : {0, 17, 120}) {
+        for (std::size_t bin = 0; bin < 2 * opts.bins_per_day; bin += 7) {
+            const double v = m.volume_multiplier(od, bin);
+            EXPECT_GE(v, 0.05);
+            EXPECT_LE(v, 4.0);
+        }
+    }
+}
+
+TEST(BackgroundTest, VolumeVariesOverTheDay) {
+    background_model m(abilene());
+    double lo = 1e9, hi = -1e9;
+    for (std::size_t bin = 0; bin < m.options().bins_per_day; ++bin) {
+        const double v = m.volume_multiplier(40, bin);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    EXPECT_GT(hi - lo, 0.1);  // meaningful diurnal swing
+}
+
+TEST(BackgroundTest, ExpectedRecordCountTracksBaseRate) {
+    background_model m(abilene());
+    const int od = 40;
+    double total = 0.0;
+    const int bins = 60;
+    for (int b = 0; b < bins; ++b)
+        total += static_cast<double>(m.generate(b, od).size());
+    double expected = 0.0;
+    for (int b = 0; b < bins; ++b)
+        expected += m.base_records(od) * m.volume_multiplier(od, b);
+    EXPECT_NEAR(total, expected, expected * 0.15 + 20.0);
+}
+
+TEST(BackgroundTest, VolumeScaleTweakSuppressesTraffic) {
+    background_model m(abilene());
+    generation_tweaks outage;
+    outage.volume_scale = 0.02;
+    const auto normal = m.generate(5, 40);
+    const auto dipped = m.generate(5, 40, outage);
+    EXPECT_LT(dipped.size() * 10, normal.size() + 10);
+}
+
+TEST(BackgroundTest, RankOffsetRemovesHeavyHitters) {
+    background_model m(abilene());
+    generation_tweaks tail;
+    tail.host_rank_offset = 100;
+    // With the offset, the most popular (rank < 100) hosts never appear;
+    // distinct-source count relative to records should rise.
+    std::set<std::uint32_t> normal_srcs, tail_srcs;
+    std::size_t normal_n = 0, tail_n = 0;
+    for (int b = 0; b < 20; ++b) {
+        for (const auto& r : m.generate(b, 40)) {
+            normal_srcs.insert(r.key.src.value);
+            ++normal_n;
+        }
+        for (const auto& r : m.generate(b, 40, tail)) {
+            tail_srcs.insert(r.key.src.value);
+            ++tail_n;
+        }
+    }
+    ASSERT_GT(normal_n, 0u);
+    ASSERT_GT(tail_n, 0u);
+    const double normal_ratio =
+        static_cast<double>(normal_srcs.size()) / normal_n;
+    const double tail_ratio = static_cast<double>(tail_srcs.size()) / tail_n;
+    EXPECT_GT(tail_ratio, normal_ratio);
+}
+
+TEST(BackgroundTest, GravityModelGivesHeterogeneousRates) {
+    background_model m(abilene());
+    double lo = 1e18, hi = 0.0;
+    for (int od = 0; od < abilene().od_count(); ++od) {
+        lo = std::min(lo, m.base_records(od));
+        hi = std::max(hi, m.base_records(od));
+    }
+    EXPECT_GT(hi, 2.0 * lo);  // clearly non-uniform
+    EXPECT_THROW(m.base_records(-1), std::out_of_range);
+    EXPECT_THROW(m.base_records(121), std::out_of_range);
+}
+
+TEST(BackgroundTest, OdEnsembleIsLowRankFriendly) {
+    // Check the structural property PCA depends on: correlations between
+    // OD volume series should be substantial for many pairs.
+    background_model m(abilene());
+    const int bins = 288;
+    std::vector<double> x(bins), y(bins);
+    int correlated_pairs = 0, tested = 0;
+    for (int oda = 0; oda < 40; oda += 13)
+        for (int odb = oda + 7; odb < 121; odb += 29) {
+            for (int b = 0; b < bins; ++b) {
+                x[b] = m.volume_multiplier(oda, b);
+                y[b] = m.volume_multiplier(odb, b);
+            }
+            double sx = 0, sy = 0, sxy = 0, sxx = 0, syy = 0;
+            for (int b = 0; b < bins; ++b) {
+                sx += x[b];
+                sy += y[b];
+            }
+            const double mx = sx / bins, my = sy / bins;
+            for (int b = 0; b < bins; ++b) {
+                sxy += (x[b] - mx) * (y[b] - my);
+                sxx += (x[b] - mx) * (x[b] - mx);
+                syy += (y[b] - my) * (y[b] - my);
+            }
+            ++tested;
+            if (std::fabs(sxy / std::sqrt(sxx * syy + 1e-12)) > 0.3)
+                ++correlated_pairs;
+        }
+    EXPECT_GE(correlated_pairs * 2, tested);  // at least half correlate
+}

@@ -1,0 +1,210 @@
+// Unit tests for known-anomaly trace synthesis and the Section 6.3.1
+// extraction / mapping / thinning methodology.
+#include "traffic/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "net/topology.h"
+
+using namespace tfd::traffic;
+using tfd::net::topology;
+
+namespace {
+const topology& abilene() {
+    static const topology t = topology::abilene();
+    return t;
+}
+}  // namespace
+
+TEST(TraceTest, IntensitiesMatchTable4) {
+    trace_options opts;
+    opts.duration_seconds = 300.0;
+    EXPECT_NEAR(make_single_source_dos_trace(opts).packets_per_second(),
+                3.47e5, 3.47e5 * 0.01);
+    EXPECT_NEAR(make_multi_source_ddos_trace(opts).packets_per_second(),
+                2.75e4, 2.75e4 * 0.01);
+    EXPECT_NEAR(make_worm_scan_trace(opts).packets_per_second(), 141.0,
+                141.0 * 0.01);
+}
+
+TEST(TraceTest, MaterializationRespectsCap) {
+    trace_options opts;
+    opts.max_materialized = 50000;
+    const auto t = make_single_source_dos_trace(opts);
+    EXPECT_LE(t.packets.size(), 50000u);
+    EXPECT_GT(t.weight, 1.0);
+    // weight * materialized == true count.
+    EXPECT_NEAR(t.weight * static_cast<double>(t.packets.size()),
+                3.47e5 * 300.0, 3.47e5 * 300.0 * 0.01);
+}
+
+TEST(TraceTest, WormTraceIsFullyMaterialized) {
+    const auto t = make_worm_scan_trace();
+    EXPECT_DOUBLE_EQ(t.weight, 1.0);
+    EXPECT_NEAR(static_cast<double>(t.packets.size()), 141.0 * 300.0, 500.0);
+}
+
+TEST(TraceTest, SingleSourceStructure) {
+    const auto t = make_single_source_dos_trace();
+    std::set<std::uint32_t> srcs, dsts;
+    std::set<std::uint16_t> sports;
+    for (const auto& p : t.packets) {
+        srcs.insert(p.src.value);
+        dsts.insert(p.dst.value);
+        sports.insert(p.src_port);
+    }
+    EXPECT_EQ(srcs.size(), 1u);
+    EXPECT_EQ(dsts.size(), 1u);
+    EXPECT_GT(sports.size(), 10000u);  // spoofed ports
+}
+
+TEST(TraceTest, MultiSourceStructure) {
+    const auto t = make_multi_source_ddos_trace();
+    std::set<std::uint32_t> srcs, dsts;
+    for (const auto& p : t.packets) {
+        srcs.insert(p.src.value);
+        dsts.insert(p.dst.value);
+    }
+    EXPECT_EQ(srcs.size(), 150u);
+    EXPECT_EQ(dsts.size(), 1u);
+}
+
+TEST(TraceTest, WormStructure) {
+    const auto t = make_worm_scan_trace();
+    std::set<std::uint32_t> srcs, dsts;
+    for (const auto& p : t.packets) {
+        srcs.insert(p.src.value);
+        dsts.insert(p.dst.value);
+        EXPECT_EQ(p.dst_port, 1433);
+    }
+    EXPECT_LE(srcs.size(), 4u);
+    EXPECT_GT(dsts.size(), 10000u);  // random probing
+}
+
+TEST(TraceTest, PacketsSortedByTime) {
+    const auto t = make_multi_source_ddos_trace();
+    for (std::size_t i = 1; i < t.packets.size(); ++i)
+        EXPECT_LE(t.packets[i - 1].time_us, t.packets[i].time_us);
+}
+
+TEST(TraceTest, VictimIdentificationAndExtraction) {
+    auto t = make_multi_source_ddos_trace();
+    const auto attack_dst = t.packets.front().dst;
+    auto mixed = mix_with_background(t, 5000.0, 99);
+    EXPECT_GT(mixed.packets.size(), t.packets.size());
+
+    EXPECT_EQ(identify_victim(mixed), attack_dst);
+    const auto extracted = extract_to_victim(mixed);
+    // All extracted packets go to the victim; count matches the attack
+    // (background to the victim is negligible: random 32-bit addresses).
+    for (const auto& p : extracted.packets) EXPECT_EQ(p.dst, attack_dst);
+    EXPECT_NEAR(static_cast<double>(extracted.packets.size()),
+                static_cast<double>(t.packets.size()),
+                static_cast<double>(t.packets.size()) * 0.01 + 2);
+}
+
+TEST(TraceTest, IdentifyVictimRejectsEmpty) {
+    attack_trace empty;
+    EXPECT_THROW(identify_victim(empty), std::invalid_argument);
+}
+
+TEST(TraceTest, ExtractByPortFiltersExactly) {
+    auto t = make_worm_scan_trace();
+    auto mixed = mix_with_background(t, 500.0, 3);
+    const auto extracted = extract_by_port(mixed, 1433);
+    for (const auto& p : extracted.packets) EXPECT_EQ(p.dst_port, 1433);
+    EXPECT_GE(extracted.packets.size(), t.packets.size());
+    EXPECT_LE(extracted.packets.size(), t.packets.size() + mixed.packets.size() / 100);
+}
+
+TEST(TraceTest, ThinningDividesIntensity) {
+    const auto t = make_worm_scan_trace();
+    for (std::uint64_t f : {10ull, 100ull, 500ull}) {
+        const auto thinned = thin_trace(t, f);
+        EXPECT_NEAR(thinned.packets_per_second(), t.packets_per_second() / f,
+                    t.packets_per_second() / f * 0.05 + 0.05)
+            << "factor " << f;
+    }
+    // Factor 1 and 0 are identity.
+    EXPECT_EQ(thin_trace(t, 1).packets.size(), t.packets.size());
+    EXPECT_EQ(thin_trace(t, 0).packets.size(), t.packets.size());
+}
+
+TEST(TraceTest, SplitBySourcesBalances) {
+    const auto t = make_multi_source_ddos_trace();
+    const auto parts = split_by_sources(t, 11, 5);
+    ASSERT_EQ(parts.size(), 11u);
+    std::size_t total = 0;
+    for (const auto& p : parts) {
+        total += p.packets.size();
+        // Every group has ~1/11 of the traffic (paper: "roughly the same
+        // amount of traffic").
+        EXPECT_NEAR(static_cast<double>(p.packets.size()),
+                    static_cast<double>(t.packets.size()) / 11.0,
+                    static_cast<double>(t.packets.size()) / 11.0 * 0.35);
+    }
+    EXPECT_EQ(total, t.packets.size());
+    // Sources do not repeat across groups.
+    std::set<std::uint32_t> seen;
+    for (const auto& p : parts) {
+        std::set<std::uint32_t> mine;
+        for (const auto& pkt : p.packets) mine.insert(pkt.src.value);
+        for (auto s : mine) EXPECT_TRUE(seen.insert(s).second);
+    }
+    EXPECT_THROW(split_by_sources(t, 0, 1), std::invalid_argument);
+}
+
+TEST(TraceTest, MapIntoOdPlacesRecordsCorrectly) {
+    const auto t = make_worm_scan_trace();
+    const int od = abilene().od_index(3, 7);
+    const auto recs = map_into_od(t, abilene(), od, /*bin=*/12, /*seed=*/8);
+    ASSERT_FALSE(recs.empty());
+    std::uint64_t total_packets = 0;
+    for (const auto& r : recs) {
+        EXPECT_EQ(r.ingress_pop, 3);
+        EXPECT_TRUE(abilene().pop_at(3).address_space.contains(r.key.src));
+        EXPECT_TRUE(abilene().pop_at(7).address_space.contains(r.key.dst));
+        total_packets += r.packets;
+    }
+    // Total packet mass preserved (weight 1 here).
+    EXPECT_NEAR(static_cast<double>(total_packets),
+                static_cast<double>(t.packets.size()), 5.0);
+    EXPECT_THROW(map_into_od(t, abilene(), -1, 0, 1), std::invalid_argument);
+}
+
+TEST(TraceTest, MapIntoOdPreservesStructure) {
+    // Distinct dst addresses (after 11-bit masking) stay distinct under
+    // the random remapping; the worm's single dst port maps to a single
+    // port.
+    const auto t = make_worm_scan_trace();
+    std::set<std::uint32_t> masked_dsts;
+    for (const auto& p : t.packets)
+        masked_dsts.insert(tfd::net::mask_low_bits(p.dst, 11).value);
+
+    const auto recs = map_into_od(t, abilene(), 5, 0, 42);
+    std::set<std::uint32_t> mapped_dsts;
+    std::set<std::uint16_t> mapped_dports;
+    for (const auto& r : recs) {
+        mapped_dsts.insert(r.key.dst.value);
+        mapped_dports.insert(r.key.dst_port);
+    }
+    EXPECT_EQ(mapped_dports.size(), 1u);
+    // Collisions in the random mapping are possible but rare.
+    EXPECT_NEAR(static_cast<double>(mapped_dsts.size()),
+                static_cast<double>(masked_dsts.size()),
+                static_cast<double>(masked_dsts.size()) * 0.02 + 2);
+}
+
+TEST(TraceTest, MapIntoOdScalesByWeight) {
+    trace_options opts;
+    opts.max_materialized = 10000;  // force weight > 1
+    const auto t = make_single_source_dos_trace(opts);
+    ASSERT_GT(t.weight, 1.0);
+    const auto recs = map_into_od(t, abilene(), 5, 0, 42);
+    double total = 0;
+    for (const auto& r : recs) total += static_cast<double>(r.packets);
+    EXPECT_NEAR(total, 3.47e5 * 300.0, 3.47e5 * 300.0 * 0.02);
+}

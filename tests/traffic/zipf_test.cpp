@@ -1,0 +1,157 @@
+// Unit tests for the deterministic RNG and Zipf sampler.
+#include "traffic/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "traffic/rng.h"
+
+using namespace tfd::traffic;
+
+TEST(RngTest, Deterministic) {
+    rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+    rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next()) ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+    rng g(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = g.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformIntInRange) {
+    rng g(9);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 100000; ++i) ++counts[g.uniform_int(10)];
+    for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+    EXPECT_EQ(g.uniform_int(0), 0u);
+}
+
+TEST(RngTest, NormalMoments) {
+    rng g(11);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = g.normal();
+        sum += x;
+        sum2 += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+    rng g(13);
+    for (double mean : {0.5, 3.0, 20.0, 200.0}) {
+        double total = 0.0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i) total += static_cast<double>(g.poisson(mean));
+        EXPECT_NEAR(total / n, mean, mean * 0.08 + 0.05) << "mean=" << mean;
+    }
+    EXPECT_EQ(g.poisson(0.0), 0u);
+    EXPECT_EQ(g.poisson(-1.0), 0u);
+}
+
+TEST(RngTest, ExponentialMean) {
+    rng g(17);
+    double total = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) total += g.exponential(2.0);
+    EXPECT_NEAR(total / n, 0.5, 0.02);
+}
+
+TEST(RngTest, DeriveIsDeterministicAndIndependent) {
+    rng base(42);
+    rng a1 = base.derive(5, 9);
+    rng a2 = base.derive(5, 9);
+    rng b = base.derive(5, 10);
+    EXPECT_EQ(a1.next(), a2.next());
+    // Streams for different keys diverge.
+    rng a3 = base.derive(5, 9);
+    int same = 0;
+    for (int i = 0; i < 50; ++i)
+        if (a3.next() == b.next()) ++same;
+    EXPECT_LE(same, 1);
+}
+
+TEST(ZipfTest, RejectsBadParameters) {
+    EXPECT_THROW(zipf_sampler(0, 1.0), std::invalid_argument);
+    EXPECT_THROW(zipf_sampler(10, -0.5), std::invalid_argument);
+}
+
+TEST(ZipfTest, SingleRankAlwaysZero) {
+    zipf_sampler z(1, 1.0);
+    rng g(3);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(z.sample(g), 0u);
+    EXPECT_DOUBLE_EQ(z.pmf(0), 1.0);
+    EXPECT_DOUBLE_EQ(z.entropy_bits(), 0.0);
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+    zipf_sampler z(4, 0.0);
+    for (std::size_t k = 0; k < 4; ++k) EXPECT_NEAR(z.pmf(k), 0.25, 1e-12);
+    EXPECT_NEAR(z.entropy_bits(), 2.0, 1e-12);
+}
+
+TEST(ZipfTest, PmfSumsToOneAndDecreases) {
+    zipf_sampler z(1000, 1.2);
+    double sum = 0.0;
+    for (std::size_t k = 0; k < z.size(); ++k) {
+        sum += z.pmf(k);
+        if (k > 0) {
+            EXPECT_LE(z.pmf(k), z.pmf(k - 1) + 1e-15);
+        }
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_THROW(z.pmf(1000), std::out_of_range);
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesMatchPmf) {
+    zipf_sampler z(50, 1.0);
+    rng g(99);
+    std::vector<int> counts(50, 0);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) ++counts[z.sample(g)];
+    for (std::size_t k = 0; k < 10; ++k) {
+        const double expected = z.pmf(k) * n;
+        EXPECT_NEAR(counts[k], expected, 5.0 * std::sqrt(expected) + 5.0)
+            << "rank " << k;
+    }
+}
+
+// Property sweep: entropy grows with N and shrinks with s.
+class ZipfEntropySweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(ZipfEntropySweep, EntropyBounds) {
+    auto [n, s] = GetParam();
+    zipf_sampler z(n, s);
+    const double h = z.entropy_bits();
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, std::log2(static_cast<double>(n)) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ZipfEntropySweep,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 16, 256, 4096),
+                       ::testing::Values(0.0, 0.5, 1.0, 1.5, 2.0)));
+
+TEST(ZipfTest, HigherSkewLowersEntropy) {
+    const double h_flat = zipf_sampler(256, 0.2).entropy_bits();
+    const double h_skew = zipf_sampler(256, 1.5).entropy_bits();
+    EXPECT_GT(h_flat, h_skew);
+}
