@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Run perf_core in JSON mode and distill BENCH_core.json.
+
+BENCH_core.json keeps the repo's perf trajectory:
+
+  {
+    "baseline": {"label": ..., "benchmarks": {name: {...}}},
+    "current":  {"label": ..., "benchmarks": {name: {...}}},
+    "speedup_vs_baseline": {name: real_time_baseline / real_time_current}
+  }
+
+The first run (or a run with --set-baseline) becomes the baseline; later
+runs refresh "current" and the speedup table, so each PR can see how the
+hot paths moved relative to the recorded floor.
+
+Usage:
+  scripts/bench_to_json.py --binary build-bench/bench/perf_core \
+      [--output BENCH_core.json] [--label my-change] [--set-baseline]
+      [--filter regex] [--min-time 0.1]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def run_benchmark(binary, bench_filter, min_time):
+    if not os.path.exists(binary):
+        raise SystemExit(f"error: benchmark binary not found: {binary}\n"
+                         "build it first, e.g.: cmake --build --preset bench")
+    cmd = [binary, "--benchmark_format=json"]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    if min_time:
+        cmd.append(f"--benchmark_min_time={min_time}")
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"benchmark binary failed: {proc.returncode}")
+    return json.loads(proc.stdout)
+
+
+def distill(raw):
+    """Reduce google-benchmark JSON to {name: {real_time, cpu_time, unit}}."""
+    out = {}
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = {
+            "real_time": b["real_time"],
+            "cpu_time": b["cpu_time"],
+            "time_unit": b["time_unit"],
+        }
+        if "items_per_second" in b:
+            out[b["name"]]["items_per_second"] = b["items_per_second"]
+    return out
+
+
+def to_ns(value, unit):
+    factor = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+    return value * factor
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--binary", required=True, help="path to perf_core")
+    ap.add_argument("--output", default="BENCH_core.json")
+    ap.add_argument("--label", default="", help="tag for this run")
+    ap.add_argument("--set-baseline", action="store_true",
+                    help="record this run as the baseline")
+    ap.add_argument("--filter", default="", help="--benchmark_filter regex")
+    ap.add_argument("--min-time", default="",
+                    help="--benchmark_min_time per benchmark (seconds)")
+    args = ap.parse_args()
+
+    raw = run_benchmark(args.binary, args.filter, args.min_time)
+    run = {
+        "label": args.label or "unlabeled",
+        "context": {
+            "num_cpus": raw.get("context", {}).get("num_cpus"),
+            "library_build_type": raw.get("context", {}).get(
+                "library_build_type"),
+        },
+        "benchmarks": distill(raw),
+    }
+
+    doc = {}
+    if os.path.exists(args.output):
+        with open(args.output) as f:
+            try:
+                doc = json.load(f)
+            except json.JSONDecodeError:
+                doc = {}
+
+    if args.set_baseline or "baseline" not in doc:
+        doc["baseline"] = run
+    if args.filter and "current" in doc:
+        # A filtered run refreshes only the matching entries; the rest of
+        # the perf record stays instead of being silently dropped.
+        doc["current"]["label"] = run["label"]
+        doc["current"]["benchmarks"].update(run["benchmarks"])
+    else:
+        doc["current"] = run
+
+    speedups = {}
+    base = doc["baseline"]["benchmarks"]
+    for name, cur in doc["current"]["benchmarks"].items():
+        if name in base:
+            cur_ns = to_ns(cur["real_time"], cur["time_unit"])
+            base_ns = to_ns(base[name]["real_time"], base[name]["time_unit"])
+            if cur_ns > 0:
+                speedups[name] = round(base_ns / cur_ns, 3)
+    doc["speedup_vs_baseline"] = speedups
+
+    with open(args.output, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    width = max((len(n) for n in speedups), default=0)
+    for name in sorted(speedups):
+        print(f"{name:<{width}}  {speedups[name]:>7.3f}x vs baseline")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,27 +5,63 @@
 
 namespace tfd::core {
 
+namespace {
+
+// n * log2(n) with a lookup table for small integral counts (the common
+// case: packet counts), avoiding two libm calls per histogram update.
+constexpr std::size_t kNlognTableSize = 4096;
+
+double nlogn_slow(double n) noexcept {
+    return n > 0.0 ? n * std::log2(n) : 0.0;
+}
+
+// Namespace-scope (initialized before main) so lookups skip the
+// thread-safe magic-static guard that a function-local static would pay
+// on every call.
+const std::vector<double> kNlognTable = [] {
+    std::vector<double> t(kNlognTableSize, 0.0);
+    for (std::size_t i = 2; i < kNlognTableSize; ++i)
+        t[i] = nlogn_slow(static_cast<double>(i));
+    return t;
+}();
+
+double nlogn(double n) noexcept {
+    if (n >= 0.0 && n < static_cast<double>(kNlognTableSize)) {
+        const auto i = static_cast<std::size_t>(n);
+        if (static_cast<double>(i) == n) return kNlognTable[i];
+    }
+    return nlogn_slow(n);
+}
+
+}  // namespace
+
 void feature_histogram::add(std::uint32_t value, double count) {
     if (count <= 0.0) return;
-    counts_[value] += count;
+    double& slot = counts_[value];
+    const double before = slot;
+    slot += count;
     total_ += count;
+    sum_nlogn_ += nlogn(slot) - nlogn(before);
+    if (++mutations_ >= kExactRecomputeInterval) recompute_sum_nlogn();
+}
+
+void feature_histogram::recompute_sum_nlogn() noexcept {
+    // Sum in sorted order: a canonical order independent of hash-table
+    // iteration, so the periodic resync is exactly reproducible.
+    std::vector<double> ns;
+    ns.reserve(counts_.size());
+    counts_.for_each([&](std::uint32_t, double n) { ns.push_back(n); });
+    std::sort(ns.begin(), ns.end());
+    double s = 0.0;
+    for (double n : ns) s += nlogn(n);
+    sum_nlogn_ = s;
+    mutations_ = 0;
 }
 
 double feature_histogram::entropy_bits() const noexcept {
     if (total_ <= 0.0 || counts_.size() < 2) return 0.0;
-    // Sum in sorted order so the result is bit-identical regardless of
-    // hash-table iteration order (keeps parallel dataset builds exactly
-    // reproducible).
-    std::vector<double> ns;
-    ns.reserve(counts_.size());
-    for (const auto& [value, n] : counts_) ns.push_back(n);
-    std::sort(ns.begin(), ns.end());
-    double h = 0.0;
-    for (double n : ns) {
-        const double p = n / total_;
-        h -= p * std::log2(p);
-    }
-    return std::max(0.0, h);
+    // H = -sum p log2 p = log2 S - (sum n log2 n) / S.
+    return std::max(0.0, std::log2(total_) - sum_nlogn_ / total_);
 }
 
 double feature_histogram::normalized_entropy() const noexcept {
@@ -35,32 +71,42 @@ double feature_histogram::normalized_entropy() const noexcept {
 
 std::vector<std::pair<std::uint32_t, double>> feature_histogram::top(
     std::size_t k) const {
-    std::vector<std::pair<std::uint32_t, double>> all(counts_.begin(),
-                                                      counts_.end());
-    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (k == 0 || counts_.empty()) return {};
+    std::vector<std::pair<std::uint32_t, double>> all;
+    all.reserve(counts_.size());
+    counts_.for_each(
+        [&](std::uint32_t v, double n) { all.emplace_back(v, n); });
+    const auto by_count_desc = [](const auto& a, const auto& b) {
         return a.second > b.second ||
                (a.second == b.second && a.first < b.first);
-    });
-    if (all.size() > k) all.resize(k);
+    };
+    if (k < all.size()) {
+        std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k),
+                          all.end(), by_count_desc);
+        all.resize(k);
+    } else {
+        std::sort(all.begin(), all.end(), by_count_desc);
+    }
     return all;
 }
 
 std::vector<double> feature_histogram::rank_counts() const {
     std::vector<double> out;
     out.reserve(counts_.size());
-    for (const auto& [value, n] : counts_) out.push_back(n);
+    counts_.for_each([&](std::uint32_t, double n) { out.push_back(n); });
     std::sort(out.begin(), out.end(), std::greater<>());
     return out;
 }
 
 double feature_histogram::count_of(std::uint32_t value) const noexcept {
-    const auto it = counts_.find(value);
-    return it == counts_.end() ? 0.0 : it->second;
+    return counts_.count_of(value);
 }
 
 void feature_histogram::clear() noexcept {
     counts_.clear();
     total_ = 0.0;
+    sum_nlogn_ = 0.0;
+    mutations_ = 0;
 }
 
 void feature_histogram_set::add_record(const flow::flow_record& r) {
@@ -74,6 +120,12 @@ void feature_histogram_set::add_record(const flow::flow_record& r) {
 
 void feature_histogram_set::add_records(
     const std::vector<flow::flow_record>& rs) {
+    // Distinct values are bounded by the record count; pre-sizing the
+    // tables avoids rehash-and-move churn during the batch. Cap the
+    // reservation so one huge batch can't balloon four bucket arrays.
+    const std::size_t hint = std::min<std::size_t>(rs.size(), 1u << 16);
+    if (hint > 16)
+        for (auto& h : hists_) h.reserve(hint);
     for (const auto& r : rs) add_record(r);
 }
 

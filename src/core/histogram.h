@@ -12,15 +12,106 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "flow/flow_record.h"
 
 namespace tfd::core {
 
+namespace detail {
+
+/// Minimal open-addressing count table: uint32 keys, double counts,
+/// linear probing, power-of-two capacity, count == 0.0 marking an empty
+/// slot (histogram counts are always positive). One flat allocation and
+/// ~5ns inserts versus a node allocation per distinct value with
+/// std::unordered_map — the histogram accumulation hot path is mostly
+/// this table. No erase; clear() keeps capacity for reuse.
+class flat_u32_counts {
+public:
+    struct entry {
+        std::uint32_t key = 0;
+        double count = 0.0;
+    };
+
+    std::size_t size() const noexcept { return size_; }
+    bool empty() const noexcept { return size_ == 0; }
+
+    /// Find-or-insert. A newly inserted slot has count 0.0; the caller
+    /// must immediately make it positive (add() always does). The
+    /// returned reference is invalidated by the next operator[].
+    double& operator[](std::uint32_t key) {
+        if (entries_.empty() || (size_ + 1) * 4 > capacity() * 3)
+            grow(capacity() == 0 ? 16 : capacity() * 2);
+        entry& e = entries_[probe(key)];
+        if (e.count == 0.0) {
+            e.key = key;
+            ++size_;
+        }
+        return e.count;
+    }
+
+    double count_of(std::uint32_t key) const noexcept {
+        if (entries_.empty()) return 0.0;
+        const entry& e = entries_[probe(key)];
+        return e.count != 0.0 ? e.count : 0.0;
+    }
+
+    /// Invoke fn(key, count) for every occupied slot, in table order
+    /// (unspecified; callers that need determinism must sort).
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+        for (const entry& e : entries_)
+            if (e.count != 0.0) fn(e.key, e.count);
+    }
+
+    void reserve(std::size_t n) {
+        std::size_t want = 16;
+        while (want * 3 < n * 4) want *= 2;
+        if (want > capacity()) grow(want);
+    }
+
+    void clear() noexcept {
+        for (entry& e : entries_) e.count = 0.0;
+        size_ = 0;
+    }
+
+private:
+    std::size_t capacity() const noexcept { return entries_.size(); }
+
+    std::size_t probe(std::uint32_t key) const noexcept {
+        // Fibonacci (multiplicative) hashing spreads sequential IPs and
+        // ports well; capacity is a power of two so the mask is cheap.
+        const std::size_t mask = capacity() - 1;
+        std::size_t i = (key * 2654435761u) & mask;
+        while (entries_[i].count != 0.0 && entries_[i].key != key)
+            i = (i + 1) & mask;
+        return i;
+    }
+
+    void grow(std::size_t new_cap) {
+        std::vector<entry> old = std::move(entries_);
+        entries_.assign(new_cap, entry{});
+        for (const entry& e : old)
+            if (e.count != 0.0) entries_[probe(e.key)] = e;
+    }
+
+    std::vector<entry> entries_;
+    std::size_t size_ = 0;
+};
+
+}  // namespace detail
+
 /// Packet-count histogram over one traffic feature's values.
+///
+/// Sample entropy is maintained incrementally: add() updates a running
+/// sum_nlogn = sum_i n_i log2 n_i accumulator (H = log2 S - sum_nlogn/S),
+/// making entropy_bits() O(1) instead of a copy + sort per call. To bound
+/// float drift from long update streams, the accumulator is recomputed
+/// exactly (in sorted order, a canonical summation independent of hash
+/// iteration order) every kExactRecomputeInterval mutations and on every
+/// entropy-affecting structural change.
 class feature_histogram {
 public:
     /// Add `count` observations of `value` (count <= 0 is ignored).
@@ -35,12 +126,15 @@ public:
     bool empty() const noexcept { return counts_.empty(); }
 
     /// Sample entropy in bits; 0 for empty or single-valued histograms.
+    /// O(1): reads the incrementally maintained accumulator.
     double entropy_bits() const noexcept;
 
     /// Normalized entropy H / log2(N) in [0,1]; 0 when N < 2.
     double normalized_entropy() const noexcept;
 
     /// The k most frequent values, by decreasing count (ties by value).
+    /// Empty result without touching the table when k == 0 or the
+    /// histogram is empty; partial sort when k < distinct().
     std::vector<std::pair<std::uint32_t, double>> top(std::size_t k) const;
 
     /// Counts in decreasing rank order (the Figure 1 view).
@@ -51,9 +145,19 @@ public:
 
     void clear() noexcept;
 
+    /// Pre-size the hash table for about `n` distinct values.
+    void reserve(std::size_t n) { counts_.reserve(n); }
+
 private:
-    std::unordered_map<std::uint32_t, double> counts_;
+    /// Mutations between exact recomputations of sum_nlogn_.
+    static constexpr std::size_t kExactRecomputeInterval = 4096;
+
+    void recompute_sum_nlogn() noexcept;
+
+    detail::flat_u32_counts counts_;
     double total_ = 0.0;
+    double sum_nlogn_ = 0.0;           ///< sum_i n_i * log2(n_i)
+    std::size_t mutations_ = 0;        ///< since last exact recompute
 };
 
 /// The four per-feature histograms of one (timebin, OD flow) cell,
@@ -63,7 +167,7 @@ public:
     /// Accumulate one flow record (feature values weighted by packets).
     void add_record(const flow::flow_record& r);
 
-    /// Accumulate a batch.
+    /// Accumulate a batch (reserves the per-feature tables up front).
     void add_records(const std::vector<flow::flow_record>& rs);
 
     const feature_histogram& operator[](flow::feature f) const noexcept {

@@ -24,9 +24,39 @@ online_detector::online_detector(std::size_t flows, const online_options& opts)
     if (opts.refit_interval == 0)
         throw std::invalid_argument(
             "online_detector: refit_interval must be > 0");
+    if (opts.rematerialize_every == 0)
+        throw std::invalid_argument(
+            "online_detector: rematerialize_every must be > 0");
     layout_.flows = flows;
     // layout_.h stays empty; only column() arithmetic is used.
     layout_.h.resize(0, flow::feature_count * flows);
+    const std::size_t d = flow::feature_count * flows;
+    gram_.resize(d, d);
+    colsum_.assign(d, 0.0);
+}
+
+void online_detector::accumulate(const std::vector<double>& row, double sign) {
+    // Rank-1 update (sign +1) or downdate (sign -1) of the window's raw
+    // Gram upper triangle and column sums.
+    const std::size_t d = row.size();
+    for (std::size_t i = 0; i < d; ++i) {
+        const double v = sign * row[i];
+        colsum_[i] += v;
+        if (v == 0.0) continue;
+        double* gi = gram_.row(i).data();
+        const double* r = row.data();
+        for (std::size_t j = i; j < d; ++j) gi[j] += v * r[j];
+    }
+}
+
+void online_detector::rematerialize() {
+    // Exact rebuild of the incremental moments from the raw window, in
+    // canonical (oldest-first) order: bounds float drift from long
+    // update/downdate streams.
+    gram_.fill(0.0);
+    std::fill(colsum_.begin(), colsum_.end(), 0.0);
+    for (const auto& row : window_) accumulate(row, 1.0);
+    refits_since_exact_ = 0;
 }
 
 std::vector<double> online_detector::flatten(const entropy_snapshot& s) const {
@@ -39,29 +69,58 @@ std::vector<double> online_detector::flatten(const entropy_snapshot& s) const {
 }
 
 void online_detector::refit() {
-    // Assemble the window into a matrix, computing per-feature-block
-    // energies over the window (the batch unfold() semantics).
+    // The incremental moments already hold everything a fit needs: the
+    // per-feature-block energies are diagonal sums of the raw Gram, and
+    // the covariance of the block-normalized window is a rescaling of it
+    // minus the mean outer product. No W x 4p re-flattening, no O(W d^2)
+    // re-multiplication — just O(d^2) scaling and the eigensolve.
+    if (++refits_since_exact_ >= opts_.rematerialize_every) rematerialize();
+
     const std::size_t t = window_.size();
-    linalg::matrix h(t, flow::feature_count * flows_);
-    for (std::size_t r = 0; r < t; ++r) {
-        const auto& row = window_[r];
-        for (std::size_t c = 0; c < row.size(); ++c) h(r, c) = row[c];
-    }
+    const std::size_t d = flow::feature_count * flows_;
+
+    // Per-feature block energies over the raw window = block traces of
+    // the raw Gram (batch unfold() semantics).
+    std::vector<double> col_inv(d, 1.0);
     for (int f = 0; f < flow::feature_count; ++f) {
         double energy = 0.0;
-        for (std::size_t r = 0; r < t; ++r)
-            for (std::size_t od = 0; od < flows_; ++od) {
-                const double v = h(r, static_cast<std::size_t>(f) * flows_ + od);
-                energy += v * v;
-            }
+        for (std::size_t od = 0; od < flows_; ++od) {
+            const std::size_t c = static_cast<std::size_t>(f) * flows_ + od;
+            energy += gram_(c, c);
+        }
         const double norm = energy > 0.0 ? std::sqrt(energy) : 1.0;
         norms_[f] = norm;
         const double inv = 1.0 / norm;
-        for (std::size_t r = 0; r < t; ++r)
-            for (std::size_t od = 0; od < flows_; ++od)
-                h(r, static_cast<std::size_t>(f) * flows_ + od) *= inv;
+        for (std::size_t od = 0; od < flows_; ++od)
+            col_inv[static_cast<std::size_t>(f) * flows_ + od] = inv;
     }
-    model_ = subspace_model::fit(h, opts_.subspace);
+
+    // Column means of the normalized window (zero when not centering).
+    std::vector<double> mean(d, 0.0);
+    if (opts_.subspace.center)
+        for (std::size_t i = 0; i < d; ++i)
+            mean[i] = col_inv[i] * colsum_[i] / static_cast<double>(t);
+
+    // cov(i,j) = (di dj G(i,j) - t mu_i mu_j) / (t - 1), built full
+    // symmetric from the maintained upper triangle.
+    const double denom = static_cast<double>(t - 1);
+    linalg::matrix cov(d, d);
+    for (std::size_t i = 0; i < d; ++i) {
+        const double di = col_inv[i];
+        const double mi = mean[i];
+        const double* gi = gram_.row(i).data();
+        double* ci = cov.row(i).data();
+        for (std::size_t j = i; j < d; ++j) {
+            ci[j] = (di * col_inv[j] * gi[j] -
+                     static_cast<double>(t) * mi * mean[j]) /
+                    denom;
+        }
+    }
+    for (std::size_t i = 0; i < d; ++i)
+        for (std::size_t j = 0; j < i; ++j) cov(i, j) = cov(j, i);
+
+    model_ = subspace_model::fit_from_covariance(cov, std::move(mean),
+                                                 opts_.subspace);
     threshold_ = model_->q_threshold(opts_.alpha);
     since_refit_ = 0;
 
@@ -78,7 +137,11 @@ online_verdict online_detector::push(const entropy_snapshot& snapshot) {
     v.bin = bins_seen_++;
 
     window_.push_back(flatten(snapshot));
-    if (window_.size() > opts_.window) window_.pop_front();
+    accumulate(window_.back(), 1.0);
+    if (window_.size() > opts_.window) {
+        accumulate(window_.front(), -1.0);
+        window_.pop_front();
+    }
 
     const bool due = !model_ || since_refit_ >= opts_.refit_interval;
     if (window_.size() >= opts_.warmup && due) refit();
@@ -88,14 +151,15 @@ online_verdict online_detector::push(const entropy_snapshot& snapshot) {
 
     // Score the incoming row under the current model, normalizing with
     // the window's block norms.
-    std::vector<double> obs = window_.back();
+    obs_buf_ = window_.back();
+    std::vector<double>& obs = obs_buf_;
     for (int f = 0; f < flow::feature_count; ++f) {
         const double inv = 1.0 / norms_[f];
         for (std::size_t od = 0; od < flows_; ++od)
             obs[static_cast<std::size_t>(f) * flows_ + od] *= inv;
     }
     v.scored = true;
-    v.spe = model_->spe(obs);
+    v.spe = model_->spe(obs, spe_scratch_);
     v.threshold = threshold_;
     v.anomalous = v.spe > threshold_;
     if (!v.anomalous) return v;

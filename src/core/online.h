@@ -9,6 +9,18 @@
 // would cost an eigendecomposition per 5 minutes; the model drifts
 // slowly, so refitting every R bins loses little).
 //
+// Incremental-refit contract: the detector maintains the window's raw
+// Gram matrix and column sums incrementally — a rank-1 update when a bin
+// is pushed, a rank-1 downdate when the oldest bin is evicted — so
+// refit() hands a ready-made covariance (with the per-feature-block
+// energy normalization and centering folded in) straight to the
+// eigensolver instead of re-flattening and re-multiplying the W x 4p
+// window each cadence. To bound floating-point drift from long
+// update/downdate streams, the Gram and sums are re-materialized exactly
+// from the raw window every `rematerialize_every` refits. Scoring,
+// thresholds and identification are unchanged relative to a from-scratch
+// batch refit up to rounding (see the online parity test).
+//
 // The incoming unit of data is one network-wide snapshot: the four
 // entropy values and the volume counters for every OD flow in the bin.
 #pragma once
@@ -43,6 +55,9 @@ struct online_options {
     subspace_options subspace{.normal_dims = 10, .center = true};
     double alpha = 0.999;
     std::size_t max_identified = 3;  ///< flows identified per detection
+    /// Rebuild the incremental Gram/sums exactly from the raw window
+    /// every this many refits (drift bound). Must be > 0.
+    std::size_t rematerialize_every = 8;
 };
 
 /// Verdict for one scored bin.
@@ -87,6 +102,8 @@ public:
 private:
     void refit();
     std::vector<double> flatten(const entropy_snapshot& s) const;
+    void accumulate(const std::vector<double>& row, double sign);
+    void rematerialize();
 
     std::size_t flows_;
     online_options opts_;
@@ -97,6 +114,15 @@ private:
     double threshold_ = 0.0;
     std::size_t bins_seen_ = 0;
     std::size_t since_refit_ = 0;
+
+    /// Incrementally maintained raw second moments of the window: upper
+    /// triangle of sum_r row row^T and per-column sums (see the
+    /// incremental-refit contract above).
+    linalg::matrix gram_;
+    std::vector<double> colsum_;
+    std::size_t refits_since_exact_ = 0;
+    std::vector<double> obs_buf_;      ///< scoring scratch (normalized obs)
+    std::vector<double> spe_scratch_;  ///< scoring scratch (centered obs)
 };
 
 }  // namespace tfd::core

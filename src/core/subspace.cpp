@@ -4,32 +4,98 @@
 #include <stdexcept>
 
 #include "linalg/stats.h"
+#include "linalg/symmetric_eigen.h"
 
 namespace tfd::core {
+
+void subspace_model::finish_fit(const subspace_options& opts) {
+    m_ = std::min(opts.normal_dims, pca_.eigenvalues.size());
+
+    // Residual eigenvalue moments phi_i = sum_{j>m} lambda_j^i.
+    phi_[0] = phi_[1] = phi_[2] = 0.0;
+    for (std::size_t j = m_; j < pca_.eigenvalues.size(); ++j) {
+        const double l = pca_.eigenvalues[j];
+        phi_[0] += l;
+        phi_[1] += l * l;
+        phi_[2] += l * l * l;
+    }
+    h0_ = 1.0;
+    if (phi_[1] > 0.0)
+        h0_ = 1.0 - 2.0 * phi_[0] * phi_[2] / (3.0 * phi_[1] * phi_[1]);
+    if (h0_ == 0.0) h0_ = 1e-6;
+
+    // Row-contiguous copy of the leading axes for the streaming SPE path.
+    const std::size_t mm = std::min(m_, pca_.components.cols());
+    const std::size_t n = pca_.components.rows();
+    pt_.resize(mm, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double* ci = pca_.components.row(i).data();
+        for (std::size_t j = 0; j < mm; ++j) pt_(j, i) = ci[j];
+    }
+}
 
 subspace_model subspace_model::fit(const linalg::matrix& x,
                                    const subspace_options& opts) {
     subspace_model m;
     linalg::pca_options popts;
     popts.center = opts.center;
+    // Detection only projects onto the leading normal_dims axes, so skip
+    // the orthonormal completion of the residual tail (at the unfolded
+    // widths it would dominate the whole fit).
+    popts.full_basis = false;
+    popts.min_components = opts.normal_dims;
     m.pca_ = linalg::fit_pca(x, popts);
-    m.m_ = std::min(opts.normal_dims, m.pca_.eigenvalues.size());
+    m.finish_fit(opts);
+    return m;
+}
 
-    // Residual eigenvalue moments phi_i = sum_{j>m} lambda_j^i.
-    for (std::size_t j = m.m_; j < m.pca_.eigenvalues.size(); ++j) {
-        const double l = m.pca_.eigenvalues[j];
-        m.phi_[0] += l;
-        m.phi_[1] += l * l;
-        m.phi_[2] += l * l * l;
-    }
-    if (m.phi_[1] > 0.0)
-        m.h0_ = 1.0 - 2.0 * m.phi_[0] * m.phi_[2] / (3.0 * m.phi_[1] * m.phi_[1]);
-    if (m.h0_ == 0.0) m.h0_ = 1e-6;
+subspace_model subspace_model::fit_from_covariance(const linalg::matrix& cov,
+                                                   std::vector<double> mean,
+                                                   const subspace_options& opts) {
+    if (cov.rows() != cov.cols() || cov.rows() != mean.size())
+        throw std::invalid_argument(
+            "fit_from_covariance: covariance/mean shape mismatch");
+    if (cov.rows() == 0)
+        throw std::invalid_argument("fit_from_covariance: empty covariance");
+    subspace_model m;
+    linalg::eigen_result eg = linalg::symmetric_eigen(cov);
+    for (double& v : eg.values) v = std::max(v, 0.0);
+    m.pca_.mean = std::move(mean);
+    m.pca_.eigenvalues = std::move(eg.values);
+    m.pca_.components = std::move(eg.vectors);
+    m.pca_.total_variance = 0.0;
+    for (double v : m.pca_.eigenvalues) m.pca_.total_variance += v;
+    m.finish_fit(opts);
     return m;
 }
 
 double subspace_model::spe(std::span<const double> obs) const {
-    return linalg::squared_prediction_error(pca_, obs, m_);
+    thread_local std::vector<double> scratch;
+    return spe(obs, scratch);
+}
+
+double subspace_model::spe(std::span<const double> obs,
+                           std::vector<double>& scratch) const {
+    const std::size_t n = dimension();
+    if (obs.size() != n)
+        throw std::invalid_argument("spe: observation dimension mismatch");
+    scratch.resize(n);
+    double* centered = scratch.data();
+    const double* mean = pca_.mean.data();
+    for (std::size_t i = 0; i < n; ++i) centered[i] = obs[i] - mean[i];
+    const std::span<const double> c{centered, n};
+    const double ssq = linalg::dot(c, c);
+    // ||x_tilde||^2 = ||x_c||^2 - sum_j <x_c, v_j>^2 with each score a
+    // unit-stride dot against the transposed axis rows.
+    double sub = 0.0;
+    for (std::size_t j = 0; j < pt_.rows(); ++j) {
+        const double s = linalg::dot(c, pt_.row(j));
+        sub += s * s;
+    }
+    const double spe = ssq - sub;
+    if (pt_.rows() > 0 && spe < linalg::spe_cancellation_guard * ssq)
+        return linalg::squared_prediction_error_by_reconstruction(pca_, obs, m_);
+    return spe > 0.0 ? spe : 0.0;
 }
 
 std::vector<double> subspace_model::residual(std::span<const double> obs) const {
@@ -43,9 +109,7 @@ std::vector<double> subspace_model::modeled(std::span<const double> obs) const {
 std::vector<double> subspace_model::spe_rows(const linalg::matrix& x) const {
     if (x.cols() != dimension())
         throw std::invalid_argument("spe_rows: column count mismatch");
-    std::vector<double> out(x.rows());
-    for (std::size_t r = 0; r < x.rows(); ++r) out[r] = spe(x.row(r));
-    return out;
+    return linalg::squared_prediction_error_rows(pca_, x, m_);
 }
 
 double subspace_model::q_threshold(double alpha) const {

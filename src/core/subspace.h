@@ -37,8 +37,24 @@ public:
     static subspace_model fit(const linalg::matrix& x,
                               const subspace_options& opts = {});
 
+    /// Fit from precomputed second-order moments: `cov` is the n x n
+    /// sample covariance of the (already centered) data and `mean` the
+    /// column means that were removed. This is the entry point for
+    /// streaming callers that maintain the covariance incrementally
+    /// (online_detector's rank-1 Gram updates) — it goes straight to the
+    /// eigensolver and skips re-materializing any data matrix. Throws
+    /// std::invalid_argument if cov is not square of dimension
+    /// mean.size().
+    static subspace_model fit_from_covariance(const linalg::matrix& cov,
+                                              std::vector<double> mean,
+                                              const subspace_options& opts = {});
+
     /// Squared prediction error ||x_tilde||^2 of one observation.
     double spe(std::span<const double> obs) const;
+
+    /// Allocation-free SPE for the single-observation streaming path:
+    /// `scratch` is resized on first use and reused across calls.
+    double spe(std::span<const double> obs, std::vector<double>& scratch) const;
 
     /// Residual vector x_tilde (length n).
     std::vector<double> residual(std::span<const double> obs) const;
@@ -46,7 +62,8 @@ public:
     /// Modeled (normal) part x_hat.
     std::vector<double> modeled(std::span<const double> obs) const;
 
-    /// SPE for every row of a matrix with matching column count.
+    /// SPE for every row of a matrix with matching column count,
+    /// evaluated as a batch (two matrix products) rather than row by row.
     std::vector<double> spe_rows(const linalg::matrix& x) const;
 
     /// Jackson–Mudholkar Q-statistic threshold delta^2_alpha; SPE above
@@ -63,8 +80,14 @@ public:
     const linalg::pca_result& pca() const noexcept { return pca_; }
 
 private:
+    void finish_fit(const subspace_options& opts);
+
     linalg::pca_result pca_;
     std::size_t m_ = 0;
+    /// Leading m_ principal axes stored row-contiguous (m_ x n), so the
+    /// streaming SPE path runs as m_ unit-stride dot products instead of
+    /// strided column walks over `components`.
+    linalg::matrix pt_;
     double phi_[3] = {0, 0, 0};  ///< residual eigenvalue moments
     double h0_ = 1.0;
 };

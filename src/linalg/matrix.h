@@ -3,6 +3,15 @@
 // A deliberately small, dependency-free dense matrix used by the PCA /
 // subspace machinery. Row-major storage, value semantics, bounds-checked
 // element access through at(), unchecked through operator().
+//
+// Kernel strategy: multiply / gram / outer_gram are cache-blocked and
+// parallelized over fixed-size row (or output-row) blocks on the shared
+// thread pool (linalg/parallel.h). Block boundaries and the per-element
+// reduction order are independent of the worker count — multiply sums k
+// ascending, gram sums observation rows ascending, outer_gram dots left
+// to right — so results are bit-identical to the naive reference kernels
+// (naive_multiply / naive_gram / naive_outer_gram below) and fully
+// reproducible run to run. Parallelism only ever changes wall-clock.
 #pragma once
 
 #include <cstddef>
@@ -95,7 +104,9 @@ matrix subtract(const matrix& a, const matrix& b);
 /// C = s * A.
 matrix scale(const matrix& a, double s);
 
-/// C = A * B (cache-friendly i-k-j loop). Throws on shape mismatch.
+/// C = A * B (cache-blocked, parallel over row blocks; k-ascending
+/// reduction order, bit-identical to naive_multiply). Throws on shape
+/// mismatch.
 matrix multiply(const matrix& a, const matrix& b);
 
 /// y = A * x. Throws on shape mismatch.
@@ -108,11 +119,20 @@ std::vector<double> multiply_transpose(const matrix& a,
 /// C = A^T.
 matrix transpose(const matrix& a);
 
-/// C = A^T * A without forming A^T explicitly (symmetric result).
+/// C = A^T * A without forming A^T explicitly (symmetric result;
+/// parallel over output-row blocks, bit-identical to naive_gram).
 matrix gram(const matrix& a);
 
-/// C = A * A^T without forming A^T explicitly (symmetric result).
+/// C = A * A^T without forming A^T explicitly (symmetric result;
+/// parallel over output-row blocks, bit-identical to naive_outer_gram).
 matrix outer_gram(const matrix& a);
+
+/// Reference single-threaded kernels. The blocked/parallel kernels above
+/// are required (and tested) to match these bit-for-bit; they exist for
+/// parity tests and as executable documentation of the reduction order.
+matrix naive_multiply(const matrix& a, const matrix& b);
+matrix naive_gram(const matrix& a);
+matrix naive_outer_gram(const matrix& a);
 
 /// Frobenius norm of A.
 double frobenius_norm(const matrix& a) noexcept;

@@ -1,0 +1,129 @@
+#include "linalg/parallel.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+
+namespace tfd::linalg {
+
+namespace {
+
+// True while this thread is executing a pool task: a nested run() from
+// inside a task must execute inline rather than wait on the pool.
+thread_local bool in_pool_task = false;
+
+std::size_t default_worker_count() {
+    if (const char* env = std::getenv("TFD_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1) return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+thread_pool::thread_pool(std::size_t workers) {
+    size_ = workers == 0 ? default_worker_count() : workers;
+    // The caller participates in run(), so a pool of size N needs N-1
+    // background threads.
+    for (std::size_t i = 1; i < size_; ++i)
+        threads_.emplace_back([this] { worker_loop(); });
+}
+
+thread_pool::~thread_pool() {
+    {
+        std::lock_guard lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+}
+
+void thread_pool::worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock lock(mu_);
+            work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+            if (stop_) return;
+            seen = generation_;
+            ++in_flight_;
+        }
+        execute_batch();
+        {
+            std::lock_guard lock(mu_);
+            --in_flight_;
+        }
+        done_cv_.notify_one();
+    }
+}
+
+void thread_pool::execute_batch() {
+    for (;;) {
+        std::size_t i;
+        {
+            std::lock_guard lock(mu_);
+            if (next_task_ >= job_tasks_) return;
+            i = next_task_++;
+        }
+        try {
+            in_pool_task = true;
+            (*job_)(i);
+            in_pool_task = false;
+        } catch (...) {
+            in_pool_task = false;
+            std::lock_guard lock(mu_);
+            if (!first_error_) first_error_ = std::current_exception();
+        }
+    }
+}
+
+void thread_pool::run(std::size_t tasks,
+                      const std::function<void(std::size_t)>& fn) {
+    if (tasks == 0) return;
+    if (threads_.empty() || tasks == 1 || in_pool_task) {
+        for (std::size_t i = 0; i < tasks; ++i) fn(i);
+        return;
+    }
+    // One job at a time: concurrent callers queue here instead of
+    // corrupting the shared job slot.
+    std::lock_guard run_lock(run_mu_);
+    {
+        std::lock_guard lock(mu_);
+        job_ = &fn;
+        job_tasks_ = tasks;
+        next_task_ = 0;
+        first_error_ = nullptr;
+        ++generation_;
+    }
+    work_cv_.notify_all();
+    execute_batch();  // the caller pulls tasks too
+    std::unique_lock lock(mu_);
+    done_cv_.wait(lock, [&] { return in_flight_ == 0 && next_task_ >= job_tasks_; });
+    job_ = nullptr;
+    if (first_error_) std::rethrow_exception(first_error_);
+}
+
+thread_pool& thread_pool::shared() {
+    static thread_pool pool;
+    return pool;
+}
+
+void parallel_for_blocked(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+    if (count == 0) return;
+    grain = std::max<std::size_t>(grain, 1);
+    const std::size_t blocks = (count + grain - 1) / grain;
+    if (blocks == 1) {
+        body(0, count);
+        return;
+    }
+    thread_pool::shared().run(blocks, [&](std::size_t b) {
+        const std::size_t begin = b * grain;
+        body(begin, std::min(begin + grain, count));
+    });
+}
+
+}  // namespace tfd::linalg

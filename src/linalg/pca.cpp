@@ -49,40 +49,68 @@ pca_result fit_pca(const matrix& x, const pca_options& opts) {
         for (double& v : g.data()) v /= denom;
         eigen_result eg = symmetric_eigen(g);
 
+        // The numerically significant spectrum is a prefix of the sorted
+        // eigenvalues; recover all of its axes at once as one blocked
+        // matrix product V = Xc^T U instead of a matvec per axis.
+        const double lambda_tol =
+            1e-14 * std::max(1.0, eg.values.empty() ? 0.0 : eg.values[0]);
+        std::size_t kept = 0;
+        while (kept < t && kept < n &&
+               std::max(eg.values[kept], 0.0) > lambda_tol)
+            ++kept;
+
+        const std::size_t target =
+            opts.full_basis
+                ? n
+                : std::min(n, std::max(kept, opts.min_components));
         out.eigenvalues.assign(n, 0.0);
-        out.components.resize(n, n);
+        // Assemble the basis transposed (one row per axis) so both the
+        // normalization and the Gram-Schmidt completion below run on
+        // unit-stride rows; transpose once at the end.
+        matrix qt(target, n);
         std::size_t filled = 0;
-        for (std::size_t j = 0; j < t && filled < n; ++j) {
-            const double lambda = std::max(eg.values[j], 0.0);
-            if (lambda <= 1e-14 * std::max(1.0, eg.values.empty() ? 0.0 : eg.values[0]))
-                break;
-            std::vector<double> u = eg.vectors.col(j);
-            std::vector<double> v = multiply_transpose(xc, u);
-            const double nrm = norm2(v);
-            if (nrm == 0.0) continue;
-            for (std::size_t i = 0; i < n; ++i) out.components(i, filled) = v[i] / nrm;
-            out.eigenvalues[filled] = lambda;
-            ++filled;
+        if (kept > 0) {
+            const matrix u = eg.vectors.block(0, 0, t, kept);
+            const matrix v = multiply(transpose(xc), u);  // n x kept
+            std::vector<double> inv_norm(kept, 0.0);
+            for (std::size_t i = 0; i < n; ++i) {
+                const double* vi = v.row(i).data();
+                for (std::size_t j = 0; j < kept; ++j)
+                    inv_norm[j] += vi[j] * vi[j];
+            }
+            for (std::size_t j = 0; j < kept; ++j) {
+                if (inv_norm[j] == 0.0) continue;
+                const double inv = 1.0 / std::sqrt(inv_norm[j]);
+                double* qrow = qt.row(filled).data();
+                for (std::size_t i = 0; i < n; ++i) qrow[i] = v(i, j) * inv;
+                out.eigenvalues[filled] = std::max(eg.values[j], 0.0);
+                ++filled;
+            }
         }
         // Complete the basis for the rank-deficient tail via Gram-Schmidt
-        // against already-filled columns, starting from canonical vectors.
+        // against already-filled axes, starting from canonical vectors.
         // The residual subspace projector only needs an orthonormal
-        // complement; exact choice is irrelevant.
+        // complement; exact choice is irrelevant. Only runs up to `target`
+        // axes: hot callers that never read past the leading axes set
+        // full_basis = false and skip (most of) this entirely.
+        std::vector<double> v(n);
         std::size_t next_canon = 0;
-        while (filled < n && next_canon < n) {
-            std::vector<double> v(n, 0.0);
+        while (filled < target && next_canon < n) {
+            std::fill(v.begin(), v.end(), 0.0);
             v[next_canon++] = 1.0;
             for (std::size_t j = 0; j < filled; ++j) {
-                double pj = 0.0;
-                for (std::size_t i = 0; i < n; ++i) pj += v[i] * out.components(i, j);
-                for (std::size_t i = 0; i < n; ++i) v[i] -= pj * out.components(i, j);
+                const double* qj = qt.row(j).data();
+                const double pj = dot({v.data(), n}, qt.row(j));
+                for (std::size_t i = 0; i < n; ++i) v[i] -= pj * qj[i];
             }
             const double nrm = norm2(v);
             if (nrm < 1e-8) continue;
-            for (std::size_t i = 0; i < n; ++i) out.components(i, filled) = v[i] / nrm;
+            double* qrow = qt.row(filled).data();
+            for (std::size_t i = 0; i < n; ++i) qrow[i] = v[i] / nrm;
             out.eigenvalues[filled] = 0.0;
             ++filled;
         }
+        out.components = transpose(qt);
     } else {
         matrix cov = gram(xc);
         for (double& v : cov.data()) v /= denom;
@@ -102,7 +130,17 @@ void require_dim(const pca_result& p, std::span<const double> x) {
     if (x.size() != p.components.rows())
         throw std::invalid_argument("pca: observation dimension mismatch");
 }
+
 }  // namespace
+
+double squared_prediction_error_by_reconstruction(const pca_result& p,
+                                                  std::span<const double> x,
+                                                  std::size_t m) {
+    const std::vector<double> r = residual(p, x, m);
+    double s = 0.0;
+    for (double v : r) s += v * v;
+    return s;
+}
 
 std::vector<double> project_normal(const pca_result& p,
                                    std::span<const double> x, std::size_t m) {
@@ -132,10 +170,71 @@ std::vector<double> residual(const pca_result& p, std::span<const double> x,
 
 double squared_prediction_error(const pca_result& p, std::span<const double> x,
                                 std::size_t m) {
-    const std::vector<double> r = residual(p, x, m);
-    double s = 0.0;
-    for (double v : r) s += v * v;
-    return s;
+    std::vector<double> scratch;
+    return squared_prediction_error(p, x, m, scratch);
+}
+
+double squared_prediction_error(const pca_result& p, std::span<const double> x,
+                                std::size_t m, std::vector<double>& scratch) {
+    require_dim(p, x);
+    const std::size_t n = x.size();
+    m = std::min(m, p.components.cols());
+    // scratch holds the centered observation followed by the m scores.
+    scratch.resize(n + m);
+    double* centered = scratch.data();
+    double* scores = scratch.data() + n;
+    for (std::size_t i = 0; i < n; ++i) centered[i] = x[i] - p.mean[i];
+    const double ssq = dot({centered, n}, {centered, n});
+    for (std::size_t j = 0; j < m; ++j) scores[j] = 0.0;
+    // One row-major streaming pass over the leading m columns; each
+    // score_j accumulates <x_c, v_j> in ascending row order.
+    for (std::size_t i = 0; i < n; ++i) {
+        const double c = centered[i];
+        if (c == 0.0) continue;
+        const double* pi = p.components.row(i).data();
+        for (std::size_t j = 0; j < m; ++j) scores[j] += c * pi[j];
+    }
+    double spe = ssq;
+    for (std::size_t j = 0; j < m; ++j) spe -= scores[j] * scores[j];
+    if (m > 0 && spe < spe_cancellation_guard * ssq)
+        return squared_prediction_error_by_reconstruction(p, x, m);
+    return spe > 0.0 ? spe : 0.0;
+}
+
+std::vector<double> squared_prediction_error_rows(const pca_result& p,
+                                                  const matrix& x,
+                                                  std::size_t m) {
+    if (x.cols() != p.components.rows())
+        throw std::invalid_argument("pca: observation dimension mismatch");
+    const std::size_t t = x.rows(), n = x.cols();
+    m = std::min(m, p.components.cols());
+
+    matrix xc(t, n);
+    std::vector<double> ssq(t, 0.0);
+    for (std::size_t r = 0; r < t; ++r) {
+        const double* xr = x.row(r).data();
+        double* cr = xc.row(r).data();
+        for (std::size_t i = 0; i < n; ++i) cr[i] = xr[i] - p.mean[i];
+        ssq[r] = dot(xc.row(r), xc.row(r));
+    }
+
+    std::vector<double> out(t, 0.0);
+    if (m == 0) return ssq;
+
+    // scores = Xc * P_m as one blocked product (k-ascending reduction,
+    // matching the streaming single-observation path), then per-row
+    // ||x_tilde||^2 = ||x_c||^2 - ||scores||^2.
+    const matrix pm = p.components.block(0, 0, n, m);
+    const matrix scores = multiply(xc, pm);
+    for (std::size_t r = 0; r < t; ++r) {
+        const double* sr = scores.row(r).data();
+        double spe = ssq[r];
+        for (std::size_t j = 0; j < m; ++j) spe -= sr[j] * sr[j];
+        if (spe < spe_cancellation_guard * ssq[r])
+            spe = squared_prediction_error_by_reconstruction(p, x.row(r), m);
+        out[r] = spe > 0.0 ? spe : 0.0;
+    }
+    return out;
 }
 
 }  // namespace tfd::linalg

@@ -20,7 +20,12 @@ struct pca_result {
     std::vector<double> mean;
     /// Covariance eigenvalues, descending; length = number of columns.
     std::vector<double> eigenvalues;
-    /// cols x cols orthonormal matrix; column j is the j-th principal axis.
+    /// Matrix with orthonormal columns; column j is the j-th principal
+    /// axis. cols x cols when pca_options::full_basis (the default);
+    /// with full_basis off it may have fewer columns (at least the
+    /// numerical rank, and at least min_components) — enough for any
+    /// projection onto the leading axes, without paying for an
+    /// orthonormal completion of the residual tail nobody reads.
     matrix components;
     /// Sum of all eigenvalues (= total variance).
     double total_variance = 0.0;
@@ -40,6 +45,16 @@ struct pca_options {
     /// is much cheaper for wide matrices; results are identical up to the
     /// rank of the data.
     bool allow_gram_trick = true;
+    /// Materialize a full cols x cols orthonormal basis, Gram-Schmidt-
+    /// completing past the data's rank. Detection only ever projects onto
+    /// the leading axes, so hot callers (subspace_model) turn this off —
+    /// at the unfolded Abilene width the completion is the single most
+    /// expensive part of a fit.
+    bool full_basis = true;
+    /// With full_basis off: guarantee at least this many component
+    /// columns anyway (clamped to cols), completing orthonormally past
+    /// the rank if the data is too degenerate to supply them.
+    std::size_t min_components = 0;
 };
 
 /// Fit PCA on data matrix `x` (rows = observations, columns = variables).
@@ -57,8 +72,39 @@ std::vector<double> project_normal(const pca_result& p,
 std::vector<double> residual(const pca_result& p, std::span<const double> x,
                              std::size_t m);
 
+/// Fast-SPE cancellation guard: the identity formula below loses all
+/// significance when the observation lies (numerically) inside the
+/// normal subspace, so results under guard * ||x_c||^2 are recomputed by
+/// explicit residual reconstruction. Shared by every SPE path (batch,
+/// scratch, and subspace_model's streaming copy) so they stay in sync.
+inline constexpr double spe_cancellation_guard = 1e-10;
+
+/// SPE by explicit residual reconstruction (exact in the near-zero
+/// regime; ~2x the flops of the identity path plus allocations).
+double squared_prediction_error_by_reconstruction(const pca_result& p,
+                                                  std::span<const double> x,
+                                                  std::size_t m);
+
 /// Squared Euclidean norm of the residual (the SPE / Q statistic).
+/// Computed via the orthonormality identity ||x_tilde||^2 = ||x_c||^2 -
+/// sum_{j<m} <x_c, v_j>^2 — half the flops of reconstructing the
+/// residual and equal to ||residual()||^2 up to rounding — with the
+/// cancellation-guard fallback above.
 double squared_prediction_error(const pca_result& p, std::span<const double> x,
                                 std::size_t m);
+
+/// Allocation-free SPE for streaming callers: `scratch` is resized to
+/// observation length + m (centered copy followed by the scores) on
+/// first use and reused across calls.
+double squared_prediction_error(const pca_result& p, std::span<const double> x,
+                                std::size_t m, std::vector<double>& scratch);
+
+/// SPE of every row of `x` (rows = observations), evaluated as a batch:
+/// one centered copy, one blocked matrix product against the leading m
+/// axes, then per-row norm arithmetic — instead of per-row projection
+/// with three temporary vectors each.
+std::vector<double> squared_prediction_error_rows(const pca_result& p,
+                                                  const matrix& x,
+                                                  std::size_t m);
 
 }  // namespace tfd::linalg

@@ -27,6 +27,14 @@ void require_symmetric(const matrix& a, double tol) {
 // On exit: d holds the diagonal, e the subdiagonal (e[0] unused), and if
 // accumulate is true, `z` holds the orthogonal transformation Q such that
 // Q^T A Q = T.
+//
+// The inner loops are arranged so every O(n^3) access runs along rows of
+// the row-major storage (the symmetric matrix-vector product walks the
+// lower triangle row-wise, and the Q-accumulation pass is loop-
+// interchanged to k-outer/j-inner), with reductions done through the
+// multi-accumulator dot(). Results are deterministic (fixed summation
+// order) and agree with the textbook column-walking formulation to
+// rounding.
 void tridiagonalize(matrix& z, std::vector<double>& d, std::vector<double>& e,
                     bool accumulate) {
     const std::size_t n = z.rows();
@@ -52,22 +60,35 @@ void tridiagonalize(matrix& z, std::vector<double>& d, std::vector<double>& e,
                 e[i] = sc * g;
                 h -= f * g;
                 z(i, l) = f - g;
-                f = 0.0;
+
+                // e[0..l] = (A_sub * u) / h via a row-wise symmetric
+                // matrix-vector product over the lower triangle: one
+                // vectorizable axpy into e plus one multi-accumulator dot
+                // per row, all unit-stride.
+                const double* zi = z.row(i).data();
                 for (std::size_t j = 0; j <= l; ++j) {
                     if (accumulate) z(j, i) = z(i, j) / h;
-                    g = 0.0;
-                    for (std::size_t k = 0; k <= j; ++k) g += z(j, k) * z(i, k);
-                    for (std::size_t k = j + 1; k <= l; ++k)
-                        g += z(k, j) * z(i, k);
-                    e[j] = g / h;
-                    f += e[j] * z(i, j);
+                    e[j] = 0.0;
                 }
+                for (std::size_t j = 0; j <= l; ++j) {
+                    const double* zj = z.row(j).data();
+                    const double zij = zi[j];
+                    for (std::size_t k = 0; k < j; ++k) e[k] += zj[k] * zij;
+                    e[j] += dot({zj, j}, {zi, j}) + zj[j] * zij;
+                }
+                f = 0.0;
+                for (std::size_t j = 0; j <= l; ++j) {
+                    e[j] /= h;
+                    f += e[j] * zi[j];
+                }
+
                 const double hh = f / (h + h);
                 for (std::size_t j = 0; j <= l; ++j) {
                     f = z(i, j);
                     e[j] = g = e[j] - hh * f;
+                    double* zj = z.row(j).data();
                     for (std::size_t k = 0; k <= j; ++k)
-                        z(j, k) -= f * e[k] + g * z(i, k);
+                        zj[k] -= f * e[k] + g * zi[k];
                 }
             }
         } else {
@@ -79,13 +100,24 @@ void tridiagonalize(matrix& z, std::vector<double>& d, std::vector<double>& e,
     if (accumulate) d[0] = 0.0;
     e[0] = 0.0;
 
+    std::vector<double> gbuf(accumulate ? n : 0, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
         if (accumulate) {
             if (d[i] != 0.0) {
-                for (std::size_t j = 0; j < i; ++j) {
-                    double g = 0.0;
-                    for (std::size_t k = 0; k < i; ++k) g += z(i, k) * z(k, j);
-                    for (std::size_t k = 0; k < i; ++k) z(k, j) -= g * z(k, i);
+                // g[j] = sum_k z(i,k) z(k,j), then z(k,j) -= g[j] z(k,i);
+                // k-outer so both sweeps stream rows of z. The g[j]
+                // accumulation still runs k ascending per element.
+                const double* zi = z.row(i).data();
+                for (std::size_t j = 0; j < i; ++j) gbuf[j] = 0.0;
+                for (std::size_t k = 0; k < i; ++k) {
+                    const double zik = zi[k];
+                    const double* zk = z.row(k).data();
+                    for (std::size_t j = 0; j < i; ++j) gbuf[j] += zik * zk[j];
+                }
+                for (std::size_t k = 0; k < i; ++k) {
+                    double* zk = z.row(k).data();
+                    const double zki = zk[i];
+                    for (std::size_t j = 0; j < i; ++j) zk[j] -= gbuf[j] * zki;
                 }
             }
             d[i] = z(i, i);
@@ -100,9 +132,13 @@ void tridiagonalize(matrix& z, std::vector<double>& d, std::vector<double>& e,
 double hypot2(double a, double b) { return std::hypot(a, b); }
 
 // Implicit-shift QL on a tridiagonal matrix (d diagonal, e subdiagonal with
-// e[0] unused). If accumulate, applies rotations to z's columns so that on
-// exit column j of z is the eigenvector for d[j].
-void ql_implicit(std::vector<double>& d, std::vector<double>& e, matrix& z,
+// e[0] unused). If accumulate, applies rotations to *rows* of zt (the
+// transposed accumulator) so that on exit row j of zt is the eigenvector
+// for d[j]. Operating on rows keeps every rotation update on two
+// contiguous cache lines instead of two stride-n columns — the dominant
+// cost of the dense path at the unfolded widths — while performing the
+// identical arithmetic in the identical order.
+void ql_implicit(std::vector<double>& d, std::vector<double>& e, matrix& zt,
                  bool accumulate) {
     const std::size_t n = d.size();
     if (n == 0) return;
@@ -145,10 +181,12 @@ void ql_implicit(std::vector<double>& d, std::vector<double>& e, matrix& z,
                     d[i + 1] = g + p;
                     g = c * r - b;
                     if (accumulate) {
+                        double* zi = zt.row(i).data();
+                        double* zi1 = zt.row(i + 1).data();
                         for (std::size_t k = 0; k < n; ++k) {
-                            f = z(k, i + 1);
-                            z(k, i + 1) = s * z(k, i) + c * f;
-                            z(k, i) = c * z(k, i) - s * f;
+                            f = zi1[k];
+                            zi1[k] = s * zi[k] + c * f;
+                            zi[k] = c * zi[k] - s * f;
                         }
                     }
                 }
@@ -161,7 +199,9 @@ void ql_implicit(std::vector<double>& d, std::vector<double>& e, matrix& z,
     }
 }
 
-void sort_descending(std::vector<double>& d, matrix* z) {
+// Sort eigenvalues descending, permuting the matching *rows* of the
+// transposed accumulator zt.
+void sort_descending(std::vector<double>& d, matrix* zt) {
     const std::size_t n = d.size();
     std::vector<std::size_t> idx(n);
     std::iota(idx.begin(), idx.end(), 0);
@@ -169,12 +209,14 @@ void sort_descending(std::vector<double>& d, matrix* z) {
                      [&](std::size_t a, std::size_t b) { return d[a] > d[b]; });
     std::vector<double> ds(n);
     for (std::size_t j = 0; j < n; ++j) ds[j] = d[idx[j]];
-    if (z) {
-        matrix zs(z->rows(), z->cols());
-        for (std::size_t j = 0; j < n; ++j)
-            for (std::size_t i = 0; i < z->rows(); ++i)
-                zs(i, j) = (*z)(i, idx[j]);
-        *z = std::move(zs);
+    if (zt) {
+        matrix zs(zt->rows(), zt->cols());
+        for (std::size_t j = 0; j < n; ++j) {
+            const auto src = zt->row(idx[j]);
+            auto dst = zs.row(j);
+            std::copy(src.begin(), src.end(), dst.begin());
+        }
+        *zt = std::move(zs);
     }
     d = std::move(ds);
 }
@@ -184,11 +226,15 @@ void sort_descending(std::vector<double>& d, matrix* z) {
 eigen_result symmetric_eigen(const matrix& a, double symmetry_tol) {
     require_symmetric(a, symmetry_tol);
     eigen_result out;
-    out.vectors = a;
+    matrix q = a;
     std::vector<double> e;
-    tridiagonalize(out.vectors, out.values, e, /*accumulate=*/true);
-    ql_implicit(out.values, e, out.vectors, /*accumulate=*/true);
-    sort_descending(out.values, &out.vectors);
+    tridiagonalize(q, out.values, e, /*accumulate=*/true);
+    // QL accumulates into rows, so hand it Q^T and transpose back at the
+    // end; both transposes are O(n^2) against the O(n^3) rotation work.
+    matrix zt = transpose(q);
+    ql_implicit(out.values, e, zt, /*accumulate=*/true);
+    sort_descending(out.values, &zt);
+    out.vectors = transpose(zt);
     return out;
 }
 
