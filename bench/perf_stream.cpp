@@ -1,0 +1,133 @@
+// perf_stream — google-benchmark microbenchmarks for the tfd::stream
+// ingest path: codec encode/decode, sharded OD accumulation at several
+// shard counts, and the end-to-end bin-synchronous pipeline (ingest
+// throughput in records/s and per-bin close latency).
+//
+// Recorded into BENCH_core.json alongside perf_core by
+// scripts/bench_to_json.py (the bench_json target runs both binaries).
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "flow/od_aggregator.h"
+#include "net/topology.h"
+#include "stream/flow_codec.h"
+#include "stream/pipeline.h"
+#include "stream/shard.h"
+#include "traffic/background.h"
+
+using namespace tfd;
+
+namespace {
+
+const net::topology& abilene() {
+    static const auto t = net::topology::abilene();
+    return t;
+}
+
+const traffic::background_model& background() {
+    static const traffic::background_model bg(abilene());
+    return bg;
+}
+
+// One synthetic Abilene bin as a flat record stream (every OD cell,
+// stamped into the right 5-minute window), reused across iterations.
+std::vector<flow::flow_record> bin_stream(std::size_t bin) {
+    std::vector<flow::flow_record> out;
+    for (int od = 0; od < abilene().od_count(); ++od) {
+        auto cell = background().generate(bin, od);
+        out.insert(out.end(), cell.begin(), cell.end());
+    }
+    return out;
+}
+
+const std::vector<flow::flow_record>& day_stream() {
+    // 16 bins is enough to exercise refits without minutes of setup.
+    static const std::vector<flow::flow_record> s = [] {
+        std::vector<flow::flow_record> all;
+        for (std::size_t bin = 0; bin < 16; ++bin) {
+            auto b = bin_stream(bin);
+            all.insert(all.end(), b.begin(), b.end());
+        }
+        return all;
+    }();
+    return s;
+}
+
+void bm_stream_codec_encode(benchmark::State& state) {
+    const auto& records = day_stream();
+    for (auto _ : state) {
+        auto bytes = stream::encode_records(records);
+        benchmark::DoNotOptimize(bytes.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(records.size()));
+}
+BENCHMARK(bm_stream_codec_encode)->Unit(benchmark::kMillisecond);
+
+void bm_stream_codec_decode(benchmark::State& state) {
+    static const auto bytes = stream::encode_records(day_stream());
+    for (auto _ : state) {
+        auto records = stream::decode_records(bytes);
+        benchmark::DoNotOptimize(records.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(day_stream().size()));
+}
+BENCHMARK(bm_stream_codec_decode)->Unit(benchmark::kMillisecond);
+
+void bm_stream_shard_accumulate(benchmark::State& state) {
+    static const auto records = bin_stream(10);
+    static const flow::od_resolver resolver(abilene());
+    std::vector<int> ods;
+    resolver.resolve_batch(records, ods);
+    stream::od_shard_set shards(abilene().od_count(),
+                                static_cast<std::size_t>(state.range(0)));
+    stream::bin_statistics stats;
+    for (auto _ : state) {
+        shards.accumulate(records, ods);
+        shards.harvest(stats);
+        benchmark::DoNotOptimize(stats.snapshot.entropies[0].data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(records.size()));
+}
+BENCHMARK(bm_stream_shard_accumulate)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+// End-to-end ingest: codec stream -> queue -> shards -> detector.
+// items_per_second is the acceptance metric (records/s); per-bin close
+// latency comes out of the pipeline's own counters and is reported as
+// the bin_close_ms counter.
+void bm_stream_ingest(benchmark::State& state) {
+    static const auto bytes = stream::encode_records(day_stream());
+    double bin_close_ms = 0.0;
+    std::uint64_t bins = 0;
+    for (auto _ : state) {
+        stream::pipeline_options opts;
+        opts.online.window = 8;
+        opts.online.warmup = 4;
+        opts.online.refit_interval = 4;
+        opts.online.subspace.normal_dims = 2;
+        stream::stream_pipeline pipeline(abilene(), opts);
+        std::istringstream in(
+            std::string(reinterpret_cast<const char*>(bytes.data()),
+                        bytes.size()));
+        stream::flow_codec_reader reader(in);
+        pipeline.run(reader);
+        benchmark::DoNotOptimize(pipeline.metrics().bins_emitted);
+        bin_close_ms += pipeline.metrics().mean_bin_close_ms();
+        bins += pipeline.metrics().bins_emitted;
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(day_stream().size()));
+    state.counters["bin_close_ms"] =
+        bin_close_ms / static_cast<double>(state.iterations());
+    state.counters["bins"] = static_cast<double>(bins) /
+                             static_cast<double>(state.iterations());
+}
+BENCHMARK(bm_stream_ingest)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Run perf_core in JSON mode and distill BENCH_core.json.
+"""Run the perf binaries in JSON mode and distill BENCH_core.json.
 
 BENCH_core.json keeps the repo's perf trajectory:
 
@@ -15,8 +15,13 @@ hot paths moved relative to the recorded floor.
 
 Usage:
   scripts/bench_to_json.py --binary build-bench/bench/perf_core \
+      [--binary build-bench/bench/perf_stream ...] \
       [--output BENCH_core.json] [--label my-change] [--set-baseline]
       [--filter regex] [--min-time 0.1]
+
+--binary may be given several times; the distilled benchmark tables are
+merged into one record (benchmark names must be globally unique, which
+the bm_<area>_ naming convention guarantees).
 """
 
 import argparse
@@ -42,19 +47,37 @@ def run_benchmark(binary, bench_filter, min_time):
     return json.loads(proc.stdout)
 
 
+# Numeric per-benchmark fields that are bookkeeping, not user counters.
+STANDARD_NUMERIC_FIELDS = {
+    "family_index", "per_family_instance_index", "repetitions",
+    "repetition_index", "threads", "iterations", "real_time", "cpu_time",
+    "items_per_second", "bytes_per_second",
+}
+
+
 def distill(raw):
-    """Reduce google-benchmark JSON to {name: {real_time, cpu_time, unit}}."""
+    """Reduce google-benchmark JSON to {name: {real_time, cpu_time, unit}}.
+
+    User counters (e.g. perf_stream's bin_close_ms) ride along so
+    latency-style metrics land in BENCH_core.json too.
+    """
     out = {}
     for b in raw.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
-        out[b["name"]] = {
+        entry = {
             "real_time": b["real_time"],
             "cpu_time": b["cpu_time"],
             "time_unit": b["time_unit"],
         }
         if "items_per_second" in b:
-            out[b["name"]]["items_per_second"] = b["items_per_second"]
+            entry["items_per_second"] = b["items_per_second"]
+        counters = {k: v for k, v in b.items()
+                    if isinstance(v, (int, float)) and not isinstance(v, bool)
+                    and k not in STANDARD_NUMERIC_FIELDS}
+        if counters:
+            entry["counters"] = counters
+        out[b["name"]] = entry
     return out
 
 
@@ -65,7 +88,8 @@ def to_ns(value, unit):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--binary", required=True, help="path to perf_core")
+    ap.add_argument("--binary", required=True, action="append",
+                    help="path to a perf binary (repeatable)")
     ap.add_argument("--output", default="BENCH_core.json")
     ap.add_argument("--label", default="", help="tag for this run")
     ap.add_argument("--set-baseline", action="store_true",
@@ -75,15 +99,21 @@ def main():
                     help="--benchmark_min_time per benchmark (seconds)")
     args = ap.parse_args()
 
-    raw = run_benchmark(args.binary, args.filter, args.min_time)
+    benchmarks = {}
+    context = {}
+    for binary in args.binary:
+        raw = run_benchmark(binary, args.filter, args.min_time)
+        if not context:
+            context = {
+                "num_cpus": raw.get("context", {}).get("num_cpus"),
+                "library_build_type": raw.get("context", {}).get(
+                    "library_build_type"),
+            }
+        benchmarks.update(distill(raw))
     run = {
         "label": args.label or "unlabeled",
-        "context": {
-            "num_cpus": raw.get("context", {}).get("num_cpus"),
-            "library_build_type": raw.get("context", {}).get(
-                "library_build_type"),
-        },
-        "benchmarks": distill(raw),
+        "context": context,
+        "benchmarks": benchmarks,
     }
 
     doc = {}

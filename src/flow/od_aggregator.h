@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "flow/flow_record.h"
@@ -27,6 +28,37 @@ constexpr std::size_t bin_index(std::uint64_t time_us,
     return static_cast<std::size_t>(time_us / bin_us);
 }
 
+/// Why a record could not be attributed to an OD flow.
+enum class resolve_failure {
+    none = 0,
+    unknown_ingress,      ///< no (or out-of-range) ingress PoP stamped
+    unresolvable_egress,  ///< destination outside every PoP prefix
+};
+
+/// Per-reason tallies of records dropped during OD attribution. Real
+/// exports contain both kinds, and they point at different operational
+/// problems (broken capture metadata vs. off-net destinations), so they
+/// are counted separately.
+struct drop_counts {
+    std::size_t unknown_ingress = 0;
+    std::size_t unresolvable_egress = 0;
+
+    std::size_t total() const noexcept {
+        return unknown_ingress + unresolvable_egress;
+    }
+    /// Tally one failure (resolve_failure::none is ignored).
+    void count(resolve_failure why) noexcept {
+        if (why == resolve_failure::unknown_ingress) ++unknown_ingress;
+        else if (why == resolve_failure::unresolvable_egress)
+            ++unresolvable_egress;
+    }
+    drop_counts& operator+=(const drop_counts& o) noexcept {
+        unknown_ingress += o.unknown_ingress;
+        unresolvable_egress += o.unresolvable_egress;
+        return *this;
+    }
+};
+
 /// Resolves flow records to OD-flow indices using the topology's egress
 /// table. Records with unknown ingress or unresolvable egress are counted
 /// and skipped (real exports contain such flows too).
@@ -34,8 +66,19 @@ class od_resolver {
 public:
     explicit od_resolver(const net::topology& topo) : topo_(&topo) {}
 
-    /// OD index for a record, or std::nullopt if unresolvable.
-    std::optional<int> resolve(const flow_record& r) const noexcept;
+    /// OD index for a record, or std::nullopt if unresolvable. If `why`
+    /// is non-null it receives the failure reason (resolve_failure::none
+    /// on success).
+    std::optional<int> resolve(const flow_record& r,
+                               resolve_failure* why = nullptr) const noexcept;
+
+    /// Batch resolve for the shard layer: writes one OD index per record
+    /// into `out` (-1 for unresolvable), sized to `records.size()`.
+    /// Per-reason drop tallies are accumulated into `dropped` if non-null.
+    /// Returns the number of resolved records.
+    std::size_t resolve_batch(std::span<const flow_record> records,
+                              std::vector<int>& out,
+                              drop_counts* dropped = nullptr) const;
 
     const net::topology& topo() const noexcept { return *topo_; }
 
@@ -51,10 +94,11 @@ struct binned_record {
 };
 
 /// Attribute a batch of records to (bin, OD); unresolvable records are
-/// dropped and counted in `dropped` if non-null.
+/// dropped, with per-reason tallies accumulated into `dropped` if
+/// non-null.
 std::vector<binned_record> bin_records(const od_resolver& resolver,
-                                       const std::vector<flow_record>& records,
+                                       std::span<const flow_record> records,
                                        std::uint64_t bin_us = default_bin_us,
-                                       std::size_t* dropped = nullptr);
+                                       drop_counts* dropped = nullptr);
 
 }  // namespace tfd::flow

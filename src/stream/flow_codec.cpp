@@ -1,0 +1,311 @@
+#include "stream/flow_codec.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tfd::stream {
+
+namespace {
+
+// ---- primitive encoders (little-endian fixed width, LEB128 varints) ----
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+    out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    for (int s = 0; s < 32; s += 8)
+        out.push_back(static_cast<std::uint8_t>(v >> s));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    for (int s = 0; s < 64; s += 8)
+        out.push_back(static_cast<std::uint8_t>(v >> s));
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t zigzag(std::int64_t v) noexcept {
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) noexcept {
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+// ---- span cursor for decoding ----
+
+struct cursor {
+    const std::uint8_t* p;
+    const std::uint8_t* end;
+
+    [[noreturn]] static void fail() {
+        throw std::runtime_error("flow_codec: malformed frame payload");
+    }
+
+    std::uint8_t u8() {
+        if (p == end) fail();
+        return *p++;
+    }
+
+    std::uint16_t u16() {
+        if (end - p < 2) fail();
+        std::uint16_t v = static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+        p += 2;
+        return v;
+    }
+
+    std::uint32_t u32() {
+        if (end - p < 4) fail();
+        std::uint32_t v = 0;
+        for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+        p += 4;
+        return v;
+    }
+
+    std::uint64_t varint() {
+        std::uint64_t v = 0;
+        int shift = 0;
+        for (;;) {
+            if (p == end || shift > 63) fail();
+            const std::uint8_t b = *p++;
+            v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+            if (!(b & 0x80)) return v;
+            shift += 7;
+        }
+    }
+};
+
+// ---- frame header (24 bytes after the 8-byte file header) ----
+
+struct frame_header {
+    std::uint32_t record_count;
+    std::uint32_t payload_bytes;
+    std::uint64_t base_us;
+    std::uint64_t checksum;
+};
+
+constexpr std::size_t kFileHeaderBytes = 8;
+constexpr std::size_t kFrameHeaderBytes = 24;
+
+// Encoded-record size envelope, used to sanity-check an untrusted frame
+// header before allocating: every record is at least 18 bytes (ten
+// single-byte varints would still ride with 13 fixed bytes) and at most
+// 64 (five maximal 10-byte varints + 13 fixed bytes). A corrupted
+// record_count or payload_bytes field almost surely violates the
+// envelope, so we fail with a clean error instead of attempting a
+// multi-GiB buf_.resize() the checksum would only catch afterwards.
+constexpr std::uint64_t kMinRecordEncoding = 18;
+constexpr std::uint64_t kMaxRecordEncoding = 64;
+
+void write_bytes(std::ostream& out, const std::vector<std::uint8_t>& bytes) {
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw std::runtime_error("flow_codec: write failed");
+}
+
+}  // namespace
+
+namespace detail {
+
+void encode_record(const flow::flow_record& r, std::uint64_t& prev_first_us,
+                   std::vector<std::uint8_t>& out) {
+    // Deltas computed in uint64 (wraparound defined) and reinterpreted
+    // as int64 (modular conversion, C++20) before zigzag, so extreme
+    // timestamps cannot trip signed-overflow UB.
+    put_varint(out, zigzag(static_cast<std::int64_t>(r.first_us -
+                                                     prev_first_us)));
+    put_varint(out,
+               zigzag(static_cast<std::int64_t>(r.last_us - r.first_us)));
+    put_varint(out, r.packets);
+    put_varint(out, r.bytes);
+    put_u32(out, r.key.src.value);
+    put_u32(out, r.key.dst.value);
+    put_u16(out, r.key.src_port);
+    put_u16(out, r.key.dst_port);
+    put_u8(out, r.key.protocol);
+    put_varint(out, zigzag(r.ingress_pop));
+    prev_first_us = r.first_us;
+}
+
+void decode_payload(std::span<const std::uint8_t> payload, std::size_t count,
+                    std::uint64_t base_us,
+                    std::vector<flow::flow_record>& out) {
+    cursor c{payload.data(), payload.data() + payload.size()};
+    std::uint64_t prev_first = base_us;
+    for (std::size_t i = 0; i < count; ++i) {
+        flow::flow_record r;
+        // Unsigned addition: wraparound is defined, so a crafted frame
+        // with extreme deltas cannot trip signed-overflow UB.
+        r.first_us =
+            prev_first + static_cast<std::uint64_t>(unzigzag(c.varint()));
+        r.last_us =
+            r.first_us + static_cast<std::uint64_t>(unzigzag(c.varint()));
+        r.packets = c.varint();
+        r.bytes = c.varint();
+        r.key.src.value = c.u32();
+        r.key.dst.value = c.u32();
+        r.key.src_port = c.u16();
+        r.key.dst_port = c.u16();
+        r.key.protocol = c.u8();
+        r.ingress_pop = static_cast<int>(unzigzag(c.varint()));
+        prev_first = r.first_us;
+        out.push_back(r);
+    }
+    if (c.p != c.end)
+        throw std::runtime_error("flow_codec: trailing bytes in frame payload");
+}
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::uint8_t b : bytes) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+}  // namespace detail
+
+flow_codec_writer::flow_codec_writer(std::ostream& out, codec_options opts)
+    : out_(&out), opts_(opts) {
+    if (opts_.records_per_frame == 0)
+        throw std::invalid_argument(
+            "flow_codec_writer: records_per_frame must be > 0");
+    std::vector<std::uint8_t> header;
+    header.reserve(kFileHeaderBytes);
+    put_u32(header, codec_magic);
+    put_u16(header, codec_version);
+    put_u16(header, 0);  // flags
+    write_bytes(*out_, header);
+    stats_.wire_bytes += header.size();
+    pending_.reserve(opts_.records_per_frame);
+}
+
+void flow_codec_writer::add(const flow::flow_record& r) {
+    pending_.push_back(r);
+    if (pending_.size() >= opts_.records_per_frame) flush_frame();
+}
+
+void flow_codec_writer::add(std::span<const flow::flow_record> rs) {
+    for (const auto& r : rs) add(r);
+}
+
+void flow_codec_writer::flush_frame() {
+    if (pending_.empty()) return;
+    const std::uint64_t base_us = pending_.front().first_us;
+    payload_.clear();
+    std::uint64_t prev = base_us;
+    for (const auto& r : pending_) detail::encode_record(r, prev, payload_);
+
+    std::vector<std::uint8_t> header;
+    header.reserve(kFrameHeaderBytes);
+    put_u32(header, static_cast<std::uint32_t>(pending_.size()));
+    put_u32(header, static_cast<std::uint32_t>(payload_.size()));
+    put_u64(header, base_us);
+    put_u64(header, detail::fnv1a64(payload_));
+    write_bytes(*out_, header);
+    write_bytes(*out_, payload_);
+
+    stats_.records += pending_.size();
+    stats_.frames += 1;
+    stats_.payload_bytes += payload_.size();
+    stats_.wire_bytes += header.size() + payload_.size();
+    pending_.clear();
+}
+
+void flow_codec_writer::finish() {
+    flush_frame();
+    out_->flush();
+    if (!*out_) throw std::runtime_error("flow_codec: flush failed");
+}
+
+flow_codec_reader::flow_codec_reader(std::istream& in) : in_(&in) {
+    std::uint8_t header[kFileHeaderBytes];
+    in_->read(reinterpret_cast<char*>(header), kFileHeaderBytes);
+    if (in_->gcount() != static_cast<std::streamsize>(kFileHeaderBytes))
+        throw std::runtime_error("flow_codec: truncated file header");
+    cursor c{header, header + kFileHeaderBytes};
+    if (c.u32() != codec_magic)
+        throw std::runtime_error("flow_codec: bad magic");
+    const std::uint16_t version = c.u16();
+    if (version != codec_version)
+        throw std::runtime_error("flow_codec: unsupported version " +
+                                 std::to_string(version));
+    stats_.wire_bytes += kFileHeaderBytes;
+}
+
+bool flow_codec_reader::next_frame(std::vector<flow::flow_record>& out) {
+    std::uint8_t header[kFrameHeaderBytes];
+    in_->read(reinterpret_cast<char*>(header), kFrameHeaderBytes);
+    if (in_->gcount() == 0 && in_->eof()) return false;  // clean end
+    if (in_->gcount() != static_cast<std::streamsize>(kFrameHeaderBytes))
+        throw std::runtime_error("flow_codec: truncated frame header");
+
+    cursor c{header, header + kFrameHeaderBytes};
+    frame_header fh;
+    fh.record_count = c.u32();
+    fh.payload_bytes = c.u32();
+    fh.base_us = c.u32() | (static_cast<std::uint64_t>(c.u32()) << 32);
+    fh.checksum = c.u32() | (static_cast<std::uint64_t>(c.u32()) << 32);
+
+    const auto count = static_cast<std::uint64_t>(fh.record_count);
+    const auto payload = static_cast<std::uint64_t>(fh.payload_bytes);
+    if (payload > count * kMaxRecordEncoding ||
+        payload < count * kMinRecordEncoding)
+        throw std::runtime_error("flow_codec: implausible frame header");
+
+    buf_.resize(fh.payload_bytes);
+    in_->read(reinterpret_cast<char*>(buf_.data()), fh.payload_bytes);
+    if (in_->gcount() != static_cast<std::streamsize>(fh.payload_bytes))
+        throw std::runtime_error("flow_codec: truncated frame payload");
+    if (detail::fnv1a64(buf_) != fh.checksum)
+        throw std::runtime_error("flow_codec: frame checksum mismatch");
+
+    out.clear();
+    out.reserve(fh.record_count);
+    detail::decode_payload(buf_, fh.record_count, fh.base_us, out);
+
+    stats_.records += fh.record_count;
+    stats_.frames += 1;
+    stats_.payload_bytes += fh.payload_bytes;
+    stats_.wire_bytes += kFrameHeaderBytes + fh.payload_bytes;
+    return true;
+}
+
+std::vector<std::uint8_t> encode_records(
+    std::span<const flow::flow_record> records, codec_options opts) {
+    std::ostringstream os;
+    flow_codec_writer w(os, opts);
+    w.add(records);
+    w.finish();
+    const std::string s = os.str();
+    return {s.begin(), s.end()};
+}
+
+std::vector<flow::flow_record> decode_records(
+    std::span<const std::uint8_t> bytes) {
+    std::istringstream is(
+        std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+    flow_codec_reader r(is);
+    std::vector<flow::flow_record> out, frame;
+    while (r.next_frame(frame)) out.insert(out.end(), frame.begin(), frame.end());
+    return out;
+}
+
+}  // namespace tfd::stream

@@ -1,0 +1,148 @@
+// tfd::stream — compact binary codec for flow-record batches.
+//
+// Traces in this repo have so far lived only as giant in-RAM
+// std::vector<flow_record>s; a production collector ships them between
+// processes and spools them to disk. This codec defines that boundary:
+// a versioned stream of self-contained, checksummed frames, each
+// holding a batch of records encoded with delta timestamps and LEB128
+// varints (flow exports are bursty and near-sorted in time, so deltas
+// are small and the packed form is a fraction of the 56-byte in-memory
+// struct). The format is lossless: decode(encode(records)) reproduces
+// every field bit for bit, anonymized or not — the Burkhart et al.
+// compatibility requirement for anonymized feeds.
+//
+// Layout (all fixed-width integers little-endian):
+//
+//   file header  : u32 magic "TFC1", u16 version = 1, u16 flags = 0
+//   frame        : u32 record_count, u32 payload_bytes, u64 base_us,
+//                  u64 fnv1a64(payload), payload bytes
+//   ...frames until EOF (a clean EOF at a frame boundary ends the
+//   stream; anything else is reported as truncation)
+//
+// Per-record payload encoding, in stream order:
+//
+//   zigzag varint   first_us - prev_first_us   (prev = base_us at frame start)
+//   zigzag varint   last_us  - first_us
+//   varint          packets
+//   varint          bytes
+//   u32             src, dst
+//   u16             src_port, dst_port
+//   u8              protocol
+//   zigzag varint   ingress_pop                (-1 = unknown survives)
+//
+// The writer buffers records and emits a frame every
+// `records_per_frame` adds (or on flush); the reader reads one frame
+// into a reusable buffer and decodes from a span, so per-frame work is
+// one read call and no per-record allocation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "flow/flow_record.h"
+
+namespace tfd::stream {
+
+inline constexpr std::uint32_t codec_magic = 0x31434654u;  // "TFC1"
+inline constexpr std::uint16_t codec_version = 1;
+
+/// Tuning for the writer.
+struct codec_options {
+    /// Records buffered per frame. Bigger frames amortize headers and
+    /// give the reader longer runs; smaller frames bound the working set
+    /// and the blast radius of a corrupt frame.
+    std::size_t records_per_frame = 4096;
+};
+
+/// Running totals for one codec endpoint.
+struct codec_stats {
+    std::uint64_t records = 0;        ///< records written / decoded
+    std::uint64_t frames = 0;         ///< frames written / decoded
+    std::uint64_t payload_bytes = 0;  ///< encoded payload bytes
+    std::uint64_t wire_bytes = 0;     ///< payload + header bytes on the wire
+};
+
+namespace detail {
+
+/// Append one record's encoding to `out`; `prev_first_us` is updated.
+void encode_record(const flow::flow_record& r, std::uint64_t& prev_first_us,
+                   std::vector<std::uint8_t>& out);
+
+/// Decode `count` records from `payload` (base timestamp `base_us`),
+/// appending to `out`. Throws std::runtime_error if the payload is
+/// malformed or has trailing bytes.
+void decode_payload(std::span<const std::uint8_t> payload, std::size_t count,
+                    std::uint64_t base_us,
+                    std::vector<flow::flow_record>& out);
+
+/// FNV-1a 64-bit checksum.
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept;
+
+}  // namespace detail
+
+/// Buffered frame writer. Writes the file header on construction and one
+/// frame per `records_per_frame` records (or per flush_frame() call).
+class flow_codec_writer {
+public:
+    /// Throws std::invalid_argument on zero records_per_frame, or
+    /// std::runtime_error if the stream is not writable.
+    explicit flow_codec_writer(std::ostream& out, codec_options opts = {});
+
+    /// Buffer one record (a frame is emitted when the buffer fills).
+    void add(const flow::flow_record& r);
+
+    /// Buffer a batch.
+    void add(std::span<const flow::flow_record> rs);
+
+    /// Emit buffered records as one frame now (no-op when empty).
+    void flush_frame();
+
+    /// Flush the final partial frame and the underlying stream. The
+    /// writer is reusable afterwards (a new frame sequence continues the
+    /// same stream).
+    void finish();
+
+    const codec_stats& stats() const noexcept { return stats_; }
+
+private:
+    std::ostream* out_;
+    codec_options opts_;
+    std::vector<flow::flow_record> pending_;
+    std::vector<std::uint8_t> payload_;  ///< reused encode buffer
+    codec_stats stats_;
+};
+
+/// Frame reader. Validates the file header on construction; next_frame()
+/// yields one decoded batch at a time so a consumer never needs the
+/// whole trace in memory.
+class flow_codec_reader {
+public:
+    /// Reads and validates the file header. Throws std::runtime_error on
+    /// bad magic or unsupported version.
+    explicit flow_codec_reader(std::istream& in);
+
+    /// Decode the next frame into `out` (previous contents replaced).
+    /// Returns false on clean end of stream; throws std::runtime_error
+    /// on truncation, checksum mismatch, or malformed payload.
+    bool next_frame(std::vector<flow::flow_record>& out);
+
+    const codec_stats& stats() const noexcept { return stats_; }
+
+private:
+    std::istream* in_;
+    std::vector<std::uint8_t> buf_;  ///< reused frame payload buffer
+    codec_stats stats_;
+};
+
+/// Convenience: encode a batch to an in-memory byte string.
+std::vector<std::uint8_t> encode_records(
+    std::span<const flow::flow_record> records, codec_options opts = {});
+
+/// Convenience: decode every frame of an in-memory byte string.
+/// Throws std::runtime_error on any corruption.
+std::vector<flow::flow_record> decode_records(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace tfd::stream

@@ -1,0 +1,175 @@
+#include "stream/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace tfd::stream {
+
+namespace {
+
+std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace
+
+stream_pipeline::stream_pipeline(const net::topology& topo,
+                                 pipeline_options opts)
+    : resolver_(topo),
+      opts_(opts),
+      shards_(topo.od_count(), opts.shards),
+      detector_(static_cast<std::size_t>(topo.od_count()), opts.online) {
+    if (opts.bin_us == 0)
+        throw std::invalid_argument("stream_pipeline: bin_us must be > 0");
+}
+
+void stream_pipeline::close_bin() {
+    const std::uint64_t t0 = now_ns();
+    shards_.harvest(scratch_.stats);
+    scratch_.stats.bin = current_bin_;
+    if (scratch_.stats.records == 0) ++metrics_.empty_bins;
+    scratch_.verdict = detector_.push(scratch_.stats.snapshot);
+    const std::uint64_t dt = now_ns() - t0;
+    metrics_.bin_close_ns += dt;
+    metrics_.max_bin_close_ns = std::max(metrics_.max_bin_close_ns, dt);
+    ++metrics_.bins_emitted;
+    if (scratch_.verdict.anomalous) ++metrics_.anomalies;
+    if (callback_) callback_(scratch_);
+}
+
+void stream_pipeline::advance_to(std::size_t bin) {
+    // Emit every bin up to (excluding) `bin`: the open one, then empty
+    // gap bins, keeping the detector's row-per-bin time base intact.
+    while (bin_open_ && current_bin_ < bin) {
+        close_bin();
+        ++current_bin_;
+    }
+    current_bin_ = bin;
+}
+
+void stream_pipeline::push(std::span<const flow::flow_record> records) {
+    if (records.empty()) return;
+    metrics_.records_in += records.size();
+    // The accumulation clock covers resolve + routing + shard work, so
+    // records_per_second() reflects the full per-record ingest cost.
+    std::uint64_t t0 = now_ns();
+    resolver_.resolve_batch(records, od_scratch_, &metrics_.resolver_drops);
+
+    // Accumulate maximal same-bin runs so shard fan-out happens once per
+    // run, not once per record.
+    std::size_t i = 0;
+    const std::size_t n = records.size();
+    while (i < n) {
+        const std::size_t bin = flow::bin_index(records[i].first_us, opts_.bin_us);
+        std::size_t j = i + 1;
+        while (j < n &&
+               flow::bin_index(records[j].first_us, opts_.bin_us) == bin)
+            ++j;
+        // A record is late when its bin has already been scored: below
+        // the open bin, or — after finish()/run() closed the stream —
+        // at or below the last emitted bin. Late records cannot be
+        // replayed into the model. Only resolvable records count as
+        // late; unresolvable ones are already in resolver_drops, so the
+        // counters partition records_in exactly.
+        const bool late = bin_open_
+                              ? bin < current_bin_
+                              : metrics_.bins_emitted > 0 && bin <= current_bin_;
+        if (late) {
+            // A backward jump beyond max_gap_bins is a time-base
+            // discontinuity, the mirror of the forward case below: one
+            // corrupt far-future timestamp must not poison current_bin_
+            // so badly that the entire remaining (sane) feed gets
+            // late-dropped. Resync instead of dropping.
+            if (current_bin_ - bin > opts_.max_gap_bins) {
+                metrics_.accumulate_ns += now_ns() - t0;
+                if (bin_open_) close_bin();
+                ++metrics_.time_base_resets;
+                current_bin_ = bin;
+                bin_open_ = true;
+                t0 = now_ns();
+            } else {
+                for (std::size_t k = i; k < j; ++k)
+                    if (od_scratch_[k] >= 0) ++metrics_.late_records;
+                i = j;
+                continue;
+            }
+        }
+        if (!bin_open_) {
+            current_bin_ = bin;
+            bin_open_ = true;
+        } else if (bin > current_bin_) {
+            // Bin closures are timed separately (bin_close_ns), so pause
+            // the accumulation clock around them.
+            metrics_.accumulate_ns += now_ns() - t0;
+            if (bin - current_bin_ > opts_.max_gap_bins) {
+                // Time-base discontinuity: don't spin through an absurd
+                // number of empty harvests (see pipeline_options).
+                close_bin();
+                ++metrics_.time_base_resets;
+                current_bin_ = bin;
+            } else {
+                advance_to(bin);
+            }
+            t0 = now_ns();
+        }
+        const std::size_t before = shards_.pending_records();
+        shards_.accumulate(records.subspan(i, j - i),
+                           std::span(od_scratch_).subspan(i, j - i));
+        metrics_.records_accumulated += shards_.pending_records() - before;
+        i = j;
+    }
+    metrics_.accumulate_ns += now_ns() - t0;
+}
+
+void stream_pipeline::finish() {
+    if (!bin_open_) return;
+    close_bin();
+    bin_open_ = false;
+}
+
+std::size_t stream_pipeline::run(flow_codec_reader& reader) {
+    bounded_queue<std::vector<flow::flow_record>> queue(opts_.queue_frames);
+    std::exception_ptr producer_error;
+
+    std::thread producer([&] {
+        try {
+            std::vector<flow::flow_record> frame;
+            while (reader.next_frame(frame)) {
+                if (!queue.push(std::move(frame))) break;
+                frame.clear();
+            }
+        } catch (...) {
+            producer_error = std::current_exception();
+        }
+        queue.close();
+    });
+
+    std::size_t frames = 0;
+    std::exception_ptr consumer_error;
+    try {
+        while (auto frame = queue.pop()) {
+            push(*frame);
+            ++frames;
+        }
+    } catch (...) {
+        // push() (e.g. a throwing on_bin callback) must not leave the
+        // producer blocked on a full queue with a joinable thread going
+        // out of scope — that would be std::terminate.
+        consumer_error = std::current_exception();
+        queue.close();
+    }
+    producer.join();
+    last_run_blocked_pushes_ = queue.blocked_pushes();
+    if (consumer_error) std::rethrow_exception(consumer_error);
+    if (producer_error) std::rethrow_exception(producer_error);
+    finish();
+    return frames;
+}
+
+}  // namespace tfd::stream

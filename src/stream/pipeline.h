@@ -1,0 +1,238 @@
+// tfd::stream — bin-synchronous streaming pipeline.
+//
+// Turns a flow-record stream (codec frames, capture flushes, or raw
+// batches) into per-bin entropy snapshots and feeds them to the online
+// detector, bin by bin:
+//
+//   frames -> [bounded queue] -> resolve -> shard accumulate
+//          -> (bin boundary) harvest -> online_detector::push -> verdict
+//
+// "Bin-synchronous" means the pipeline never scores a bin until every
+// record of that bin has been accumulated: records drive time forward,
+// a bin closes when the first record of a later bin arrives (or on
+// finish()), and gap bins are emitted as empty snapshots so the
+// detector's time base matches the batch dataset's row-per-bin layout.
+// Records for already-closed bins cannot be replayed into the model and
+// are counted as late drops (`metrics().late_records`), mirroring what
+// a real collector does with straggler exports.
+//
+// Backpressure: run() decodes frames on a producer thread into a
+// bounded queue and consumes them on the calling thread. When
+// accumulation + detection falls behind, the queue fills and the
+// producer blocks in push() — ingest slows to the pipeline's pace
+// instead of buffering the trace in RAM. `bounded_queue` counts blocked
+// pushes so deployments can see when they are backpressure-bound.
+//
+// Every counter the operator needs is in pipeline_metrics: records in /
+// accumulated, per-reason resolver drops, late drops, bins and
+// anomalies emitted, accumulate/harvest/detect time, and the max and
+// mean close-to-verdict latency per bin.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/online.h"
+#include "flow/od_aggregator.h"
+#include "net/topology.h"
+#include "stream/flow_codec.h"
+#include "stream/shard.h"
+
+namespace tfd::stream {
+
+/// A mutex+condvar bounded MPMC queue with blocking push (backpressure)
+/// and blocking pop. close() wakes everyone; pop() drains remaining
+/// items before reporting end-of-stream.
+template <typename T>
+class bounded_queue {
+public:
+    explicit bounded_queue(std::size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity) {}
+
+    /// Blocks while full. Returns false (item dropped) if closed.
+    bool push(T item) {
+        std::unique_lock lock(mu_);
+        if (items_.size() >= capacity_) ++blocked_pushes_;
+        space_cv_.wait(lock,
+                       [&] { return items_.size() < capacity_ || closed_; });
+        if (closed_) return false;
+        items_.push_back(std::move(item));
+        high_watermark_ = std::max(high_watermark_, items_.size());
+        lock.unlock();
+        item_cv_.notify_one();
+        return true;
+    }
+
+    /// Non-blocking push; false when full or closed.
+    bool try_push(T item) {
+        {
+            std::unique_lock lock(mu_);
+            if (closed_ || items_.size() >= capacity_) return false;
+            items_.push_back(std::move(item));
+            high_watermark_ = std::max(high_watermark_, items_.size());
+        }
+        item_cv_.notify_one();
+        return true;
+    }
+
+    /// Blocks until an item arrives; std::nullopt once closed and empty.
+    std::optional<T> pop() {
+        std::unique_lock lock(mu_);
+        item_cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+        if (items_.empty()) return std::nullopt;
+        T item = std::move(items_.front());
+        items_.erase(items_.begin());
+        lock.unlock();
+        space_cv_.notify_one();
+        return item;
+    }
+
+    void close() {
+        {
+            std::unique_lock lock(mu_);
+            closed_ = true;
+        }
+        item_cv_.notify_all();
+        space_cv_.notify_all();
+    }
+
+    std::size_t capacity() const noexcept { return capacity_; }
+
+    /// Times a push() found the queue full (backpressure events).
+    std::uint64_t blocked_pushes() const {
+        std::unique_lock lock(mu_);
+        return blocked_pushes_;
+    }
+
+    /// Deepest the queue has been.
+    std::size_t high_watermark() const {
+        std::unique_lock lock(mu_);
+        return high_watermark_;
+    }
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable item_cv_;
+    std::condition_variable space_cv_;
+    std::vector<T> items_;
+    bool closed_ = false;
+    std::uint64_t blocked_pushes_ = 0;
+    std::size_t high_watermark_ = 0;
+};
+
+/// Pipeline tuning.
+struct pipeline_options {
+    std::size_t shards = 0;  ///< OD shards; 0 picks the thread pool size
+    std::uint64_t bin_us = flow::default_bin_us;
+    core::online_options online{};  ///< passed to the online detector
+    /// Frames buffered between the decode thread and the pipeline in
+    /// run(); the producer blocks when it gets this far ahead.
+    std::size_t queue_frames = 8;
+    /// Largest bin jump treated as normal stream behaviour: forward
+    /// jumps up to this are bridged with empty gap bins, backward jumps
+    /// up to this are late records. A jump beyond it in either
+    /// direction is a time-base discontinuity (a feed switching clocks,
+    /// or a corrupt timestamp): the open bin is closed, the pipeline
+    /// resumes at the new bin, and metrics().time_base_resets counts it
+    /// — so a far-future straggler neither spins through millions of
+    /// empty harvests nor poisons the time base so every later sane
+    /// record gets late-dropped. Default: one week of 5-minute bins.
+    std::size_t max_gap_bins = 2016;
+};
+
+/// Operational counters (see the header comment).
+struct pipeline_metrics {
+    std::uint64_t records_in = 0;           ///< records offered via push()
+    std::uint64_t records_accumulated = 0;  ///< survived resolve + lateness
+    flow::drop_counts resolver_drops;       ///< per-reason resolve failures
+    std::uint64_t late_records = 0;         ///< arrived after their bin closed
+    std::uint64_t bins_emitted = 0;
+    std::uint64_t empty_bins = 0;           ///< gap bins emitted with no records
+    std::uint64_t time_base_resets = 0;     ///< forward jumps > max_gap_bins
+    std::uint64_t anomalies = 0;
+    std::uint64_t accumulate_ns = 0;  ///< resolve + shard accumulation
+    std::uint64_t bin_close_ns = 0;   ///< harvest + detector push, total
+    std::uint64_t max_bin_close_ns = 0;
+
+    double mean_bin_close_ms() const noexcept {
+        return bins_emitted == 0 ? 0.0
+                                 : static_cast<double>(bin_close_ns) / 1e6 /
+                                       static_cast<double>(bins_emitted);
+    }
+    /// Ingest throughput over time spent inside the pipeline.
+    double records_per_second() const noexcept {
+        const double ns =
+            static_cast<double>(accumulate_ns) + static_cast<double>(bin_close_ns);
+        return ns <= 0.0 ? 0.0
+                         : static_cast<double>(records_accumulated) * 1e9 / ns;
+    }
+};
+
+/// One emitted bin: harvested statistics plus the detector's verdict.
+struct bin_result {
+    bin_statistics stats;
+    core::online_verdict verdict;
+};
+
+/// The bin-synchronous streaming driver.
+class stream_pipeline {
+public:
+    /// Throws std::invalid_argument on degenerate options (propagated
+    /// from od_shard_set / online_detector).
+    explicit stream_pipeline(const net::topology& topo,
+                             pipeline_options opts = {});
+
+    /// Observer invoked for every emitted bin, in bin order, on the
+    /// thread driving push()/finish()/run().
+    void on_bin(std::function<void(const bin_result&)> callback) {
+        callback_ = std::move(callback);
+    }
+
+    /// Ingest a record batch. Records may span bins; bins must be
+    /// non-decreasing across the stream (records for closed bins are
+    /// dropped as late). Closing a bin triggers harvest + detection and
+    /// the on_bin callback.
+    void push(std::span<const flow::flow_record> records);
+
+    /// Drain an entire codec stream: decodes frames on a producer
+    /// thread, consumes them here through a bounded queue (capacity
+    /// opts.queue_frames), then finishes the open bin. Returns frames
+    /// consumed; rethrows codec errors on this thread.
+    std::size_t run(flow_codec_reader& reader);
+
+    /// Close the currently open bin (if any) and emit it.
+    void finish();
+
+    const pipeline_metrics& metrics() const noexcept { return metrics_; }
+    const core::online_detector& detector() const noexcept { return detector_; }
+
+    /// Backpressure observability for the most recent run().
+    std::uint64_t last_run_blocked_pushes() const noexcept {
+        return last_run_blocked_pushes_;
+    }
+
+private:
+    void close_bin();
+    void advance_to(std::size_t bin);
+
+    flow::od_resolver resolver_;
+    pipeline_options opts_;
+    od_shard_set shards_;
+    core::online_detector detector_;
+    std::function<void(const bin_result&)> callback_;
+    pipeline_metrics metrics_;
+    bin_result scratch_;           ///< reused harvest/verdict buffer
+    std::vector<int> od_scratch_;  ///< reused resolve_batch output
+    std::size_t current_bin_ = 0;
+    bool bin_open_ = false;
+    std::uint64_t last_run_blocked_pushes_ = 0;
+};
+
+}  // namespace tfd::stream

@@ -1,0 +1,93 @@
+#include "stream/shard.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "linalg/parallel.h"
+
+namespace tfd::stream {
+
+od_shard_set::od_shard_set(int od_count, std::size_t shards)
+    : od_count_(od_count) {
+    if (od_count <= 0)
+        throw std::invalid_argument("od_shard_set: od_count must be > 0");
+    if (shards == 0) shards = linalg::thread_pool::shared().size();
+    shards = std::min(shards, static_cast<std::size_t>(od_count));
+    shards_.resize(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+        // Shard s owns ODs {s, s + S, s + 2S, ...}.
+        const auto owned =
+            (static_cast<std::size_t>(od_count) - s + shards - 1) / shards;
+        shards_[s].cells.resize(owned);
+    }
+}
+
+void od_shard_set::accumulate(std::span<const flow::flow_record> records,
+                              std::span<const int> ods) {
+    if (records.size() != ods.size())
+        throw std::invalid_argument(
+            "od_shard_set: records/ods size mismatch");
+
+    // Route serially so each shard sees its records in input order, then
+    // let every shard drain its run in parallel (disjoint cells, so the
+    // only cross-shard effect of parallelism is wall-clock).
+    for (auto& s : shards_) s.batch.clear();
+    std::uint64_t routed = 0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const int od = ods[i];
+        if (od < 0 || od >= od_count_) continue;
+        shards_[shard_of(od)].batch.push_back(static_cast<std::uint32_t>(i));
+        ++routed;
+    }
+    pending_records_ += routed;
+
+    const std::size_t nshards = shards_.size();
+    linalg::thread_pool::shared().run(nshards, [&](std::size_t s) {
+        shard& sh = shards_[s];
+        for (const std::uint32_t i : sh.batch) {
+            const int od = ods[i];
+            sh.cells[static_cast<std::size_t>(od) / nshards].add_record(
+                records[i]);
+        }
+    });
+}
+
+void od_shard_set::harvest(bin_statistics& out) {
+    const auto p = static_cast<std::size_t>(od_count_);
+    for (auto& e : out.snapshot.entropies) e.assign(p, 0.0);
+    out.bytes.assign(p, 0.0);
+    out.packets.assign(p, 0.0);
+    out.records = pending_records_;
+
+    const std::size_t nshards = shards_.size();
+    linalg::thread_pool::shared().run(nshards, [&](std::size_t s) {
+        shard& sh = shards_[s];
+        for (std::size_t local = 0; local < sh.cells.size(); ++local) {
+            const std::size_t od = local * nshards + s;
+            auto& cell = sh.cells[local];
+            const auto h = cell.entropies();
+            for (int f = 0; f < flow::feature_count; ++f)
+                out.snapshot.entropies[f][od] = h[f];
+            out.bytes[od] = static_cast<double>(cell.total_bytes());
+            out.packets[od] = static_cast<double>(cell.total_packets());
+            cell.clear();
+        }
+    });
+    pending_records_ = 0;
+}
+
+core::feature_histogram_set od_shard_set::merged_cell(int od) const {
+    if (od < 0 || od >= od_count_)
+        throw std::out_of_range("od_shard_set: od out of range");
+    // With OD partitioning exactly one shard holds this cell (the
+    // compact layout reuses local slot od/S for a different OD in every
+    // other shard), so the merge has a single contributor — the exact
+    // empty-target copy. A future split-state layout (multi-process
+    // sharding) would merge one such set per shard instance instead.
+    core::feature_histogram_set out;
+    out.merge(shards_[shard_of(od)]
+                  .cells[static_cast<std::size_t>(od) / shards_.size()]);
+    return out;
+}
+
+}  // namespace tfd::stream
