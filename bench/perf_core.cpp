@@ -71,6 +71,23 @@ void bm_symmetric_eigen(benchmark::State& state) {
 BENCHMARK(bm_symmetric_eigen)->Arg(32)->Arg(128)->Arg(484)
     ->Unit(benchmark::kMillisecond);
 
+void bm_symmetric_topk(benchmark::State& state) {
+    // Same matrices as bm_symmetric_eigen, but only the 10 leading
+    // eigenpairs (the subspace method's k) are extracted.
+    const auto n = static_cast<std::size_t>(state.range(0));
+    linalg::matrix a(n, n);
+    traffic::rng gen(3);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i; j < n; ++j)
+            a(i, j) = a(j, i) = gen.uniform(-1, 1);
+    for (auto _ : state) {
+        auto e = linalg::symmetric_eigen_topk(a, 10);
+        benchmark::DoNotOptimize(e.values.data());
+    }
+}
+BENCHMARK(bm_symmetric_topk)->Arg(128)->Arg(484)
+    ->Unit(benchmark::kMillisecond);
+
 void bm_pca_fit(benchmark::State& state) {
     const auto& d = dataset();
     for (auto _ : state) {
@@ -79,6 +96,16 @@ void bm_pca_fit(benchmark::State& state) {
     }
 }
 BENCHMARK(bm_pca_fit)->Unit(benchmark::kMillisecond);
+
+void bm_pca_fit_topk(benchmark::State& state) {
+    // The detection-path fit: only the 10 leading axes materialized.
+    const auto& d = dataset();
+    for (auto _ : state) {
+        auto p = linalg::fit_pca_topk(d.packets, 10);
+        benchmark::DoNotOptimize(p.eigenvalues.data());
+    }
+}
+BENCHMARK(bm_pca_fit_topk)->Unit(benchmark::kMillisecond);
 
 void bm_unfold(benchmark::State& state) {
     const auto& d = dataset();

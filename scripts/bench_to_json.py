@@ -18,10 +18,18 @@ Usage:
       [--binary build-bench/bench/perf_stream ...] \
       [--output BENCH_core.json] [--label my-change] [--set-baseline]
       [--filter regex] [--min-time 0.1]
+      [--check bm_name:25 ...] [--check-only]
 
 --binary may be given several times; the distilled benchmark tables are
 merged into one record (benchmark names must be globally unique, which
 the bm_<area>_ naming convention guarantees).
+
+--check NAME:PCT compares this run's NAME against the "current" section
+already recorded in the output file and exits nonzero if it is more
+than PCT percent slower — the CI perf smoke uses this to fail on real
+regressions instead of eyeballing log output. --check-only skips
+rewriting the output file (checks still run), so a noisy CI runner
+never overwrites the curated perf record.
 """
 
 import argparse
@@ -97,6 +105,12 @@ def main():
     ap.add_argument("--filter", default="", help="--benchmark_filter regex")
     ap.add_argument("--min-time", default="",
                     help="--benchmark_min_time per benchmark (seconds)")
+    ap.add_argument("--check", action="append", default=[],
+                    metavar="NAME:PCT",
+                    help="fail if NAME is more than PCT%% slower than the "
+                         "recorded 'current' entry (repeatable)")
+    ap.add_argument("--check-only", action="store_true",
+                    help="run regression checks without rewriting --output")
     args = ap.parse_args()
 
     benchmarks = {}
@@ -123,6 +137,42 @@ def main():
                 doc = json.load(f)
             except json.JSONDecodeError:
                 doc = {}
+
+    failures = []
+    recorded = doc.get("current", {}).get("benchmarks", {})
+    for spec in args.check:
+        name, _, pct = spec.rpartition(":")
+        if not name:
+            raise SystemExit(f"error: --check expects NAME:PCT, got {spec!r}")
+        allowed = float(pct)
+        if name not in benchmarks:
+            failures.append(f"{name}: not produced by this run")
+            continue
+        if name not in recorded:
+            print(f"check {name}: no recorded 'current' entry, skipping")
+            continue
+        cur_ns = to_ns(benchmarks[name]["real_time"],
+                       benchmarks[name]["time_unit"])
+        rec_ns = to_ns(recorded[name]["real_time"],
+                       recorded[name]["time_unit"])
+        ratio = cur_ns / rec_ns if rec_ns > 0 else float("inf")
+        verdict = "ok" if ratio <= 1.0 + allowed / 100.0 else "REGRESSION"
+        print(f"check {name}: {ratio:.3f}x recorded "
+              f"(allowed +{allowed:.0f}%) {verdict}")
+        if verdict != "ok":
+            failures.append(
+                f"{name}: {ratio:.3f}x the recorded time "
+                f"(allowed {1.0 + allowed / 100.0:.2f}x)")
+
+    if failures:
+        # Never persist a run that failed its own regression gate: writing
+        # the regressed numbers into "current" would ratchet the reference
+        # down and make the very next run pass vacuously.
+        for f in failures:
+            sys.stderr.write(f"perf regression: {f}\n")
+        raise SystemExit(2)
+    if args.check_only:
+        return
 
     if args.set_baseline or "baseline" not in doc:
         doc["baseline"] = run

@@ -1,5 +1,6 @@
 #include "core/subspace.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -12,12 +13,26 @@ void subspace_model::finish_fit(const subspace_options& opts) {
     m_ = std::min(opts.normal_dims, pca_.eigenvalues.size());
 
     // Residual eigenvalue moments phi_i = sum_{j>m} lambda_j^i.
-    phi_[0] = phi_[1] = phi_[2] = 0.0;
-    for (std::size_t j = m_; j < pca_.eigenvalues.size(); ++j) {
-        const double l = pca_.eigenvalues[j];
-        phi_[0] += l;
-        phi_[1] += l * l;
-        phi_[2] += l * l * l;
+    if (pca_.partial_spectrum) {
+        // The tail eigenvalues were never materialized; subtract the
+        // leading power sums from the exact full-spectrum moments.
+        double lead[3] = {0.0, 0.0, 0.0};
+        for (std::size_t j = 0; j < m_; ++j) {
+            const double l = pca_.eigenvalues[j];
+            lead[0] += l;
+            lead[1] += l * l;
+            lead[2] += l * l * l;
+        }
+        for (int i = 0; i < 3; ++i)
+            phi_[i] = std::max(pca_.spectrum_moments[i] - lead[i], 0.0);
+    } else {
+        phi_[0] = phi_[1] = phi_[2] = 0.0;
+        for (std::size_t j = m_; j < pca_.eigenvalues.size(); ++j) {
+            const double l = pca_.eigenvalues[j];
+            phi_[0] += l;
+            phi_[1] += l * l;
+            phi_[2] += l * l * l;
+        }
     }
     h0_ = 1.0;
     if (phi_[1] > 0.0)
@@ -44,7 +59,12 @@ subspace_model subspace_model::fit(const linalg::matrix& x,
     // widths it would dominate the whole fit).
     popts.full_basis = false;
     popts.min_components = opts.normal_dims;
-    m.pca_ = linalg::fit_pca(x, popts);
+    // The default fit extracts only those axes (plus exact residual
+    // moments) through the partial-spectrum solver; partial_fit = false
+    // keeps the historical full-QL path for A/B parity.
+    m.pca_ = opts.partial_fit
+                 ? linalg::fit_pca_topk(x, opts.normal_dims, popts)
+                 : linalg::fit_pca(x, popts);
     m.finish_fit(opts);
     return m;
 }
@@ -58,13 +78,33 @@ subspace_model subspace_model::fit_from_covariance(const linalg::matrix& cov,
     if (cov.rows() == 0)
         throw std::invalid_argument("fit_from_covariance: empty covariance");
     subspace_model m;
-    linalg::eigen_result eg = linalg::symmetric_eigen(cov);
-    for (double& v : eg.values) v = std::max(v, 0.0);
     m.pca_.mean = std::move(mean);
-    m.pca_.eigenvalues = std::move(eg.values);
-    m.pca_.components = std::move(eg.vectors);
-    m.pca_.total_variance = 0.0;
-    for (double v : m.pca_.eigenvalues) m.pca_.total_variance += v;
+    if (opts.partial_fit) {
+        // Streaming refits only ever read the leading normal_dims axes;
+        // extract exactly those (the d x d eigensolve at the unfolded
+        // width is the whole cost of an online refit).
+        linalg::partial_eigen_result pe = linalg::symmetric_eigen_topk(
+            cov, std::max<std::size_t>(opts.normal_dims, 1));
+        for (double& v : pe.values) v = std::max(v, 0.0);
+        m.pca_.eigenvalues = std::move(pe.values);
+        m.pca_.components = std::move(pe.vectors);
+        m.pca_.spectrum_moments = pe.moments;
+        m.pca_.partial_spectrum = true;
+        m.pca_.total_variance = std::max(pe.moments[0], 0.0);
+    } else {
+        linalg::eigen_result eg = linalg::symmetric_eigen(cov);
+        for (double& v : eg.values) v = std::max(v, 0.0);
+        m.pca_.eigenvalues = std::move(eg.values);
+        m.pca_.components = std::move(eg.vectors);
+        m.pca_.total_variance = 0.0;
+        m.pca_.spectrum_moments = {0.0, 0.0, 0.0};
+        for (double v : m.pca_.eigenvalues) {
+            m.pca_.total_variance += v;
+            m.pca_.spectrum_moments[0] += v;
+            m.pca_.spectrum_moments[1] += v * v;
+            m.pca_.spectrum_moments[2] += v * v * v;
+        }
+    }
     m.finish_fit(opts);
     return m;
 }

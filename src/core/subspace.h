@@ -24,6 +24,14 @@ struct subspace_options {
     std::size_t normal_dims = 10;
     /// Subtract column means before PCA.
     bool center = true;
+    /// Fit through the partial-spectrum eigensolver (top normal_dims
+    /// eigenpairs via Sturm bisection + inverse iteration; exact
+    /// residual-spectrum moments from tridiagonal trace identities).
+    /// The solver falls back to full QL on its own when normal_dims is
+    /// within a factor 2 of the eigenproblem order. Turning this off
+    /// forces the full-QL fit everywhere — the A/B escape hatch the
+    /// detection-invariance tests pin the two paths against.
+    bool partial_fit = true;
 };
 
 /// A fitted subspace model over one data matrix.

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "linalg/parallel.h"
+#include "linalg/simd.h"
 
 namespace tfd::linalg {
 
@@ -149,21 +150,17 @@ matrix multiply(const matrix& a, const matrix& b) {
     matrix c(a.rows(), b.cols());
     const std::size_t k_dim = a.cols(), m = b.cols();
     // Each task owns a block of output rows; within the block, k is tiled
-    // so the touched rows of B stay cache-resident while the i-k-j loop
-    // accumulates. Tiling k does not reorder the per-element reduction
-    // (k still ascends), so this matches naive_multiply bit for bit.
+    // so the touched rows of B stay cache-resident while the row-update
+    // micro-kernel accumulates. Tiling k does not reorder the per-element
+    // reduction (k still ascends), so under the scalar ISA this matches
+    // naive_multiply bit for bit; under fma256 the same order runs with
+    // fused multiply-adds (tolerance-level parity, see linalg/simd.h).
     parallel_for_blocked(a.rows(), kRowBlock, [&](std::size_t i0, std::size_t i1) {
         for (std::size_t k0 = 0; k0 < k_dim; k0 += kDepthTile) {
             const std::size_t k1 = std::min(k0 + kDepthTile, k_dim);
-            for (std::size_t i = i0; i < i1; ++i) {
-                double* ci = c.row(i).data();
-                for (std::size_t k = k0; k < k1; ++k) {
-                    const double aik = a(i, k);
-                    if (aik == 0.0) continue;
-                    const double* bk = b.row(k).data();
-                    for (std::size_t j = 0; j < m; ++j) ci[j] += aik * bk[j];
-                }
-            }
+            for (std::size_t i = i0; i < i1; ++i)
+                simd::gemm_row_update(c.row(i).data(), a.row(i).data() + k0, 1,
+                                      b.row(k0).data(), m, k1 - k0, m);
         }
     });
     return c;
@@ -224,18 +221,19 @@ matrix naive_gram(const matrix& a) {
 matrix gram(const matrix& a) {
     const std::size_t n = a.cols();
     matrix c(n, n);
-    // Each task owns upper-triangle rows [i0, i1) of C and streams the
-    // observation rows of A once, accumulating rank-1 contributions in
-    // ascending r — the same per-element order as naive_gram.
+    // Each task owns upper-triangle rows [i0, i1) of C; the observation
+    // rows of A are streamed in fixed-size r-tiles, each row of C
+    // accumulating its tile's rank-1 contributions through the row-update
+    // micro-kernel. r still ascends for every (i, j), so the scalar ISA
+    // matches naive_gram bit for bit (fma256: tolerance-level parity).
+    const std::size_t lda = a.cols();
     parallel_for_blocked(n, kRowBlock, [&](std::size_t i0, std::size_t i1) {
-        for (std::size_t r = 0; r < a.rows(); ++r) {
-            const double* ar = a.row(r).data();
-            for (std::size_t i = i0; i < i1; ++i) {
-                const double v = ar[i];
-                if (v == 0.0) continue;
-                double* ci = c.row(i).data();
-                for (std::size_t j = i; j < n; ++j) ci[j] += v * ar[j];
-            }
+        for (std::size_t r0 = 0; r0 < a.rows(); r0 += kDepthTile) {
+            const std::size_t depth = std::min(r0 + kDepthTile, a.rows()) - r0;
+            const double* base = a.row(r0).data();
+            for (std::size_t i = i0; i < i1; ++i)
+                simd::gemm_row_update(c.row(i).data() + i, base + i, lda,
+                                      base + i, lda, depth, n - i);
         }
     });
     for (std::size_t i = 0; i < n; ++i)
@@ -290,22 +288,12 @@ double norm2(std::span<const double> x) noexcept {
 double dot(std::span<const double> x, std::span<const double> y) {
     if (x.size() != y.size())
         throw std::invalid_argument("dot: length mismatch");
-    // Four independent accumulators: strict-FP single-accumulator
-    // reductions serialize on the add latency and cannot be vectorized;
-    // this fixed interleaving is ~4x faster and still deterministic
-    // (the summation order depends only on the length).
-    const std::size_t n = x.size();
-    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-    std::size_t i = 0;
-    for (; i + 4 <= n; i += 4) {
-        s0 += x[i] * y[i];
-        s1 += x[i + 1] * y[i + 1];
-        s2 += x[i + 2] * y[i + 2];
-        s3 += x[i + 3] * y[i + 3];
-    }
-    double s = (s0 + s1) + (s2 + s3);
-    for (; i < n; ++i) s += x[i] * y[i];
-    return s;
+    // Dispatched micro-kernel (linalg/simd.h). The scalar ISA is the
+    // historical 4-accumulator interleave (bit-identical to the pre-SIMD
+    // dot); fma256 widens to 8 fused accumulators. Either way the
+    // summation order depends only on the length, so results are
+    // deterministic for a given ISA.
+    return simd::dot(x.data(), y.data(), x.size());
 }
 
 double max_abs_diff(const matrix& a, const matrix& b) {

@@ -6,12 +6,18 @@
 //
 // Kernel strategy: multiply / gram / outer_gram are cache-blocked and
 // parallelized over fixed-size row (or output-row) blocks on the shared
-// thread pool (linalg/parallel.h). Block boundaries and the per-element
-// reduction order are independent of the worker count — multiply sums k
-// ascending, gram sums observation rows ascending, outer_gram dots left
-// to right — so results are bit-identical to the naive reference kernels
-// (naive_multiply / naive_gram / naive_outer_gram below) and fully
-// reproducible run to run. Parallelism only ever changes wall-clock.
+// thread pool (linalg/parallel.h), with the inner loops dispatched to
+// the runtime-selected SIMD micro-kernels (linalg/simd.h). Block
+// boundaries and the per-element reduction order are independent of the
+// worker count — multiply sums k ascending, gram sums observation rows
+// ascending, outer_gram dots left to right — so under the scalar ISA
+// results are bit-identical to the naive reference kernels
+// (naive_multiply / naive_gram / naive_outer_gram below). Under the
+// fma256 ISA the identical reduction order runs with fused
+// multiply-adds: still deterministic run-to-run on the same machine,
+// but parity with the scalar reference is tolerance-level for multiply
+// and gram (outer_gram stays bit-identical: both paths share dot()).
+// Parallelism only ever changes wall-clock.
 #pragma once
 
 #include <cstddef>

@@ -8,6 +8,21 @@
 // caller's loop runs serially in index order, so results are identical
 // whether the pool has 1 thread or 64 — only wall-clock changes.
 //
+// How this composes with the SIMD micro-kernels (linalg/simd.h): the
+// blocked kernels keep one fixed per-element reduction order regardless
+// of worker count AND regardless of ISA. Three levels of "same result"
+// follow:
+//   1. Same machine, same ISA: bit-identical run to run, any thread
+//      count. This is the invariant the parity tests pin.
+//   2. Scalar ISA anywhere (TFD_NO_FMA=1, or a CPU without AVX2+FMA):
+//      bit-identical to the naive reference kernels and to every
+//      pre-SIMD release — the historical contract, still available.
+//   3. fma256 vs scalar: the same reduction order evaluated with fused
+//      multiply-adds; parity with the scalar reference is tolerance-
+//      level (contraction changes rounding, never ordering). Kernels
+//      whose blocked and naive paths share the dispatched dot()
+//      (outer_gram) remain bit-identical to their reference even here.
+//
 // Worker count: hardware_concurrency by default, overridable with the
 // TFD_THREADS environment variable (TFD_THREADS=1 forces fully serial
 // execution with no worker threads at all).

@@ -1,5 +1,6 @@
 #include "linalg/pca.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -25,19 +26,102 @@ std::size_t pca_result::components_for_variance(double fraction) const {
     return eigenvalues.size();
 }
 
-pca_result fit_pca(const matrix& x, const pca_options& opts) {
+namespace {
+
+// Center (or zero-mean-stamp) the data according to opts; shared
+// validation for both fit entry points.
+matrix centered_copy(const matrix& x, const pca_options& opts,
+                     pca_result& out) {
     if (x.rows() < 2)
         throw std::invalid_argument("fit_pca: need at least two observations");
     if (x.cols() == 0) throw std::invalid_argument("fit_pca: no columns");
-
-    pca_result out;
-    matrix xc = x;
     if (opts.center) {
         out.mean = column_means(x);
-        xc = center_columns(x);
-    } else {
-        out.mean.assign(x.cols(), 0.0);
+        return center_columns(x);
     }
+    out.mean.assign(x.cols(), 0.0);
+    return x;
+}
+
+// Length of the numerically significant prefix of the (descending) Gram
+// eigenvalues: only these have recoverable feature-space axes.
+std::size_t significant_prefix(const std::vector<double>& values,
+                               std::size_t t, std::size_t n) {
+    const double lambda_tol =
+        1e-14 * std::max(1.0, values.empty() ? 0.0 : values[0]);
+    std::size_t kept = 0;
+    while (kept < values.size() && kept < t && kept < n &&
+           std::max(values[kept], 0.0) > lambda_tol)
+        ++kept;
+    return kept;
+}
+
+// Gram-trick axis assembly, shared by the full and partial fits:
+// recover feature-space axes v = Xc^T u / ||Xc^T u|| for the leading
+// `kept` Gram eigenpairs as one blocked matrix product, then complete
+// orthonormally past the data's rank up to `target` columns via
+// Gram-Schmidt over canonical start vectors. out.eigenvalues is padded
+// to `eigen_len` (n for a full fit, target for a partial one).
+void assemble_gram_axes(const matrix& xc, const std::vector<double>& values,
+                        const matrix& u_cols, std::size_t kept,
+                        std::size_t target, std::size_t eigen_len,
+                        pca_result& out) {
+    const std::size_t t = xc.rows(), n = xc.cols();
+    out.eigenvalues.assign(eigen_len, 0.0);
+    // Assemble the basis transposed (one row per axis) so both the
+    // normalization and the Gram-Schmidt completion below run on
+    // unit-stride rows; transpose once at the end.
+    matrix qt(target, n);
+    std::size_t filled = 0;
+    if (kept > 0) {
+        const matrix u = u_cols.block(0, 0, t, kept);
+        const matrix v = multiply(transpose(xc), u);  // n x kept
+        std::vector<double> inv_norm(kept, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double* vi = v.row(i).data();
+            for (std::size_t j = 0; j < kept; ++j)
+                inv_norm[j] += vi[j] * vi[j];
+        }
+        for (std::size_t j = 0; j < kept; ++j) {
+            if (inv_norm[j] == 0.0) continue;
+            const double inv = 1.0 / std::sqrt(inv_norm[j]);
+            double* qrow = qt.row(filled).data();
+            for (std::size_t i = 0; i < n; ++i) qrow[i] = v(i, j) * inv;
+            out.eigenvalues[filled] = std::max(values[j], 0.0);
+            ++filled;
+        }
+    }
+    // Complete the basis for the rank-deficient tail via Gram-Schmidt
+    // against already-filled axes, starting from canonical vectors.
+    // The residual subspace projector only needs an orthonormal
+    // complement; exact choice is irrelevant. Only runs up to `target`
+    // axes: hot callers that never read past the leading axes pass a
+    // small target and skip (most of) this entirely.
+    std::vector<double> v(n);
+    std::size_t next_canon = 0;
+    while (filled < target && next_canon < n) {
+        std::fill(v.begin(), v.end(), 0.0);
+        v[next_canon++] = 1.0;
+        for (std::size_t j = 0; j < filled; ++j) {
+            const double* qj = qt.row(j).data();
+            const double pj = dot({v.data(), n}, qt.row(j));
+            for (std::size_t i = 0; i < n; ++i) v[i] -= pj * qj[i];
+        }
+        const double nrm = norm2(v);
+        if (nrm < 1e-8) continue;
+        double* qrow = qt.row(filled).data();
+        for (std::size_t i = 0; i < n; ++i) qrow[i] = v[i] / nrm;
+        out.eigenvalues[filled] = 0.0;
+        ++filled;
+    }
+    out.components = transpose(qt);
+}
+
+}  // namespace
+
+pca_result fit_pca(const matrix& x, const pca_options& opts) {
+    pca_result out;
+    matrix xc = centered_copy(x, opts, out);
 
     const std::size_t t = x.rows(), n = x.cols();
     const double denom = static_cast<double>(t - 1);
@@ -49,68 +133,12 @@ pca_result fit_pca(const matrix& x, const pca_options& opts) {
         for (double& v : g.data()) v /= denom;
         eigen_result eg = symmetric_eigen(g);
 
-        // The numerically significant spectrum is a prefix of the sorted
-        // eigenvalues; recover all of its axes at once as one blocked
-        // matrix product V = Xc^T U instead of a matvec per axis.
-        const double lambda_tol =
-            1e-14 * std::max(1.0, eg.values.empty() ? 0.0 : eg.values[0]);
-        std::size_t kept = 0;
-        while (kept < t && kept < n &&
-               std::max(eg.values[kept], 0.0) > lambda_tol)
-            ++kept;
-
+        const std::size_t kept = significant_prefix(eg.values, t, n);
         const std::size_t target =
             opts.full_basis
                 ? n
                 : std::min(n, std::max(kept, opts.min_components));
-        out.eigenvalues.assign(n, 0.0);
-        // Assemble the basis transposed (one row per axis) so both the
-        // normalization and the Gram-Schmidt completion below run on
-        // unit-stride rows; transpose once at the end.
-        matrix qt(target, n);
-        std::size_t filled = 0;
-        if (kept > 0) {
-            const matrix u = eg.vectors.block(0, 0, t, kept);
-            const matrix v = multiply(transpose(xc), u);  // n x kept
-            std::vector<double> inv_norm(kept, 0.0);
-            for (std::size_t i = 0; i < n; ++i) {
-                const double* vi = v.row(i).data();
-                for (std::size_t j = 0; j < kept; ++j)
-                    inv_norm[j] += vi[j] * vi[j];
-            }
-            for (std::size_t j = 0; j < kept; ++j) {
-                if (inv_norm[j] == 0.0) continue;
-                const double inv = 1.0 / std::sqrt(inv_norm[j]);
-                double* qrow = qt.row(filled).data();
-                for (std::size_t i = 0; i < n; ++i) qrow[i] = v(i, j) * inv;
-                out.eigenvalues[filled] = std::max(eg.values[j], 0.0);
-                ++filled;
-            }
-        }
-        // Complete the basis for the rank-deficient tail via Gram-Schmidt
-        // against already-filled axes, starting from canonical vectors.
-        // The residual subspace projector only needs an orthonormal
-        // complement; exact choice is irrelevant. Only runs up to `target`
-        // axes: hot callers that never read past the leading axes set
-        // full_basis = false and skip (most of) this entirely.
-        std::vector<double> v(n);
-        std::size_t next_canon = 0;
-        while (filled < target && next_canon < n) {
-            std::fill(v.begin(), v.end(), 0.0);
-            v[next_canon++] = 1.0;
-            for (std::size_t j = 0; j < filled; ++j) {
-                const double* qj = qt.row(j).data();
-                const double pj = dot({v.data(), n}, qt.row(j));
-                for (std::size_t i = 0; i < n; ++i) v[i] -= pj * qj[i];
-            }
-            const double nrm = norm2(v);
-            if (nrm < 1e-8) continue;
-            double* qrow = qt.row(filled).data();
-            for (std::size_t i = 0; i < n; ++i) qrow[i] = v[i] / nrm;
-            out.eigenvalues[filled] = 0.0;
-            ++filled;
-        }
-        out.components = transpose(qt);
+        assemble_gram_axes(xc, eg.values, eg.vectors, kept, target, n, out);
     } else {
         matrix cov = gram(xc);
         for (double& v : cov.data()) v /= denom;
@@ -121,7 +149,48 @@ pca_result fit_pca(const matrix& x, const pca_options& opts) {
     }
 
     out.total_variance = 0.0;
-    for (double v : out.eigenvalues) out.total_variance += v;
+    out.spectrum_moments = {0.0, 0.0, 0.0};
+    for (double v : out.eigenvalues) {
+        out.total_variance += v;
+        out.spectrum_moments[0] += v;
+        out.spectrum_moments[1] += v * v;
+        out.spectrum_moments[2] += v * v * v;
+    }
+    return out;
+}
+
+pca_result fit_pca_topk(const matrix& x, std::size_t k,
+                        const pca_options& opts) {
+    pca_result out;
+    matrix xc = centered_copy(x, opts, out);
+
+    const std::size_t t = x.rows(), n = x.cols();
+    const double denom = static_cast<double>(t - 1);
+    k = std::min(std::max<std::size_t>(k, 1), n);
+
+    if (opts.allow_gram_trick && t < n) {
+        // Same Gram trick as the full fit, but only the top-k eigenpairs
+        // of the t x t Gram are ever extracted. Its spectrum is the
+        // covariance spectrum padded with n - t zeros, so the Gram's
+        // full-spectrum moments ARE the covariance moments.
+        matrix g = outer_gram(xc);
+        for (double& v : g.data()) v /= denom;
+        partial_eigen_result pe = symmetric_eigen_topk(g, std::min(k, t));
+        const std::size_t kept = significant_prefix(pe.values, t, n);
+        assemble_gram_axes(xc, pe.values, pe.vectors, kept, k, k, out);
+        out.spectrum_moments = pe.moments;
+    } else {
+        matrix cov = gram(xc);
+        for (double& v : cov.data()) v /= denom;
+        partial_eigen_result pe = symmetric_eigen_topk(cov, k);
+        out.eigenvalues = std::move(pe.values);
+        for (double& v : out.eigenvalues) v = std::max(v, 0.0);
+        out.components = std::move(pe.vectors);
+        out.spectrum_moments = pe.moments;
+    }
+
+    out.partial_spectrum = true;
+    out.total_variance = std::max(out.spectrum_moments[0], 0.0);
     return out;
 }
 

@@ -6,6 +6,7 @@
 // normal from residual traffic variation.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <vector>
 
@@ -18,7 +19,10 @@ struct pca_result {
     /// Per-column means that were removed before fitting (all zero when
     /// centering was disabled).
     std::vector<double> mean;
-    /// Covariance eigenvalues, descending; length = number of columns.
+    /// Covariance eigenvalues, descending. Length = number of columns
+    /// for fit_pca; for fit_pca_topk only the leading k are present
+    /// (`partial_spectrum` is set and the tail lives in
+    /// `spectrum_moments`).
     std::vector<double> eigenvalues;
     /// Matrix with orthonormal columns; column j is the j-th principal
     /// axis. cols x cols when pca_options::full_basis (the default);
@@ -29,6 +33,17 @@ struct pca_result {
     matrix components;
     /// Sum of all eigenvalues (= total variance).
     double total_variance = 0.0;
+    /// Power sums sum lambda^p (p = 1, 2, 3) over the FULL covariance
+    /// spectrum; spectrum_moments[0] == total_variance up to rounding.
+    /// Exact for every fit path — partial fits obtain the tail from
+    /// tridiagonal trace identities, so threshold formulas that need
+    /// residual-spectrum moments (Jackson–Mudholkar) never require the
+    /// discarded eigenpairs.
+    std::array<double, 3> spectrum_moments{0.0, 0.0, 0.0};
+    /// True when `eigenvalues` holds only a leading prefix of the
+    /// spectrum (a fit_pca_topk fit). components_for_variance() can then
+    /// answer at most eigenvalues.size().
+    bool partial_spectrum = false;
 
     /// Fraction of total variance captured by the first m components.
     double variance_captured(std::size_t m) const;
@@ -61,6 +76,23 @@ struct pca_options {
 ///
 /// Throws std::invalid_argument if x has fewer than 2 rows or no columns.
 pca_result fit_pca(const matrix& x, const pca_options& opts = {});
+
+/// Fit only the leading k principal axes (the partial-spectrum path).
+///
+/// Same centering / Gram-trick behaviour as fit_pca, but the
+/// eigendecomposition extracts just the top-k eigenpairs via bisection +
+/// inverse iteration (symmetric_eigen_topk), so the cost of the tail the
+/// subspace method throws away is never paid. The result carries exact
+/// full-spectrum power sums (`spectrum_moments`) and has
+/// `partial_spectrum` set; `components` has exactly min(k, cols) columns
+/// (orthonormally completed past the data's rank if the input is too
+/// degenerate to supply them, mirroring min_components semantics).
+/// k is clamped to [1, cols]; opts.full_basis and opts.min_components
+/// are ignored (a partial fit is by definition not a full basis).
+/// Falls back to the full QL solver internally when k is within a
+/// factor 2 of the eigenproblem order — the result shape is the same.
+pca_result fit_pca_topk(const matrix& x, std::size_t k,
+                        const pca_options& opts = {});
 
 /// Project a single observation (length = cols) onto the first m principal
 /// axes and reconstruct it in the original space: the "modelled" part

@@ -1,0 +1,294 @@
+#include "linalg/simd.h"
+
+#include <cstdlib>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TFD_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace tfd::linalg {
+
+namespace {
+
+bool cpu_supports_fma256() noexcept {
+#ifdef TFD_SIMD_X86
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+kernel_isa detect_isa() noexcept {
+    if (const char* env = std::getenv("TFD_NO_FMA");
+        env && env[0] != '\0' && env[0] != '0')
+        return kernel_isa::scalar;
+    return cpu_supports_fma256() ? kernel_isa::fma256 : kernel_isa::scalar;
+}
+
+kernel_isa g_isa = detect_isa();
+
+// ---------------------------------------------------------------------
+// Scalar bodies: these reproduce the pre-SIMD loops bit-for-bit.
+
+double dot_scalar(const double* x, const double* y, std::size_t n) noexcept {
+    // Four independent accumulators, fixed interleave (the historical
+    // matrix.cpp dot): deterministic and ~4x a strict-FP reduction.
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        s0 += x[i] * y[i];
+        s1 += x[i + 1] * y[i + 1];
+        s2 += x[i + 2] * y[i + 2];
+        s3 += x[i + 3] * y[i + 3];
+    }
+    double s = (s0 + s1) + (s2 + s3);
+    for (; i < n; ++i) s += x[i] * y[i];
+    return s;
+}
+
+void axpy_scalar(double* dst, const double* x, double a,
+                 std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) dst[i] += a * x[i];
+}
+
+void axpy2_sub_scalar(double* dst, const double* x, double a, const double* y,
+                      double b, std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) dst[i] -= a * x[i] + b * y[i];
+}
+
+void rot_scalar(double* x, double* y, double c, double s,
+                std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) {
+        const double f = y[i];
+        y[i] = s * x[i] + c * f;
+        x[i] = c * x[i] - s * f;
+    }
+}
+
+void gemm_row_update_scalar(double* c, const double* a, std::size_t a_stride,
+                            const double* b, std::size_t b_stride,
+                            std::size_t depth, std::size_t width) noexcept {
+    for (std::size_t t = 0; t < depth; ++t) {
+        const double at = a[t * a_stride];
+        if (at == 0.0) continue;
+        const double* bt = b + t * b_stride;
+        for (std::size_t j = 0; j < width; ++j) c[j] += at * bt[j];
+    }
+}
+
+// ---------------------------------------------------------------------
+// fma256 bodies: AVX2+FMA via per-function target attributes, so they
+// compile into baseline binaries and are only ever *called* after the
+// runtime CPU check.
+
+#ifdef TFD_SIMD_X86
+
+#define TFD_TARGET_FMA __attribute__((target("avx2,fma")))
+
+TFD_TARGET_FMA
+double dot_fma(const double* x, const double* y, std::size_t n) noexcept {
+    __m256d a0 = _mm256_setzero_pd(), a1 = _mm256_setzero_pd();
+    __m256d a2 = _mm256_setzero_pd(), a3 = _mm256_setzero_pd();
+    __m256d a4 = _mm256_setzero_pd(), a5 = _mm256_setzero_pd();
+    __m256d a6 = _mm256_setzero_pd(), a7 = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        a0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i), a0);
+        a1 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 4),
+                             _mm256_loadu_pd(y + i + 4), a1);
+        a2 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 8),
+                             _mm256_loadu_pd(y + i + 8), a2);
+        a3 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 12),
+                             _mm256_loadu_pd(y + i + 12), a3);
+        a4 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 16),
+                             _mm256_loadu_pd(y + i + 16), a4);
+        a5 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 20),
+                             _mm256_loadu_pd(y + i + 20), a5);
+        a6 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 24),
+                             _mm256_loadu_pd(y + i + 24), a6);
+        a7 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 28),
+                             _mm256_loadu_pd(y + i + 28), a7);
+    }
+    for (; i + 4 <= n; i += 4)
+        a0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i), a0);
+    const __m256d v = _mm256_add_pd(_mm256_add_pd(a0, a1),
+                                    _mm256_add_pd(a2, a3));
+    const __m256d w = _mm256_add_pd(_mm256_add_pd(a4, a5),
+                                    _mm256_add_pd(a6, a7));
+    const __m256d vw = _mm256_add_pd(v, w);
+    const __m128d lo = _mm256_castpd256_pd128(vw);
+    const __m128d hi = _mm256_extractf128_pd(vw, 1);
+    const __m128d pair = _mm_add_pd(lo, hi);
+    double s = _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+    for (; i < n; ++i) s += x[i] * y[i];
+    return s;
+}
+
+TFD_TARGET_FMA
+void axpy_fma(double* dst, const double* x, double a, std::size_t n) noexcept {
+    const __m256d av = _mm256_set1_pd(a);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_pd(
+            dst + i,
+            _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i), _mm256_loadu_pd(dst + i)));
+        _mm256_storeu_pd(dst + i + 4,
+                         _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i + 4),
+                                         _mm256_loadu_pd(dst + i + 4)));
+    }
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_pd(
+            dst + i,
+            _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i), _mm256_loadu_pd(dst + i)));
+    for (; i < n; ++i) dst[i] += a * x[i];
+}
+
+TFD_TARGET_FMA
+void axpy2_sub_fma(double* dst, const double* x, double a, const double* y,
+                   double b, std::size_t n) noexcept {
+    const __m256d av = _mm256_set1_pd(a);
+    const __m256d bv = _mm256_set1_pd(b);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256d d = _mm256_loadu_pd(dst + i);
+        d = _mm256_fnmadd_pd(av, _mm256_loadu_pd(x + i), d);
+        d = _mm256_fnmadd_pd(bv, _mm256_loadu_pd(y + i), d);
+        _mm256_storeu_pd(dst + i, d);
+    }
+    for (; i < n; ++i) dst[i] -= a * x[i] + b * y[i];
+}
+
+TFD_TARGET_FMA
+void rot_fma(double* x, double* y, double c, double s, std::size_t n) noexcept {
+    const __m256d cv = _mm256_set1_pd(c);
+    const __m256d sv = _mm256_set1_pd(s);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d xv = _mm256_loadu_pd(x + i);
+        const __m256d yv = _mm256_loadu_pd(y + i);
+        _mm256_storeu_pd(y + i,
+                         _mm256_fmadd_pd(sv, xv, _mm256_mul_pd(cv, yv)));
+        _mm256_storeu_pd(x + i,
+                         _mm256_fnmadd_pd(sv, yv, _mm256_mul_pd(cv, xv)));
+    }
+    for (; i < n; ++i) {
+        const double f = y[i];
+        y[i] = s * x[i] + c * f;
+        x[i] = c * x[i] - s * f;
+    }
+}
+
+// The 8-accumulator GEMM micro-kernel the ROADMAP calls for: a 32-wide
+// slice of the output row lives in 8 ymm registers across the whole
+// depth tile, so C traffic drops from once per (t, j) to once per tile
+// while the per-element reduction still ascends in t.
+TFD_TARGET_FMA
+void gemm_row_update_fma(double* c, const double* a, std::size_t a_stride,
+                         const double* b, std::size_t b_stride,
+                         std::size_t depth, std::size_t width) noexcept {
+    std::size_t j = 0;
+    for (; j + 32 <= width; j += 32) {
+        double* cj = c + j;
+        __m256d r0 = _mm256_loadu_pd(cj);
+        __m256d r1 = _mm256_loadu_pd(cj + 4);
+        __m256d r2 = _mm256_loadu_pd(cj + 8);
+        __m256d r3 = _mm256_loadu_pd(cj + 12);
+        __m256d r4 = _mm256_loadu_pd(cj + 16);
+        __m256d r5 = _mm256_loadu_pd(cj + 20);
+        __m256d r6 = _mm256_loadu_pd(cj + 24);
+        __m256d r7 = _mm256_loadu_pd(cj + 28);
+        for (std::size_t t = 0; t < depth; ++t) {
+            const __m256d at = _mm256_set1_pd(a[t * a_stride]);
+            const double* bt = b + t * b_stride + j;
+            r0 = _mm256_fmadd_pd(at, _mm256_loadu_pd(bt), r0);
+            r1 = _mm256_fmadd_pd(at, _mm256_loadu_pd(bt + 4), r1);
+            r2 = _mm256_fmadd_pd(at, _mm256_loadu_pd(bt + 8), r2);
+            r3 = _mm256_fmadd_pd(at, _mm256_loadu_pd(bt + 12), r3);
+            r4 = _mm256_fmadd_pd(at, _mm256_loadu_pd(bt + 16), r4);
+            r5 = _mm256_fmadd_pd(at, _mm256_loadu_pd(bt + 20), r5);
+            r6 = _mm256_fmadd_pd(at, _mm256_loadu_pd(bt + 24), r6);
+            r7 = _mm256_fmadd_pd(at, _mm256_loadu_pd(bt + 28), r7);
+        }
+        _mm256_storeu_pd(cj, r0);
+        _mm256_storeu_pd(cj + 4, r1);
+        _mm256_storeu_pd(cj + 8, r2);
+        _mm256_storeu_pd(cj + 12, r3);
+        _mm256_storeu_pd(cj + 16, r4);
+        _mm256_storeu_pd(cj + 20, r5);
+        _mm256_storeu_pd(cj + 24, r6);
+        _mm256_storeu_pd(cj + 28, r7);
+    }
+    for (; j + 4 <= width; j += 4) {
+        __m256d r0 = _mm256_loadu_pd(c + j);
+        for (std::size_t t = 0; t < depth; ++t)
+            r0 = _mm256_fmadd_pd(_mm256_set1_pd(a[t * a_stride]),
+                                 _mm256_loadu_pd(b + t * b_stride + j), r0);
+        _mm256_storeu_pd(c + j, r0);
+    }
+    for (; j < width; ++j) {
+        double acc = c[j];
+        for (std::size_t t = 0; t < depth; ++t)
+            acc += a[t * a_stride] * b[t * b_stride + j];
+        c[j] = acc;
+    }
+}
+
+#undef TFD_TARGET_FMA
+
+#endif  // TFD_SIMD_X86
+
+}  // namespace
+
+kernel_isa active_kernel_isa() noexcept { return g_isa; }
+
+bool force_kernel_isa(kernel_isa isa) noexcept {
+    if (isa == kernel_isa::fma256 && !cpu_supports_fma256()) return false;
+    g_isa = isa;
+    return true;
+}
+
+namespace simd {
+
+double dot(const double* x, const double* y, std::size_t n) noexcept {
+#ifdef TFD_SIMD_X86
+    if (g_isa == kernel_isa::fma256) return dot_fma(x, y, n);
+#endif
+    return dot_scalar(x, y, n);
+}
+
+void axpy(double* dst, const double* x, double a, std::size_t n) noexcept {
+#ifdef TFD_SIMD_X86
+    if (g_isa == kernel_isa::fma256) return axpy_fma(dst, x, a, n);
+#endif
+    axpy_scalar(dst, x, a, n);
+}
+
+void axpy2_sub(double* dst, const double* x, double a, const double* y,
+               double b, std::size_t n) noexcept {
+#ifdef TFD_SIMD_X86
+    if (g_isa == kernel_isa::fma256) return axpy2_sub_fma(dst, x, a, y, b, n);
+#endif
+    axpy2_sub_scalar(dst, x, a, y, b, n);
+}
+
+void rot(double* x, double* y, double c, double s, std::size_t n) noexcept {
+#ifdef TFD_SIMD_X86
+    if (g_isa == kernel_isa::fma256) return rot_fma(x, y, c, s, n);
+#endif
+    rot_scalar(x, y, c, s, n);
+}
+
+void gemm_row_update(double* c, const double* a, std::size_t a_stride,
+                     const double* b, std::size_t b_stride, std::size_t depth,
+                     std::size_t width) noexcept {
+#ifdef TFD_SIMD_X86
+    if (g_isa == kernel_isa::fma256)
+        return gemm_row_update_fma(c, a, a_stride, b, b_stride, depth, width);
+#endif
+    gemm_row_update_scalar(c, a, a_stride, b, b_stride, depth, width);
+}
+
+}  // namespace simd
+
+}  // namespace tfd::linalg

@@ -1,0 +1,74 @@
+// tfd::linalg — runtime-dispatched SIMD micro-kernels for the dense
+// hot loops.
+//
+// Every helper here has two implementations selected once at process
+// start (and overridable for tests):
+//
+//   scalar  — plain C++ loops that reproduce the historical kernels
+//             bit-for-bit (the 4-accumulator dot, the axpy/rotation
+//             loops of tred2/QL, the k-ascending GEMM row update).
+//   fma256  — AVX2 + FMA bodies compiled via per-function target
+//             attributes, so the binary stays runnable on baseline
+//             x86-64 and the fast path lights up automatically on
+//             machines whose CPU reports AVX2+FMA (no -march flags
+//             needed; the bench-native preset merely lets the compiler
+//             also auto-vectorize everything else).
+//
+// Determinism: both ISAs use a fixed, input-length-dependent summation
+// order, so results are reproducible run-to-run on the same machine.
+// The fma256 bodies fuse multiply-adds (and widen the reduction to 8
+// accumulators where noted), which changes *rounding* relative to the
+// scalar bodies — parity between the two is tolerance-level, not
+// bit-level. Force the scalar ISA (TFD_NO_FMA=1 or force_kernel_isa)
+// to reproduce pre-SIMD results exactly. See linalg/parallel.h for how
+// this composes with the blocked-kernel determinism contract.
+#pragma once
+
+#include <cstddef>
+
+namespace tfd::linalg {
+
+/// Instruction set the micro-kernels dispatch to.
+enum class kernel_isa {
+    scalar,  ///< portable loops, bit-identical to the historical kernels
+    fma256,  ///< AVX2+FMA bodies (8-accumulator tiling where applicable)
+};
+
+/// The ISA selected for this process: fma256 when the CPU supports
+/// AVX2+FMA and TFD_NO_FMA is not set, else scalar.
+kernel_isa active_kernel_isa() noexcept;
+
+/// Test hook: force an ISA. Returns false (and changes nothing) if the
+/// requested ISA is not runnable on this machine. Not thread-safe
+/// against concurrent kernel calls; call it from test setup only.
+bool force_kernel_isa(kernel_isa isa) noexcept;
+
+namespace simd {
+
+/// sum_i x[i] * y[i]. Scalar body: the historical 4-accumulator
+/// interleave. fma256 body: 8 vector accumulators + fused madds.
+double dot(const double* x, const double* y, std::size_t n) noexcept;
+
+/// dst[i] += a * x[i].
+void axpy(double* dst, const double* x, double a, std::size_t n) noexcept;
+
+/// dst[i] -= a * x[i] + b * y[i]  (tred2's rank-2 row update).
+void axpy2_sub(double* dst, const double* x, double a, const double* y,
+               double b, std::size_t n) noexcept;
+
+/// Givens rotation of two rows (QL eigenvector accumulation):
+///   f = y[i]; y[i] = s * x[i] + c * f; x[i] = c * x[i] - s * f.
+void rot(double* x, double* y, double c, double s, std::size_t n) noexcept;
+
+/// GEMM row update: c[j] += sum_{t < depth} a[t * a_stride] * b[t * b_stride + j]
+/// for j in [0, width). The reduction over t ascends for every j in both
+/// ISAs (identical per-element order to the naive kernels); the fma256
+/// body register-blocks j in 8 vector accumulators (32 doubles) so the
+/// C row stays in registers across the whole depth tile.
+void gemm_row_update(double* c, const double* a, std::size_t a_stride,
+                     const double* b, std::size_t b_stride, std::size_t depth,
+                     std::size_t width) noexcept;
+
+}  // namespace simd
+
+}  // namespace tfd::linalg

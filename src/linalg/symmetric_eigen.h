@@ -1,11 +1,23 @@
 // tfd::linalg — symmetric eigendecomposition.
 //
-// Householder reduction to tridiagonal form followed by the implicit-shift
-// QL algorithm. This is the classic O(n^3) dense path (EISPACK tred2/tql2
-// lineage) written fresh for this library; it is exact enough for PCA on
-// covariance matrices up to the Geant unfolded width (4p = 1936).
+// Two paths share one Householder tridiagonalization (EISPACK tred2
+// lineage, cache-friendly row-major layout):
+//
+//   * full spectrum — implicit-shift QL (tql2 lineage): every eigenpair,
+//     the classic O(n^3) dense path, exact enough for PCA on covariance
+//     matrices up to the Geant unfolded width (4p = 1936).
+//   * partial spectrum (symmetric_eigen_topk) — bisection on the Sturm
+//     sequence for the k largest eigenvalues, inverse iteration (with
+//     reorthogonalization inside clustered groups) for their tridiagonal
+//     eigenvectors, then a Householder back-transform of just those k
+//     vectors. Skips the O(n^3) QL rotation accumulation entirely, which
+//     is the dominant cost of a full decomposition; exact power sums of
+//     the whole spectrum ride along via tridiagonal trace identities so
+//     subspace-method thresholds never need the discarded eigenpairs.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <vector>
 
 #include "linalg/matrix.h"
@@ -32,6 +44,37 @@ eigen_result symmetric_eigen(const matrix& a, double symmetry_tol = 1e-8);
 
 /// Eigenvalues only (still O(n^3) but ~3x faster: no vector accumulation).
 std::vector<double> symmetric_eigenvalues(const matrix& a,
+                                          double symmetry_tol = 1e-8);
+
+/// Result of a partial symmetric eigendecomposition.
+struct partial_eigen_result {
+    /// The k largest eigenvalues, descending.
+    std::vector<double> values;
+    /// n x k; column j is the unit eigenvector for values[j].
+    matrix vectors;
+    /// Power sums sum_i lambda_i^p for p = 1, 2, 3 over the FULL
+    /// spectrum, computed from trace identities on the tridiagonal form
+    /// (trace T, trace T^2, trace T^3 are O(n) for a tridiagonal matrix)
+    /// — exact without ever materializing the discarded eigenpairs.
+    /// moments[0] is the trace, i.e. the total variance when `a` is a
+    /// covariance matrix; moments[1] and moments[2] are what the
+    /// Jackson–Mudholkar threshold needs for the residual tail.
+    std::array<double, 3> moments{0.0, 0.0, 0.0};
+};
+
+/// The k largest eigenpairs of a symmetric matrix, plus full-spectrum
+/// power sums.
+///
+/// Cost: one Householder tridiagonalization (O(n^3) with a small
+/// constant — no accumulation) + O(n k) bisection / inverse iteration +
+/// O(n^2 k) back-transform. For the subspace method's k ~ 10 this beats
+/// the full decomposition several-fold. Falls back to the full QL path
+/// internally when 2k >= n or n is small (the partial machinery would
+/// not pay for itself), and — defensively — when inverse iteration
+/// fails to converge; the result shape is identical either way.
+///
+/// k is clamped to n. Input validation matches symmetric_eigen.
+partial_eigen_result symmetric_eigen_topk(const matrix& a, std::size_t k,
                                           double symmetry_tol = 1e-8);
 
 }  // namespace tfd::linalg

@@ -135,14 +135,17 @@ void stream_pipeline::finish() {
 
 std::size_t stream_pipeline::run(flow_codec_reader& reader) {
     bounded_queue<std::vector<flow::flow_record>> queue(opts_.queue_frames);
+    // Queue depth + one in flight on each side bounds how many buffers
+    // can circulate, so the ring never needs to hold more than that.
+    frame_ring ring(opts_.queue_frames + 2);
     std::exception_ptr producer_error;
 
     std::thread producer([&] {
         try {
-            std::vector<flow::flow_record> frame;
+            std::vector<flow::flow_record> frame = ring.acquire();
             while (reader.next_frame(frame)) {
                 if (!queue.push(std::move(frame))) break;
-                frame.clear();
+                frame = ring.acquire();
             }
         } catch (...) {
             producer_error = std::current_exception();
@@ -155,6 +158,7 @@ std::size_t stream_pipeline::run(flow_codec_reader& reader) {
     try {
         while (auto frame = queue.pop()) {
             push(*frame);
+            ring.release(std::move(*frame));
             ++frames;
         }
     } catch (...) {
@@ -166,6 +170,7 @@ std::size_t stream_pipeline::run(flow_codec_reader& reader) {
     }
     producer.join();
     last_run_blocked_pushes_ = queue.blocked_pushes();
+    metrics_.frames_reused += ring.reuses();
     if (consumer_error) std::rethrow_exception(consumer_error);
     if (producer_error) std::rethrow_exception(producer_error);
     finish();

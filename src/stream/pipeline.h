@@ -127,6 +127,50 @@ private:
     std::size_t high_watermark_ = 0;
 };
 
+/// A bounded free-list of decoded-frame buffers. run()'s producer
+/// thread acquires a recycled buffer before each decode and the
+/// consumer releases buffers after accumulation, so steady-state
+/// streaming performs no per-frame allocation: the ring caps out at
+/// queue depth + in-flight buffers and every later frame reuses the
+/// capacity a previous frame grew. Thread-safe; counts reuses for the
+/// pipeline's `frames_reused` metric.
+class frame_ring {
+public:
+    /// Buffers retained at most (surplus releases free their memory).
+    explicit frame_ring(std::size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity) {}
+
+    /// A recycled buffer (cleared, capacity intact) or a fresh one.
+    std::vector<flow::flow_record> acquire() {
+        std::lock_guard lock(mu_);
+        if (free_.empty()) return {};
+        std::vector<flow::flow_record> buf = std::move(free_.back());
+        free_.pop_back();
+        ++reuses_;
+        return buf;
+    }
+
+    /// Return a consumed buffer to the ring (dropped if the ring is
+    /// already holding `capacity` buffers).
+    void release(std::vector<flow::flow_record>&& buf) {
+        buf.clear();
+        std::lock_guard lock(mu_);
+        if (free_.size() < capacity_) free_.push_back(std::move(buf));
+    }
+
+    /// How many acquires were served from a recycled buffer.
+    std::uint64_t reuses() const {
+        std::lock_guard lock(mu_);
+        return reuses_;
+    }
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::vector<std::vector<flow::flow_record>> free_;
+    std::uint64_t reuses_ = 0;
+};
+
 /// Pipeline tuning.
 struct pipeline_options {
     std::size_t shards = 0;  ///< OD shards; 0 picks the thread pool size
@@ -160,6 +204,10 @@ struct pipeline_metrics {
     std::uint64_t accumulate_ns = 0;  ///< resolve + shard accumulation
     std::uint64_t bin_close_ns = 0;   ///< harvest + detector push, total
     std::uint64_t max_bin_close_ns = 0;
+    /// Decoded-frame buffers served from the recycling ring across all
+    /// run() calls (steady state: every frame after the first
+    /// queue-depth's worth reuses a prior buffer's capacity).
+    std::uint64_t frames_reused = 0;
 
     double mean_bin_close_ms() const noexcept {
         return bins_emitted == 0 ? 0.0

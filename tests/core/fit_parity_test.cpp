@@ -1,0 +1,155 @@
+// Detection invariance across fit paths: switching the subspace method
+// between the partial-spectrum eigensolver (default) and the historical
+// full-QL fit must not change what gets detected — batch multiway
+// detection and the streaming online detector produce the same anomaly
+// sets, with SPE and thresholds agreeing to tight tolerance.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/multiway.h"
+#include "core/online.h"
+#include "core/subspace.h"
+
+using namespace tfd::core;
+namespace la = tfd::linalg;
+
+namespace {
+
+double noise(std::size_t a, std::size_t b, std::size_t c) {
+    std::uint64_t h = a * 0x9E3779B97F4A7C15ULL ^ b * 0xBF58476D1CE4E5B9ULL ^
+                      c * 0x94D049BB133111EBULL;
+    h ^= h >> 31;
+    h *= 0x2545F4914F6CDD1DULL;
+    h ^= h >> 29;
+    return static_cast<double>(h >> 11) / 9007199254740992.0 - 0.5;
+}
+
+// Entropy tensor with three diurnal harmonics per OD (they occupy the
+// ~6 leading principal components) plus noise, and two injected
+// anomalies: bins 40 and 71 get a moderate entropy dip/spike on one OD
+// flow each — large enough to clear the Q threshold, small enough that
+// PCA does not absorb the spike direction into the normal subspace.
+multiway_matrix synthetic_multiway(std::size_t t, std::size_t p) {
+    std::array<la::matrix, 4> feats;
+    for (int f = 0; f < 4; ++f) {
+        feats[f].resize(t, p);
+        for (std::size_t r = 0; r < t; ++r)
+            for (std::size_t od = 0; od < p; ++od) {
+                const double b = 2 * M_PI * static_cast<double>(r);
+                double v = 5.0;
+                v += 2.0 * std::sin(b / 96.0 + 0.3 * f + 0.5 * od);
+                v += 1.2 * std::sin(b / 48.0 + 0.7 * f + 1.1 * od);
+                v += 0.7 * std::sin(b / 24.0 + 1.3 * f + 2.3 * od);
+                v += 0.15 * noise(r, od, f);
+                feats[f](r, od) = v;
+            }
+    }
+    for (int f = 0; f < 4; ++f) {
+        feats[f](40, 3) += (f % 2 ? 0.6 : -0.6);
+        feats[f](71, 7) += (f % 2 ? -0.6 : 0.6);
+    }
+    return unfold(feats);
+}
+
+entropy_snapshot snapshot_at(std::size_t bin, std::size_t flows) {
+    entropy_snapshot s;
+    for (int f = 0; f < 4; ++f) {
+        s.entropies[f].resize(flows);
+        for (std::size_t od = 0; od < flows; ++od)
+            s.entropies[f][od] =
+                3.0 + std::sin(2 * M_PI * bin / 96.0 + 0.4 * f + 0.2 * od) +
+                0.2 * noise(bin, od, f);
+    }
+    // A burst every 83 bins on one flow so both paths must agree on
+    // actual detections, not just on all-quiet streams.
+    if (bin % 83 == 50) {
+        s.entropies[0][2] -= 2.0;
+        s.entropies[3][2] += 1.7;
+    }
+    return s;
+}
+
+}  // namespace
+
+TEST(FitParityTest, MultiwayDetectionsUnchangedBySolverChoice) {
+    const auto m = synthetic_multiway(96, 12);
+    subspace_options partial{.normal_dims = 6, .center = true,
+                             .partial_fit = true};
+    subspace_options full = partial;
+    full.partial_fit = false;
+
+    const auto dp = detect_entropy_anomalies(m, partial, 0.999);
+    const auto df = detect_entropy_anomalies(m, full, 0.999);
+
+    EXPECT_NEAR(dp.rows.threshold, df.rows.threshold,
+                1e-6 * (1.0 + df.rows.threshold));
+    ASSERT_EQ(dp.rows.spe.size(), df.rows.spe.size());
+    for (std::size_t r = 0; r < dp.rows.spe.size(); ++r)
+        EXPECT_NEAR(dp.rows.spe[r], df.rows.spe[r],
+                    1e-7 * (1.0 + df.rows.spe[r]))
+            << "bin " << r;
+    ASSERT_EQ(dp.rows.anomalous_bins, df.rows.anomalous_bins);
+    EXPECT_FALSE(dp.rows.anomalous_bins.empty());  // the injections fired
+
+    // Identification must agree too: same events, same responsible flow.
+    ASSERT_EQ(dp.events.size(), df.events.size());
+    for (std::size_t i = 0; i < dp.events.size(); ++i) {
+        EXPECT_EQ(dp.events[i].bin, df.events[i].bin);
+        EXPECT_EQ(dp.events[i].top_od, df.events[i].top_od);
+    }
+}
+
+TEST(FitParityTest, SubspaceModelInternalsAgree) {
+    const auto m = synthetic_multiway(96, 12);
+    subspace_options partial{.normal_dims = 8, .center = true,
+                             .partial_fit = true};
+    subspace_options full = partial;
+    full.partial_fit = false;
+
+    const auto mp = subspace_model::fit(m.h, partial);
+    const auto mf = subspace_model::fit(m.h, full);
+    EXPECT_EQ(mp.normal_dims(), mf.normal_dims());
+    EXPECT_NEAR(mp.variance_captured(), mf.variance_captured(), 1e-9);
+    EXPECT_NEAR(mp.q_threshold(0.999), mf.q_threshold(0.999),
+                1e-7 * (1.0 + mf.q_threshold(0.999)));
+    EXPECT_NEAR(mp.q_threshold(0.995), mf.q_threshold(0.995),
+                1e-7 * (1.0 + mf.q_threshold(0.995)));
+}
+
+TEST(FitParityTest, OnlineDetectionsUnchangedBySolverChoice) {
+    const std::size_t flows = 9;
+    online_options base;
+    base.window = 60;
+    base.warmup = 40;
+    base.refit_interval = 4;
+    base.subspace.normal_dims = 8;
+    online_options fullq = base;
+    fullq.subspace.partial_fit = false;
+    base.subspace.partial_fit = true;
+
+    online_detector dp(flows, base), df(flows, fullq);
+    std::size_t scored = 0, anomalies = 0;
+    for (std::size_t bin = 0; bin < 260; ++bin) {
+        const auto s = snapshot_at(bin, flows);
+        const auto vp = dp.push(s);
+        const auto vf = df.push(s);
+        ASSERT_EQ(vp.scored, vf.scored) << "bin " << bin;
+        if (!vp.scored) continue;
+        ++scored;
+        EXPECT_NEAR(vp.spe, vf.spe, 1e-7 * (1.0 + vf.spe)) << "bin " << bin;
+        EXPECT_NEAR(vp.threshold, vf.threshold, 1e-6 * (1.0 + vf.threshold))
+            << "bin " << bin;
+        ASSERT_EQ(vp.anomalous, vf.anomalous) << "bin " << bin;
+        if (vp.anomalous) {
+            ++anomalies;
+            EXPECT_EQ(vp.top_od, vf.top_od) << "bin " << bin;
+        }
+    }
+    EXPECT_GT(scored, 100u);
+    EXPECT_GT(anomalies, 0u);  // the bursts fired on both paths
+}

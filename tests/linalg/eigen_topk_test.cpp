@@ -1,0 +1,267 @@
+// Parity and adversarial tests for the partial-spectrum eigensolver
+// (symmetric_eigen_topk): eigenvalue agreement with full QL to 1e-10,
+// subspace-projector agreement to 1e-8, exact full-spectrum moments,
+// clustered / degenerate spectra, rank-deficient covariances, and the
+// k = n / tiny-n fallback.
+#include "linalg/symmetric_eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace la = tfd::linalg;
+
+namespace {
+
+std::uint64_t lcg(std::uint64_t& s) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return s >> 33;
+}
+
+double unit(std::uint64_t& s) {
+    return static_cast<double>(lcg(s) % 2000) / 1000.0 - 1.0;
+}
+
+// Random symmetric positive semidefinite matrix B^T B (+ optional ridge).
+la::matrix random_spd(std::size_t n, std::uint64_t seed, double ridge = 0.0) {
+    la::matrix b(n, n);
+    std::uint64_t s = seed;
+    for (double& v : b.data()) v = unit(s);
+    la::matrix a = la::gram(b);
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += ridge;
+    return a;
+}
+
+// Random n x n orthogonal-ish basis via Gram-Schmidt on a random matrix.
+la::matrix random_orthogonal(std::size_t n, std::uint64_t seed) {
+    la::matrix q(n, n);
+    std::uint64_t s = seed;
+    for (double& v : q.data()) v = unit(s);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto qi = q.row(i);
+        for (std::size_t j = 0; j < i; ++j) {
+            const double p = la::dot(qi, q.row(j));
+            for (std::size_t c = 0; c < n; ++c) qi[c] -= p * q.row(j)[c];
+        }
+        const double nrm = la::norm2(qi);
+        for (std::size_t c = 0; c < n; ++c) qi[c] /= nrm;
+    }
+    return la::transpose(q);  // columns orthonormal
+}
+
+// A = Q diag(w) Q^T with a prescribed spectrum.
+la::matrix with_spectrum(const std::vector<double>& w, std::uint64_t seed) {
+    const std::size_t n = w.size();
+    const la::matrix q = random_orthogonal(n, seed);
+    la::matrix qd(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) qd(i, j) = q(i, j) * w[j];
+    return la::multiply(qd, la::transpose(q));
+}
+
+// || V V^T - W W^T ||_max for two n x k bases: projector distance, the
+// basis-invariant way to compare subspaces (eigenvector sign and
+// intra-cluster rotation are not identifiable).
+double projector_gap(const la::matrix& v, const la::matrix& w) {
+    const la::matrix pv = la::multiply(v, la::transpose(v));
+    const la::matrix pw = la::multiply(w, la::transpose(w));
+    return la::max_abs_diff(pv, pw);
+}
+
+double residual_norm(const la::matrix& a, const la::matrix& v,
+                     const std::vector<double>& w) {
+    // max_j || A v_j - w_j v_j ||_2
+    const std::size_t n = a.rows();
+    double worst = 0.0;
+    for (std::size_t j = 0; j < w.size(); ++j) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double r = -w[j] * v(i, j);
+            for (std::size_t c = 0; c < n; ++c) r += a(i, c) * v(c, j);
+            s += r * r;
+        }
+        worst = std::max(worst, std::sqrt(s));
+    }
+    return worst;
+}
+
+double scale_of(const la::matrix& a) {
+    double s = 0.0;
+    for (double v : a.data()) s = std::max(s, std::fabs(v));
+    return std::max(s, 1.0);
+}
+
+}  // namespace
+
+TEST(EigenTopkTest, MatchesFullQlOnRandomSpd) {
+    for (std::size_t n : {24u, 48u, 96u}) {
+        const auto a = random_spd(n, 1000 + n);
+        const auto full = la::symmetric_eigen(a);
+        for (std::size_t k : {1u, 4u, 10u}) {
+            const auto part = la::symmetric_eigen_topk(a, k);
+            ASSERT_EQ(part.values.size(), k);
+            ASSERT_EQ(part.vectors.rows(), n);
+            ASSERT_EQ(part.vectors.cols(), k);
+            const double sc = scale_of(a);
+            for (std::size_t j = 0; j < k; ++j)
+                EXPECT_NEAR(part.values[j], full.values[j], 1e-10 * sc)
+                    << "n=" << n << " k=" << k << " j=" << j;
+            // Random SPD spectra are simple (no ties), so the top-k
+            // subspaces must agree as projectors.
+            EXPECT_LT(projector_gap(part.vectors, full.vectors.block(0, 0, n, k)),
+                      1e-8)
+                << "n=" << n << " k=" << k;
+            EXPECT_LT(residual_norm(a, part.vectors, part.values), 1e-9 * sc);
+        }
+    }
+}
+
+TEST(EigenTopkTest, MomentsAreExactPowerSums) {
+    for (std::size_t n : {32u, 64u}) {
+        const auto a = random_spd(n, 77 + n);
+        const auto part = la::symmetric_eigen_topk(a, 5);
+        const auto vals = la::symmetric_eigenvalues(a);
+        double p1 = 0.0, p2 = 0.0, p3 = 0.0;
+        for (double v : vals) {
+            p1 += v;
+            p2 += v * v;
+            p3 += v * v * v;
+        }
+        EXPECT_NEAR(part.moments[0], p1, 1e-10 * std::max(1.0, std::fabs(p1)));
+        EXPECT_NEAR(part.moments[1], p2, 1e-10 * std::max(1.0, std::fabs(p2)));
+        EXPECT_NEAR(part.moments[2], p3, 1e-9 * std::max(1.0, std::fabs(p3)));
+    }
+}
+
+TEST(EigenTopkTest, ReturnedVectorsAreOrthonormal) {
+    const auto a = random_spd(80, 5);
+    const auto part = la::symmetric_eigen_topk(a, 8);
+    const la::matrix vtv = la::gram(part.vectors);
+    EXPECT_LT(la::max_abs_diff(vtv, la::matrix::identity(8)), 1e-10);
+}
+
+TEST(EigenTopkTest, ClusteredEigenvaluesRecoverTheInvariantSubspace) {
+    // Spectrum with an exactly repeated leading cluster: {9, 9, 9, 4, 1,
+    // tail...}. Individual eigenvectors inside the cluster are not
+    // identifiable, but the span is; compare projectors against full QL.
+    std::vector<double> w(40, 0.5);
+    w[0] = w[1] = w[2] = 9.0;
+    w[3] = 4.0;
+    w[4] = 1.0;
+    for (std::size_t i = 5; i < w.size(); ++i)
+        w[i] = 0.4 - 0.3 * static_cast<double>(i) / 40.0;
+    const auto a = with_spectrum(w, 303);
+    const auto part = la::symmetric_eigen_topk(a, 5);
+    const auto full = la::symmetric_eigen(a);
+    for (std::size_t j = 0; j < 5; ++j)
+        EXPECT_NEAR(part.values[j], full.values[j], 1e-9);
+    EXPECT_LT(projector_gap(part.vectors, full.vectors.block(0, 0, 40, 5)),
+              1e-8);
+    EXPECT_LT(residual_norm(a, part.vectors, part.values), 1e-9 * 9.0);
+    const la::matrix vtv = la::gram(part.vectors);
+    EXPECT_LT(la::max_abs_diff(vtv, la::matrix::identity(5)), 1e-10);
+}
+
+TEST(EigenTopkTest, NearDegenerateClusterConverges) {
+    // Gaps of 1e-9 around the leading value exercise the perturbation +
+    // reorthogonalization logic without a clean algebraic multiplicity.
+    std::vector<double> w(36, 0.1);
+    w[0] = 2.0;
+    w[1] = 2.0 - 1e-9;
+    w[2] = 2.0 - 2e-9;
+    w[3] = 1.0;
+    for (std::size_t i = 4; i < w.size(); ++i) w[i] = 0.09;
+    const auto a = with_spectrum(w, 71);
+    const auto part = la::symmetric_eigen_topk(a, 4);
+    EXPECT_NEAR(part.values[0], 2.0, 1e-8);
+    EXPECT_NEAR(part.values[3], 1.0, 1e-8);
+    EXPECT_LT(residual_norm(a, part.vectors, part.values), 1e-8);
+    const la::matrix vtv = la::gram(part.vectors);
+    EXPECT_LT(la::max_abs_diff(vtv, la::matrix::identity(4)), 1e-10);
+}
+
+TEST(EigenTopkTest, RankDeficientCovariance) {
+    // Covariance of rank 3 inside a 48-dim space: k = 6 asks for more
+    // eigenpairs than the rank supplies. The zero eigenvalues must come
+    // back (near) zero with orthonormal vectors.
+    const std::size_t n = 48;
+    std::uint64_t s = 9;
+    la::matrix b(3, n);
+    for (double& v : b.data()) v = unit(s);
+    const la::matrix a = la::gram(b);  // n x n, rank <= 3
+    const auto part = la::symmetric_eigen_topk(a, 6);
+    const auto vals = la::symmetric_eigenvalues(a);
+    for (std::size_t j = 0; j < 6; ++j)
+        EXPECT_NEAR(part.values[j], vals[j], 1e-9 * std::max(1.0, vals[0]));
+    for (std::size_t j = 3; j < 6; ++j)
+        EXPECT_NEAR(part.values[j], 0.0, 1e-9 * std::max(1.0, vals[0]));
+    const la::matrix vtv = la::gram(part.vectors);
+    EXPECT_LT(la::max_abs_diff(vtv, la::matrix::identity(6)), 1e-9);
+    EXPECT_LT(residual_norm(a, part.vectors, part.values),
+              1e-8 * scale_of(a));
+}
+
+TEST(EigenTopkTest, KEqualsNMatchesFullDecomposition) {
+    const auto a = random_spd(20, 44);
+    const auto part = la::symmetric_eigen_topk(a, 20);  // fallback path
+    const auto full = la::symmetric_eigen(a);
+    ASSERT_EQ(part.values.size(), 20u);
+    for (std::size_t j = 0; j < 20; ++j)
+        EXPECT_DOUBLE_EQ(part.values[j], full.values[j]);
+    EXPECT_EQ(la::max_abs_diff(part.vectors, full.vectors), 0.0);
+}
+
+TEST(EigenTopkTest, KLargerThanNClampsAndTinyNFallsBack) {
+    const auto a = random_spd(6, 2);
+    const auto part = la::symmetric_eigen_topk(a, 99);
+    EXPECT_EQ(part.values.size(), 6u);
+    EXPECT_EQ(part.vectors.cols(), 6u);
+    const auto small = la::symmetric_eigen_topk(random_spd(12, 3), 2);
+    EXPECT_EQ(small.values.size(), 2u);  // n < 16 => full fallback
+}
+
+TEST(EigenTopkTest, ZeroMatrix) {
+    const auto part = la::symmetric_eigen_topk(la::matrix(40, 40), 4);
+    ASSERT_EQ(part.values.size(), 4u);
+    for (double v : part.values) EXPECT_NEAR(v, 0.0, 1e-12);
+    for (int i = 0; i < 3; ++i) EXPECT_NEAR(part.moments[i], 0.0, 1e-12);
+    const la::matrix vtv = la::gram(part.vectors);
+    EXPECT_LT(la::max_abs_diff(vtv, la::matrix::identity(4)), 1e-10);
+}
+
+TEST(EigenTopkTest, IndefiniteMatrixLargestAlgebraic) {
+    // topk returns the algebraically largest eigenvalues, matching the
+    // descending order of symmetric_eigen (PCA covariances are PSD, but
+    // the solver itself must not assume it).
+    std::vector<double> w(32);
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w[i] = 3.0 - 0.4 * static_cast<double>(i);  // spans +3 .. -9.4
+    const auto a = with_spectrum(w, 17);
+    const auto part = la::symmetric_eigen_topk(a, 3);
+    EXPECT_NEAR(part.values[0], 3.0, 1e-9);
+    EXPECT_NEAR(part.values[1], 2.6, 1e-9);
+    EXPECT_NEAR(part.values[2], 2.2, 1e-9);
+    EXPECT_LT(residual_norm(a, part.vectors, part.values), 1e-8 * 10.0);
+}
+
+TEST(EigenTopkTest, RejectsAsymmetricAndNonSquare) {
+    EXPECT_THROW(la::symmetric_eigen_topk(la::matrix(2, 3), 1),
+                 std::invalid_argument);
+    auto a = la::matrix::from_rows({{1, 2}, {0, 1}});
+    EXPECT_THROW(la::symmetric_eigen_topk(a, 1), std::invalid_argument);
+}
+
+TEST(EigenTopkTest, DeterministicAcrossCalls) {
+    const auto a = random_spd(64, 123);
+    const auto p1 = la::symmetric_eigen_topk(a, 7);
+    const auto p2 = la::symmetric_eigen_topk(a, 7);
+    for (std::size_t j = 0; j < 7; ++j)
+        EXPECT_DOUBLE_EQ(p1.values[j], p2.values[j]);
+    EXPECT_EQ(la::max_abs_diff(p1.vectors, p2.vectors), 0.0);
+}

@@ -158,6 +158,13 @@ TEST(StreamPipelineTest, CodecRunMatchesDirectPush) {
     const std::size_t frames = pipeline.run(reader);
     EXPECT_EQ(frames, (stream.size() + 511) / 512);
 
+    // Frame-buffer recycling: after the first queue-depth's worth of
+    // frames every decode reuses a consumed buffer, and the metric
+    // surfaces it. (The exact count depends on producer/consumer
+    // interleaving; at minimum the steady-state tail must have reused.)
+    EXPECT_GT(pipeline.metrics().frames_reused, 0u);
+    EXPECT_LE(pipeline.metrics().frames_reused, frames);
+
     ASSERT_EQ(results.size(), bins);
     for (std::size_t bin = 0; bin < bins; ++bin) {
         for (int f = 0; f < flow::feature_count; ++f)
