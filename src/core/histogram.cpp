@@ -128,6 +128,47 @@ void feature_histogram::clear() noexcept {
     mutations_ = 0;
 }
 
+void feature_histogram::save(io::wire_writer& w) const {
+    // Canonical order: ascending key, delta-encoded (sorted u32 gaps
+    // pack small). Equal histograms always serialize to equal bytes,
+    // independent of hash-table layout or insertion history.
+    std::vector<std::pair<std::uint32_t, double>> entries;
+    entries.reserve(counts_.size());
+    counts_.for_each(
+        [&](std::uint32_t v, double n) { entries.emplace_back(v, n); });
+    std::sort(entries.begin(), entries.end());
+    w.varint(entries.size());
+    std::uint32_t prev = 0;
+    for (const auto& [key, count] : entries) {
+        w.varint(key - prev);
+        w.f64(count);
+        prev = key;
+    }
+    w.f64(total_);
+    w.f64(sum_nlogn_);
+    w.varint(mutations_);
+}
+
+void feature_histogram::load(io::wire_reader& r) {
+    clear();
+    const std::uint64_t n = r.varint();
+    if (n > r.remaining() / 9)  // >= 1 key byte + 8 count bytes each
+        r.fail("feature_histogram: implausible entry count");
+    counts_.reserve(static_cast<std::size_t>(n));
+    std::uint32_t key = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        key += static_cast<std::uint32_t>(r.varint());
+        const double count = r.f64();
+        // A nonpositive count would poison the open-addressing table
+        // (count == 0.0 marks an empty slot).
+        if (!(count > 0.0)) r.fail("feature_histogram: nonpositive count");
+        counts_[key] = count;
+    }
+    total_ = r.f64();
+    sum_nlogn_ = r.f64();
+    mutations_ = static_cast<std::size_t>(r.varint());
+}
+
 void feature_histogram_set::add_record(const flow::flow_record& r) {
     const auto w = static_cast<double>(r.packets);
     for (int f = 0; f < flow::feature_count; ++f)
@@ -168,6 +209,20 @@ void feature_histogram_set::clear() noexcept {
     packets_ = 0;
     bytes_ = 0;
     records_ = 0;
+}
+
+void feature_histogram_set::save(io::wire_writer& w) const {
+    for (const auto& h : hists_) h.save(w);
+    w.varint(packets_);
+    w.varint(bytes_);
+    w.varint(records_);
+}
+
+void feature_histogram_set::load(io::wire_reader& r) {
+    for (auto& h : hists_) h.load(r);
+    packets_ = r.varint();
+    bytes_ = r.varint();
+    records_ = static_cast<std::size_t>(r.varint());
 }
 
 }  // namespace tfd::core

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "flow/flow_record.h"
+#include "io/wire.h"
 
 namespace tfd::core {
 
@@ -160,6 +161,20 @@ public:
     /// Pre-size the hash table for about `n` distinct values.
     void reserve(std::size_t n) { counts_.reserve(n); }
 
+    /// Snapshot hook: serialize the complete observable state — the
+    /// count table (canonical key order, so equal histograms serialize
+    /// to equal bytes), the total, the incremental Σ n·log2 n
+    /// accumulator bit-exactly, and the recompute cadence counter.
+    /// load() replaces this histogram with exactly that state, so a
+    /// resumed histogram's every future entropy value matches the
+    /// uninterrupted one bit for bit (hash-table layout may differ; it
+    /// never influences a numeric output).
+    void save(io::wire_writer& w) const;
+
+    /// Restore from save() output (contents replaced). Throws
+    /// io::wire_error on truncated or inconsistent payloads.
+    void load(io::wire_reader& r);
+
 private:
     /// Mutations between exact recomputations of sum_nlogn_.
     static constexpr std::size_t kExactRecomputeInterval = 4096;
@@ -199,6 +214,12 @@ public:
     std::size_t total_records() const noexcept { return records_; }
 
     void clear() noexcept;
+
+    /// Snapshot hook: the four histograms plus the volume counters.
+    void save(io::wire_writer& w) const;
+
+    /// Restore from save() output (contents replaced).
+    void load(io::wire_reader& r);
 
 private:
     std::array<feature_histogram, flow::feature_count> hists_;

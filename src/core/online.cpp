@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/serialize.h"
+
 namespace tfd::core {
 
 std::size_t entropy_snapshot::flows() const noexcept {
@@ -125,6 +127,62 @@ void online_detector::refit() {
     since_refit_ = 0;
 
     // Keep the layout's norms in sync for flow_residual consumers.
+    layout_.submatrix_norm = norms_;
+}
+
+void online_detector::save(io::wire_writer& w) const {
+    const std::size_t d = flow::feature_count * flows_;
+    w.varint(bins_seen_);
+    w.varint(since_refit_);
+    w.varint(refits_since_exact_);
+    w.f64(threshold_);
+    for (double n : norms_) w.f64(n);
+    linalg::save(w, colsum_);
+    // accumulate() maintains only the upper triangle of the raw Gram
+    // (the strictly-lower one is structurally zero), so serialize just
+    // that: d(d+1)/2 doubles instead of d^2 — the Gram dominates the
+    // checkpoint, so this halves its largest section.
+    for (std::size_t i = 0; i < d; ++i)
+        for (std::size_t j = i; j < d; ++j) w.f64(gram_(i, j));
+    w.varint(window_.size());
+    for (const auto& row : window_)
+        for (double v : row) w.f64(v);
+    w.u8(model_.has_value() ? 1 : 0);
+    if (model_) model_->save(w);
+}
+
+void online_detector::load(io::wire_reader& r) {
+    const std::size_t d = flow::feature_count * flows_;
+    bins_seen_ = static_cast<std::size_t>(r.varint());
+    since_refit_ = static_cast<std::size_t>(r.varint());
+    refits_since_exact_ = static_cast<std::size_t>(r.varint());
+    threshold_ = r.f64();
+    for (double& n : norms_) n = r.f64();
+    linalg::load(r, colsum_);
+    if (colsum_.size() != d)
+        r.fail("online_detector: moment shape mismatch");
+    gram_.resize(d, d);  // zeroed; only the upper triangle is stored
+    for (std::size_t i = 0; i < d; ++i)
+        for (std::size_t j = i; j < d; ++j) gram_(i, j) = r.f64();
+    const std::uint64_t rows = r.varint();
+    if (rows > opts_.window || rows > r.remaining() / (8 * d) + 1)
+        r.fail("online_detector: implausible window size");
+    window_.clear();
+    for (std::uint64_t i = 0; i < rows; ++i) {
+        std::vector<double> row(d);
+        for (double& v : row) v = r.f64();
+        window_.push_back(std::move(row));
+    }
+    if (r.u8() != 0) {
+        model_.emplace();
+        model_->load(r);
+        if (model_->dimension() != d)
+            r.fail("online_detector: model dimension mismatch");
+    } else {
+        model_.reset();
+    }
+    // Keep the layout's norms in sync for flow_residual consumers,
+    // exactly as refit() leaves them.
     layout_.submatrix_norm = norms_;
 }
 

@@ -35,6 +35,7 @@
 #include "core/multiway.h"
 #include "core/subspace.h"
 #include "flow/flow_record.h"
+#include "io/wire.h"
 
 namespace tfd::core {
 
@@ -98,6 +99,23 @@ public:
     double threshold() const noexcept { return threshold_; }
 
     const online_options& options() const noexcept { return opts_; }
+
+    /// Snapshot hook: serialize the complete streaming state — window
+    /// contents, the incrementally maintained Gram + column sums
+    /// bit-exactly (so the drift trajectory of future rank-1 updates is
+    /// unchanged), refit/rematerialization counters, and the current
+    /// subspace model with its threshold. Configuration (flows, options)
+    /// is NOT serialized: it belongs to the constructor, and the
+    /// checkpoint layer fingerprints it so a snapshot can never be
+    /// restored into a differently configured detector.
+    void save(io::wire_writer& w) const;
+
+    /// Restore from save() output (state replaced). The detector must
+    /// have been constructed with the same flows/options as the one
+    /// that saved. After load, every future push() returns verdicts
+    /// bit-identical to the uninterrupted detector's. Throws
+    /// io::wire_error on truncated or shape-inconsistent payloads.
+    void load(io::wire_reader& r);
 
 private:
     void refit();

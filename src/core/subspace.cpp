@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/serialize.h"
 #include "linalg/stats.h"
 #include "linalg/symmetric_eigen.h"
 
@@ -39,7 +40,13 @@ void subspace_model::finish_fit(const subspace_options& opts) {
         h0_ = 1.0 - 2.0 * phi_[0] * phi_[2] / (3.0 * phi_[1] * phi_[1]);
     if (h0_ == 0.0) h0_ = 1e-6;
 
-    // Row-contiguous copy of the leading axes for the streaming SPE path.
+    rebuild_pt();
+}
+
+void subspace_model::rebuild_pt() {
+    // Row-contiguous copy of the leading axes for the streaming SPE
+    // path. Shared by fitting and snapshot restore so the derived copy
+    // cannot drift from the serialized model.
     const std::size_t mm = std::min(m_, pca_.components.cols());
     const std::size_t n = pca_.components.rows();
     pt_.resize(mm, n);
@@ -107,6 +114,23 @@ subspace_model subspace_model::fit_from_covariance(const linalg::matrix& cov,
     }
     m.finish_fit(opts);
     return m;
+}
+
+void subspace_model::save(io::wire_writer& w) const {
+    linalg::save(w, pca_);
+    w.varint(m_);
+    for (double p : phi_) w.f64(p);
+    w.f64(h0_);
+}
+
+void subspace_model::load(io::wire_reader& r) {
+    linalg::load(r, pca_);
+    m_ = static_cast<std::size_t>(r.varint());
+    for (double& p : phi_) p = r.f64();
+    h0_ = r.f64();
+    if (pca_.mean.size() != pca_.components.rows())
+        r.fail("subspace_model: mean/components shape mismatch");
+    rebuild_pt();
 }
 
 double subspace_model::spe(std::span<const double> obs) const {

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "io/wire.h"
 #include "linalg/matrix.h"
 #include "linalg/pca.h"
 
@@ -87,8 +88,20 @@ public:
 
     const linalg::pca_result& pca() const noexcept { return pca_; }
 
+    /// Snapshot hook: serialize the fitted model — full PCA state,
+    /// normal dimension, residual-spectrum moments and the threshold
+    /// constant — with bit-exact doubles, so a restored model scores
+    /// every future observation identically to the original.
+    void save(io::wire_writer& w) const;
+
+    /// Restore from save() output (contents replaced; the derived
+    /// row-contiguous axis copy is rebuilt). Throws io::wire_error on
+    /// truncated or inconsistent payloads.
+    void load(io::wire_reader& r);
+
 private:
     void finish_fit(const subspace_options& opts);
+    void rebuild_pt();
 
     linalg::pca_result pca_;
     std::size_t m_ = 0;

@@ -1,0 +1,202 @@
+#include "io/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace tfd::io {
+
+namespace {
+
+// magic + version + flags + fingerprint + section_count, then a u64
+// FNV-1a of those 20 bytes so corruption inside the header (most
+// importantly the fingerprint field) is attributed as corruption, not
+// as a configuration mismatch.
+constexpr std::size_t kHeaderFieldBytes = 4 + 2 + 2 + 8 + 4;
+constexpr std::size_t kHeaderBytes = kHeaderFieldBytes + 8;
+
+[[noreturn]] void reject(snapshot_errc code, const std::string& detail) {
+    throw snapshot_error(code, detail);
+}
+
+}  // namespace
+
+const char* to_string(snapshot_errc c) noexcept {
+    switch (c) {
+        case snapshot_errc::truncated: return "truncated";
+        case snapshot_errc::bad_magic: return "bad magic";
+        case snapshot_errc::unsupported_version: return "unsupported version";
+        case snapshot_errc::checksum_mismatch: return "checksum mismatch";
+        case snapshot_errc::fingerprint_mismatch:
+            return "config fingerprint mismatch";
+        case snapshot_errc::missing_section: return "missing section";
+        case snapshot_errc::malformed: return "malformed";
+        case snapshot_errc::io_failure: return "io failure";
+    }
+    return "unknown";
+}
+
+snapshot_error::snapshot_error(snapshot_errc code, const std::string& detail)
+    : std::runtime_error(std::string("snapshot: ") + to_string(code) +
+                         (detail.empty() ? "" : " (" + detail + ")")),
+      code_(code) {}
+
+void snapshot_writer::add_section(std::uint32_t tag, std::uint16_t version,
+                                  std::span<const std::uint8_t> payload) {
+    sections_.push_back(
+        {tag, version, std::vector<std::uint8_t>(payload.begin(), payload.end())});
+}
+
+void snapshot_writer::add_section(std::uint32_t tag, std::uint16_t version,
+                                  std::vector<std::uint8_t>&& payload) {
+    sections_.push_back({tag, version, std::move(payload)});
+}
+
+std::vector<std::uint8_t> snapshot_writer::serialize() const {
+    std::vector<std::uint8_t> out;
+    std::size_t total = kHeaderBytes;
+    for (const auto& s : sections_)
+        total += section_header_bytes + s.payload.size();
+    out.reserve(total);
+    put_u32(out, snapshot_magic);
+    put_u16(out, snapshot_format_version);
+    put_u16(out, 0);  // flags
+    put_u64(out, fingerprint_);
+    put_u32(out, static_cast<std::uint32_t>(sections_.size()));
+    put_u64(out, fnv1a64({out.data(), kHeaderFieldBytes}));
+    for (const auto& s : sections_)
+        write_section(out, s.tag, s.version, s.payload);
+    return out;
+}
+
+void snapshot_writer::save_file(const std::string& path) const {
+    const std::vector<std::uint8_t> bytes = serialize();
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) reject(snapshot_errc::io_failure, "cannot open " + tmp);
+    const auto fail_tmp = [&](const std::string& what) {
+        ::close(fd);
+        std::remove(tmp.c_str());
+        reject(snapshot_errc::io_failure, what);
+    };
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            fail_tmp("write to " + tmp + " failed");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    // The data blocks must be durable BEFORE the rename is: otherwise a
+    // crash can persist the rename first and leave a truncated file
+    // where the previous good snapshot used to be — exactly what
+    // write-to-temp + rename exists to prevent.
+    if (::fsync(fd) != 0) fail_tmp("fsync " + tmp + " failed");
+    if (::close(fd) != 0) {
+        std::remove(tmp.c_str());
+        reject(snapshot_errc::io_failure, "close " + tmp + " failed");
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::remove(tmp.c_str());
+        reject(snapshot_errc::io_failure,
+               "rename " + tmp + " -> " + path + ": " + ec.message());
+    }
+    // Make the rename itself durable (best-effort: a missed directory
+    // sync can lose the newest snapshot, never corrupt one).
+    const std::string dir =
+        std::filesystem::path(path).parent_path().string();
+    const int dfd = ::open(dir.empty() ? "." : dir.c_str(),
+                           O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+}
+
+snapshot_reader::snapshot_reader(std::vector<std::uint8_t> bytes,
+                                 std::uint64_t expected_fingerprint)
+    : bytes_(std::move(bytes)) {
+    if (bytes_.size() < kHeaderBytes)
+        reject(snapshot_errc::truncated, "file shorter than header");
+    wire_reader r(bytes_, "snapshot");
+    if (r.u32() != snapshot_magic)
+        reject(snapshot_errc::bad_magic, "not a snapshot file");
+    const std::uint16_t version = r.u16();
+    if (version != snapshot_format_version)
+        reject(snapshot_errc::unsupported_version,
+               "format version " + std::to_string(version) +
+                   ", reader supports " +
+                   std::to_string(snapshot_format_version));
+    (void)r.u16();  // flags
+    const std::uint64_t fingerprint = r.u64();
+    const std::uint32_t count = r.u32();
+    // Header checksum before the fingerprint comparison: a flipped bit
+    // inside the fingerprint field must read as corruption, not as
+    // "your configuration changed".
+    if (r.u64() != fnv1a64({bytes_.data(), kHeaderFieldBytes}))
+        reject(snapshot_errc::checksum_mismatch, "header");
+    if (fingerprint != expected_fingerprint)
+        reject(snapshot_errc::fingerprint_mismatch,
+               "snapshot was taken under a different configuration");
+
+    // Validate every section (bounds + checksum) before exposing any:
+    // the all-or-nothing restore contract.
+    sections_.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        try {
+            sections_.push_back(read_section(r));
+        } catch (const wire_checksum_error&) {
+            reject(snapshot_errc::checksum_mismatch,
+                   "section " + std::to_string(i));
+        } catch (const wire_error&) {
+            reject(snapshot_errc::truncated, "section " + std::to_string(i));
+        }
+    }
+    if (!r.done())
+        reject(snapshot_errc::malformed, "trailing bytes after last section");
+}
+
+snapshot_reader snapshot_reader::load_file(const std::string& path,
+                                           std::uint64_t expected_fingerprint) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) reject(snapshot_errc::io_failure, "cannot open " + path);
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec) reject(snapshot_errc::io_failure, "cannot stat " + path);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    if (in.gcount() != static_cast<std::streamsize>(bytes.size()))
+        reject(snapshot_errc::io_failure, "read failed: " + path);
+    return snapshot_reader(std::move(bytes), expected_fingerprint);
+}
+
+bool snapshot_reader::has_section(std::uint32_t tag) const noexcept {
+    for (const auto& s : sections_)
+        if (s.tag == tag) return true;
+    return false;
+}
+
+const section_view& snapshot_reader::find(std::uint32_t tag) const {
+    for (const auto& s : sections_)
+        if (s.tag == tag) return s;
+    reject(snapshot_errc::missing_section, "tag " + std::to_string(tag));
+}
+
+std::uint16_t snapshot_reader::section_version(std::uint32_t tag) const {
+    return find(tag).version;
+}
+
+wire_reader snapshot_reader::section(std::uint32_t tag) const {
+    return wire_reader(find(tag).payload, "snapshot section");
+}
+
+}  // namespace tfd::io

@@ -1,0 +1,145 @@
+// tfd::io — the versioned snapshot container.
+//
+// A snapshot is one self-describing file holding the full serialized
+// state of a stateful subsystem (the stream checkpoint is the first
+// client): a fixed header, then a counted sequence of checksummed,
+// individually versioned sections (io/wire.h framing).
+//
+//   header  : u32 magic "TFSS" | u16 format_version = 1 | u16 flags = 0
+//             u64 config_fingerprint | u32 section_count
+//             u64 fnv1a64(previous 20 header bytes)
+//   section : u32 tag | u16 version | u16 reserved | u64 payload_bytes
+//             u64 fnv1a64(payload) | payload          (x section_count)
+//
+// Contracts:
+//
+//   * Atomicity — save_file() writes to `<path>.tmp` in the same
+//     directory and renames over the target, so a crash mid-write
+//     leaves either the old snapshot or none, never a torn file.
+//   * All-or-nothing restore — snapshot_reader validates the header,
+//     the section count, every section's bounds and every section's
+//     checksum up front, before a caller can read one payload byte. A
+//     corrupt snapshot therefore fails before any state is touched;
+//     there is no partial restore to roll back.
+//   * Loud failure, distinct causes — every rejection throws
+//     snapshot_error with a machine-readable snapshot_errc: truncation,
+//     bad magic, an unsupported format version, a section checksum
+//     mismatch, and a config-fingerprint mismatch are distinguishable
+//     (tests/io/snapshot_test.cpp pins each).
+//   * Version-compat policy — format_version guards the container
+//     layout; each section carries its own version so one subsystem can
+//     evolve its payload without invalidating the others. Readers must
+//     reject versions above what they know (no silent best-effort
+//     decode) and may accept older ones they explicitly support.
+//   * The config fingerprint is the caller's hash of every knob that
+//     changes serialized-state semantics (shard count, bin width,
+//     detector options...). A snapshot taken under one config must
+//     never be restored under another — resumed state would be
+//     silently wrong rather than loudly incompatible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/wire.h"
+
+namespace tfd::io {
+
+inline constexpr std::uint32_t snapshot_magic = 0x53534654u;  // "TFSS"
+inline constexpr std::uint16_t snapshot_format_version = 1;
+
+/// Why a snapshot was rejected (one test per value).
+enum class snapshot_errc {
+    truncated,             ///< file shorter than its own framing claims
+    bad_magic,             ///< not a snapshot file
+    unsupported_version,   ///< container format newer than this reader
+    checksum_mismatch,     ///< a section's payload failed its checksum
+    fingerprint_mismatch,  ///< snapshot taken under a different config
+    missing_section,       ///< a required section tag is absent
+    malformed,             ///< framing inconsistent (counts, bounds)
+    io_failure,            ///< the filesystem said no
+};
+
+const char* to_string(snapshot_errc c) noexcept;
+
+/// Carries the rejection cause; what() includes to_string(code).
+class snapshot_error : public std::runtime_error {
+public:
+    snapshot_error(snapshot_errc code, const std::string& detail);
+    snapshot_errc code() const noexcept { return code_; }
+
+private:
+    snapshot_errc code_;
+};
+
+/// Accumulates sections, then serializes (or atomically writes) the
+/// container.
+class snapshot_writer {
+public:
+    explicit snapshot_writer(std::uint64_t config_fingerprint)
+        : fingerprint_(config_fingerprint) {}
+
+    /// Append one section (payload copied).
+    void add_section(std::uint32_t tag, std::uint16_t version,
+                     std::span<const std::uint8_t> payload);
+
+    /// Append one section, taking the payload buffer without copying
+    /// (pair with wire_writer::take() for large sections).
+    void add_section(std::uint32_t tag, std::uint16_t version,
+                     std::vector<std::uint8_t>&& payload);
+
+    /// The serialized container.
+    std::vector<std::uint8_t> serialize() const;
+
+    /// Atomic save: serialize to `<path>.tmp`, flush, rename onto
+    /// `path`. Throws snapshot_error{io_failure} on any filesystem
+    /// error (the temp file is removed best-effort).
+    void save_file(const std::string& path) const;
+
+private:
+    struct section {
+        std::uint32_t tag;
+        std::uint16_t version;
+        std::vector<std::uint8_t> payload;
+    };
+
+    std::uint64_t fingerprint_;
+    std::vector<section> sections_;
+};
+
+/// Validates an entire container up front (header, fingerprint, every
+/// section checksum), then hands out per-section readers. The byte
+/// buffer is owned so section payload spans stay valid for the
+/// reader's lifetime.
+class snapshot_reader {
+public:
+    /// Validate `bytes` as a snapshot taken under the config hashing to
+    /// `expected_fingerprint`. Throws snapshot_error (see snapshot_errc)
+    /// on any inconsistency; a constructed reader is fully verified.
+    snapshot_reader(std::vector<std::uint8_t> bytes,
+                    std::uint64_t expected_fingerprint);
+
+    /// Read + validate a snapshot file.
+    static snapshot_reader load_file(const std::string& path,
+                                     std::uint64_t expected_fingerprint);
+
+    std::size_t section_count() const noexcept { return sections_.size(); }
+    bool has_section(std::uint32_t tag) const noexcept;
+
+    /// Version of the section with `tag`; throws
+    /// snapshot_error{missing_section} if absent.
+    std::uint16_t section_version(std::uint32_t tag) const;
+
+    /// A wire_reader over the section's (already checksum-verified)
+    /// payload; throws snapshot_error{missing_section} if absent.
+    wire_reader section(std::uint32_t tag) const;
+
+private:
+    const section_view& find(std::uint32_t tag) const;
+
+    std::vector<std::uint8_t> bytes_;
+    std::vector<section_view> sections_;  ///< payloads alias bytes_
+};
+
+}  // namespace tfd::io

@@ -1,0 +1,39 @@
+#include "io/wire.h"
+
+namespace tfd::io {
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::uint8_t b : bytes) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void write_section(std::vector<std::uint8_t>& out, std::uint32_t tag,
+                   std::uint16_t version,
+                   std::span<const std::uint8_t> payload) {
+    put_u32(out, tag);
+    put_u16(out, version);
+    put_u16(out, 0);  // reserved
+    put_u64(out, payload.size());
+    put_u64(out, fnv1a64(payload));
+    out.insert(out.end(), payload.begin(), payload.end());
+}
+
+section_view read_section(wire_reader& r) {
+    section_view s;
+    s.tag = r.u32();
+    s.version = r.u16();
+    (void)r.u16();  // reserved
+    const std::uint64_t len = r.u64();
+    const std::uint64_t sum = r.u64();
+    if (len > r.remaining()) r.fail("truncated section payload");
+    s.payload = r.bytes(static_cast<std::size_t>(len));
+    if (fnv1a64(s.payload) != sum)
+        throw wire_checksum_error("wire: section checksum mismatch");
+    return s;
+}
+
+}  // namespace tfd::io

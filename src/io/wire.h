@@ -1,0 +1,232 @@
+// tfd::io — wire-format primitives shared by every serialized boundary.
+//
+// The flow codec (stream/flow_codec), the checkpoint container
+// (io/snapshot) and the per-type snapshot hooks all speak the same
+// little language: little-endian fixed-width integers, LEB128 varints
+// with zigzag for signed values, bit-exact doubles (IEEE-754 bits moved
+// through u64), and FNV-1a 64 checksums. This header is the single
+// definition of that language — the primitives were extracted verbatim
+// from flow_codec so the codec's on-disk format did not move by a bit
+// (pinned by tests/stream/codec_golden_test.cpp).
+//
+// Layers:
+//
+//   put_* / fnv1a64 / zigzag   free functions appending to a byte vector
+//                              (the codec's hot encode path uses these
+//                              directly, no writer object in the loop)
+//   wire_writer                an owned byte buffer with typed append
+//   wire_reader                a bounds-checked cursor over a span;
+//                              every read throws wire_error on underrun
+//   write_section/read_section checksummed + versioned section framing
+//                              (u32 tag | u16 version | u16 reserved |
+//                               u64 payload_bytes | u64 fnv1a64 | payload)
+//
+// wire_reader never copies: bytes() hands back subspans of the input, so
+// a snapshot can be validated and dispatched without re-buffering.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tfd::io {
+
+/// Thrown by wire_reader on truncated or malformed input.
+class wire_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Thrown by read_section when a payload fails its checksum — a typed
+/// subclass so callers can distinguish corruption from truncation
+/// without matching message text.
+class wire_checksum_error : public wire_error {
+public:
+    using wire_error::wire_error;
+};
+
+// ---- primitive encoders (little-endian fixed width, LEB128 varints) ----
+
+inline void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+    out.push_back(v);
+}
+
+inline void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    for (int s = 0; s < 32; s += 8)
+        out.push_back(static_cast<std::uint8_t>(v >> s));
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    for (int s = 0; s < 64; s += 8)
+        out.push_back(static_cast<std::uint8_t>(v >> s));
+}
+
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Map signed to unsigned so small-magnitude values stay short varints.
+inline std::uint64_t zigzag(std::int64_t v) noexcept {
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t unzigzag(std::uint64_t v) noexcept {
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// IEEE-754 bits moved bit-exactly through u64 (checkpoint/resume
+/// depends on doubles surviving the round trip unchanged).
+inline void put_f64(std::vector<std::uint8_t>& out, double v) {
+    put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// FNV-1a 64-bit checksum.
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept;
+
+/// An owned byte buffer with typed append. Thin sugar over the put_*
+/// primitives for snapshot-hook writers that build a payload piecemeal.
+class wire_writer {
+public:
+    void u8(std::uint8_t v) { put_u8(buf_, v); }
+    void u16(std::uint16_t v) { put_u16(buf_, v); }
+    void u32(std::uint32_t v) { put_u32(buf_, v); }
+    void u64(std::uint64_t v) { put_u64(buf_, v); }
+    void varint(std::uint64_t v) { put_varint(buf_, v); }
+    void svarint(std::int64_t v) { put_varint(buf_, zigzag(v)); }
+    void f64(double v) { put_f64(buf_, v); }
+    void bytes(std::span<const std::uint8_t> b) {
+        buf_.insert(buf_.end(), b.begin(), b.end());
+    }
+
+    std::size_t size() const noexcept { return buf_.size(); }
+    std::span<const std::uint8_t> data() const noexcept { return buf_; }
+    std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+
+private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked cursor over a byte span. Every accessor throws
+/// wire_error on underrun; nothing is copied (bytes() returns subspans
+/// of the input). `context` names the boundary in error messages so a
+/// truncated codec frame and a truncated snapshot read differently.
+class wire_reader {
+public:
+    explicit wire_reader(std::span<const std::uint8_t> bytes,
+                         const char* context = "wire")
+        : p_(bytes.data()), end_(bytes.data() + bytes.size()),
+          context_(context) {}
+
+    std::uint8_t u8() {
+        need(1);
+        return *p_++;
+    }
+
+    std::uint16_t u16() {
+        need(2);
+        const auto v = static_cast<std::uint16_t>(p_[0] | (p_[1] << 8));
+        p_ += 2;
+        return v;
+    }
+
+    std::uint32_t u32() {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 3; i >= 0; --i) v = (v << 8) | p_[i];
+        p_ += 4;
+        return v;
+    }
+
+    std::uint64_t u64() {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 7; i >= 0; --i) v = (v << 8) | p_[i];
+        p_ += 8;
+        return v;
+    }
+
+    std::uint64_t varint() {
+        std::uint64_t v = 0;
+        int shift = 0;
+        for (;;) {
+            if (p_ == end_ || shift > 63) fail("malformed varint");
+            const std::uint8_t b = *p_++;
+            v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+            if (!(b & 0x80)) return v;
+            shift += 7;
+        }
+    }
+
+    std::int64_t svarint() { return unzigzag(varint()); }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    /// The next n bytes as a subspan of the input (no copy).
+    std::span<const std::uint8_t> bytes(std::size_t n) {
+        need(n);
+        const std::span<const std::uint8_t> out{p_, n};
+        p_ += n;
+        return out;
+    }
+
+    std::size_t remaining() const noexcept {
+        return static_cast<std::size_t>(end_ - p_);
+    }
+    bool done() const noexcept { return p_ == end_; }
+
+    /// Throw unless the reader consumed its input exactly (a payload
+    /// with trailing bytes is as corrupt as a short one).
+    void expect_end() const {
+        if (p_ != end_) fail("trailing bytes");
+    }
+
+    [[noreturn]] void fail(const char* what) const {
+        throw wire_error(std::string(context_) + ": " + what);
+    }
+
+private:
+    void need(std::size_t n) const {
+        if (static_cast<std::size_t>(end_ - p_) < n) fail("truncated read");
+    }
+
+    const std::uint8_t* p_;
+    const std::uint8_t* end_;
+    const char* context_;
+};
+
+// ---- checksummed + versioned section framing ----
+
+/// Section header: u32 tag | u16 version | u16 reserved = 0 |
+/// u64 payload_bytes | u64 fnv1a64(payload), then the payload.
+inline constexpr std::size_t section_header_bytes = 24;
+
+/// One parsed section; `payload` aliases the input buffer.
+struct section_view {
+    std::uint32_t tag = 0;
+    std::uint16_t version = 0;
+    std::span<const std::uint8_t> payload;
+};
+
+/// Append one framed section to `out`.
+void write_section(std::vector<std::uint8_t>& out, std::uint32_t tag,
+                   std::uint16_t version,
+                   std::span<const std::uint8_t> payload);
+
+/// Read one framed section, verifying length and checksum. Throws
+/// wire_error on truncation or checksum mismatch.
+section_view read_section(wire_reader& r);
+
+}  // namespace tfd::io

@@ -1,0 +1,35 @@
+#include "stream/checkpoint.h"
+
+#include "io/snapshot.h"
+
+namespace tfd::stream {
+
+void save_checkpoint(const stream_pipeline& pipeline,
+                     const std::string& path) {
+    io::snapshot_writer snap(pipeline.config_fingerprint());
+    pipeline.save_state(snap);
+    snap.save_file(path);
+}
+
+void restore_checkpoint(stream_pipeline& pipeline, const std::string& path) {
+    const io::snapshot_reader snap =
+        io::snapshot_reader::load_file(path, pipeline.config_fingerprint());
+    pipeline.restore_state(snap);
+}
+
+periodic_checkpointer::periodic_checkpointer(stream_pipeline& pipeline,
+                                             std::string dir,
+                                             std::size_t every_bins)
+    : pipeline_(&pipeline),
+      path_(std::move(dir) + "/checkpoint.tfss"),
+      every_bins_(every_bins) {}
+
+void periodic_checkpointer::on_bin_emitted() {
+    if (every_bins_ == 0) return;
+    if (++since_last_ < every_bins_) return;
+    save_checkpoint(*pipeline_, path_);
+    since_last_ = 0;
+    ++written_;
+}
+
+}  // namespace tfd::stream

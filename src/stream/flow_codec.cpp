@@ -6,90 +6,19 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/wire.h"
+
 namespace tfd::stream {
 
 namespace {
 
-// ---- primitive encoders (little-endian fixed width, LEB128 varints) ----
-
-void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
-    out.push_back(v);
-}
-
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-    out.push_back(static_cast<std::uint8_t>(v));
-    out.push_back(static_cast<std::uint8_t>(v >> 8));
-}
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-    for (int s = 0; s < 32; s += 8)
-        out.push_back(static_cast<std::uint8_t>(v >> s));
-}
-
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-    for (int s = 0; s < 64; s += 8)
-        out.push_back(static_cast<std::uint8_t>(v >> s));
-}
-
-void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
-    while (v >= 0x80) {
-        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
-        v >>= 7;
-    }
-    out.push_back(static_cast<std::uint8_t>(v));
-}
-
-std::uint64_t zigzag(std::int64_t v) noexcept {
-    return (static_cast<std::uint64_t>(v) << 1) ^
-           static_cast<std::uint64_t>(v >> 63);
-}
-
-std::int64_t unzigzag(std::uint64_t v) noexcept {
-    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
-}
-
-// ---- span cursor for decoding ----
-
-struct cursor {
-    const std::uint8_t* p;
-    const std::uint8_t* end;
-
-    [[noreturn]] static void fail() {
-        throw std::runtime_error("flow_codec: malformed frame payload");
-    }
-
-    std::uint8_t u8() {
-        if (p == end) fail();
-        return *p++;
-    }
-
-    std::uint16_t u16() {
-        if (end - p < 2) fail();
-        std::uint16_t v = static_cast<std::uint16_t>(p[0] | (p[1] << 8));
-        p += 2;
-        return v;
-    }
-
-    std::uint32_t u32() {
-        if (end - p < 4) fail();
-        std::uint32_t v = 0;
-        for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
-        p += 4;
-        return v;
-    }
-
-    std::uint64_t varint() {
-        std::uint64_t v = 0;
-        int shift = 0;
-        for (;;) {
-            if (p == end || shift > 63) fail();
-            const std::uint8_t b = *p++;
-            v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
-            if (!(b & 0x80)) return v;
-            shift += 7;
-        }
-    }
-};
+using io::put_u8;
+using io::put_u16;
+using io::put_u32;
+using io::put_u64;
+using io::put_varint;
+using io::unzigzag;
+using io::zigzag;
 
 // ---- frame header (24 bytes after the 8-byte file header) ----
 
@@ -146,7 +75,7 @@ void encode_record(const flow::flow_record& r, std::uint64_t& prev_first_us,
 void decode_payload(std::span<const std::uint8_t> payload, std::size_t count,
                     std::uint64_t base_us,
                     std::vector<flow::flow_record>& out) {
-    cursor c{payload.data(), payload.data() + payload.size()};
+    io::wire_reader c(payload, "flow_codec");
     std::uint64_t prev_first = base_us;
     for (std::size_t i = 0; i < count; ++i) {
         flow::flow_record r;
@@ -167,17 +96,12 @@ void decode_payload(std::span<const std::uint8_t> payload, std::size_t count,
         prev_first = r.first_us;
         out.push_back(r);
     }
-    if (c.p != c.end)
+    if (!c.done())
         throw std::runtime_error("flow_codec: trailing bytes in frame payload");
 }
 
 std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept {
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (std::uint8_t b : bytes) {
-        h ^= b;
-        h *= 0x100000001b3ull;
-    }
-    return h;
+    return io::fnv1a64(bytes);
 }
 
 }  // namespace detail
@@ -218,7 +142,7 @@ void flow_codec_writer::flush_frame() {
     put_u32(header, static_cast<std::uint32_t>(pending_.size()));
     put_u32(header, static_cast<std::uint32_t>(payload_.size()));
     put_u64(header, base_us);
-    put_u64(header, detail::fnv1a64(payload_));
+    put_u64(header, io::fnv1a64(payload_));
     write_bytes(*out_, header);
     write_bytes(*out_, payload_);
 
@@ -240,7 +164,7 @@ flow_codec_reader::flow_codec_reader(std::istream& in) : in_(&in) {
     in_->read(reinterpret_cast<char*>(header), kFileHeaderBytes);
     if (in_->gcount() != static_cast<std::streamsize>(kFileHeaderBytes))
         throw std::runtime_error("flow_codec: truncated file header");
-    cursor c{header, header + kFileHeaderBytes};
+    io::wire_reader c({header, kFileHeaderBytes}, "flow_codec");
     if (c.u32() != codec_magic)
         throw std::runtime_error("flow_codec: bad magic");
     const std::uint16_t version = c.u16();
@@ -257,12 +181,12 @@ bool flow_codec_reader::next_frame(std::vector<flow::flow_record>& out) {
     if (in_->gcount() != static_cast<std::streamsize>(kFrameHeaderBytes))
         throw std::runtime_error("flow_codec: truncated frame header");
 
-    cursor c{header, header + kFrameHeaderBytes};
+    io::wire_reader c({header, kFrameHeaderBytes}, "flow_codec");
     frame_header fh;
     fh.record_count = c.u32();
     fh.payload_bytes = c.u32();
-    fh.base_us = c.u32() | (static_cast<std::uint64_t>(c.u32()) << 32);
-    fh.checksum = c.u32() | (static_cast<std::uint64_t>(c.u32()) << 32);
+    fh.base_us = c.u64();
+    fh.checksum = c.u64();
 
     const auto count = static_cast<std::uint64_t>(fh.record_count);
     const auto payload = static_cast<std::uint64_t>(fh.payload_bytes);
@@ -274,7 +198,7 @@ bool flow_codec_reader::next_frame(std::vector<flow::flow_record>& out) {
     in_->read(reinterpret_cast<char*>(buf_.data()), fh.payload_bytes);
     if (in_->gcount() != static_cast<std::streamsize>(fh.payload_bytes))
         throw std::runtime_error("flow_codec: truncated frame payload");
-    if (detail::fnv1a64(buf_) != fh.checksum)
+    if (io::fnv1a64(buf_) != fh.checksum)
         throw std::runtime_error("flow_codec: frame checksum mismatch");
 
     out.clear();

@@ -34,6 +34,13 @@
 // `records_per_frame` adds (or on flush); the reader reads one frame
 // into a reusable buffer and decodes from a span, so per-frame work is
 // one read call and no per-record allocation.
+//
+// The encoding primitives (LEB128 varints, zigzag, little-endian
+// fixed-width integers, FNV-1a 64) live in the shared wire layer
+// (io/wire.h) and are used by the checkpoint subsystem too; this codec
+// defines only the frame layout on top of them. The rebase onto io/wire
+// is byte-identical to the original private primitives — pinned by the
+// golden-bytes test (tests/stream/codec_golden_test.cpp).
 #pragma once
 
 #include <cstdint>
@@ -77,7 +84,8 @@ void decode_payload(std::span<const std::uint8_t> payload, std::size_t count,
                     std::uint64_t base_us,
                     std::vector<flow::flow_record>& out);
 
-/// FNV-1a 64-bit checksum.
+/// FNV-1a 64-bit checksum (forwards to io::fnv1a64, kept for source
+/// compatibility with pre-wire-layer callers).
 std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept;
 
 }  // namespace detail

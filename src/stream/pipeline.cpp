@@ -17,6 +17,13 @@ std::uint64_t now_ns() {
             .count());
 }
 
+// Section tags of a pipeline snapshot ("PIPE", "SHRD", "DETC" as
+// little-endian fourccs) and their payload versions.
+constexpr std::uint32_t kTagPipeline = 0x45504950u;
+constexpr std::uint32_t kTagShards = 0x44524853u;
+constexpr std::uint32_t kTagDetector = 0x43544544u;
+constexpr std::uint16_t kSectionVersion = 1;
+
 }  // namespace
 
 stream_pipeline::stream_pipeline(const net::topology& topo,
@@ -27,12 +34,17 @@ stream_pipeline::stream_pipeline(const net::topology& topo,
       detector_(static_cast<std::size_t>(topo.od_count()), opts.online) {
     if (opts.bin_us == 0)
         throw std::invalid_argument("stream_pipeline: bin_us must be > 0");
+    if (opts.reorder_window_bins > 1)
+        throw std::invalid_argument(
+            "stream_pipeline: reorder_window_bins must be 0 or 1");
+    if (opts.reorder_window_bins > 0)
+        prev_shards_.emplace(topo.od_count(), opts.shards);
 }
 
-void stream_pipeline::close_bin() {
+void stream_pipeline::emit_bin(od_shard_set& shards, std::size_t bin) {
     const std::uint64_t t0 = now_ns();
-    shards_.harvest(scratch_.stats);
-    scratch_.stats.bin = current_bin_;
+    shards.harvest(scratch_.stats);
+    scratch_.stats.bin = bin;
     if (scratch_.stats.records == 0) ++metrics_.empty_bins;
     scratch_.verdict = detector_.push(scratch_.stats.snapshot);
     const std::uint64_t dt = now_ns() - t0;
@@ -40,29 +52,59 @@ void stream_pipeline::close_bin() {
     metrics_.max_bin_close_ns = std::max(metrics_.max_bin_close_ns, dt);
     ++metrics_.bins_emitted;
     if (scratch_.verdict.anomalous) ++metrics_.anomalies;
+    last_emitted_bin_ = bin;
+    any_emitted_ = true;
     if (callback_) callback_(scratch_);
+}
+
+// Every close below advances the cursor (or clears the open flag)
+// BEFORE emit_bin runs, so the state an on_bin observer sees is always
+// resumable: "each bin up to and including the observed one is scored,
+// the next bin is open". save_checkpoint() called from the observer
+// therefore captures a consistent cut — a restored pipeline never
+// re-emits the observed bin.
+
+void stream_pipeline::close_bin() {
+    const std::size_t closing = current_bin_;
+    current_bin_ = closing + 1;
+    emit_bin(shards_, closing);
+}
+
+void stream_pipeline::close_prev() {
+    prev_open_ = false;
+    emit_bin(*prev_shards_, prev_bin_);
+}
+
+void stream_pipeline::hold_current_as_prev() {
+    // The (possibly still accumulating) current bin moves into the
+    // held-open slot; the just-harvested (empty) previous set becomes
+    // the new current accumulator.
+    std::swap(shards_, *prev_shards_);
+    prev_bin_ = current_bin_;
+    prev_open_ = true;
 }
 
 void stream_pipeline::advance_to(std::size_t bin) {
     // Emit every bin up to (excluding) `bin`: the open one, then empty
     // gap bins, keeping the detector's row-per-bin time base intact.
-    while (bin_open_ && current_bin_ < bin) {
-        close_bin();
-        ++current_bin_;
-    }
+    while (bin_open_ && current_bin_ < bin) close_bin();
     current_bin_ = bin;
 }
 
 void stream_pipeline::push(std::span<const flow::flow_record> records) {
     if (records.empty()) return;
-    metrics_.records_in += records.size();
+    const bool reorder = opts_.reorder_window_bins > 0;
     // The accumulation clock covers resolve + routing + shard work, so
     // records_per_second() reflects the full per-record ingest cost.
     std::uint64_t t0 = now_ns();
-    resolver_.resolve_batch(records, od_scratch_, &metrics_.resolver_drops);
 
-    // Accumulate maximal same-bin runs so shard fan-out happens once per
-    // run, not once per record.
+    // Process maximal same-bin runs so shard fan-out happens once per
+    // run, not once per record. All per-record accounting (records_in,
+    // resolver drops) is at run granularity and happens AFTER any bin
+    // closes the run triggers: at every on_bin callback the counters
+    // describe exactly the records consumed so far, so
+    // metrics().records_in doubles as the drained stream position a
+    // checkpoint needs for exact resume.
     std::size_t i = 0;
     const std::size_t n = records.size();
     while (i < n) {
@@ -71,15 +113,40 @@ void stream_pipeline::push(std::span<const flow::flow_record> records) {
         while (j < n &&
                flow::bin_index(records[j].first_us, opts_.bin_us) == bin)
             ++j;
+        const auto run = records.subspan(i, j - i);
         // A record is late when its bin has already been scored: below
-        // the open bin, or — after finish()/run() closed the stream —
-        // at or below the last emitted bin. Late records cannot be
-        // replayed into the model. Only resolvable records count as
-        // late; unresolvable ones are already in resolver_drops, so the
+        // the oldest open bin (the held-open previous bin in reorder
+        // mode), or — after finish()/run() closed the stream — at or
+        // below the last emitted bin. Late records cannot be replayed
+        // into the model. Only resolvable records count as late;
+        // unresolvable ones are already in resolver_drops, so the
         // counters partition records_in exactly.
-        const bool late = bin_open_
-                              ? bin < current_bin_
-                              : metrics_.bins_emitted > 0 && bin <= current_bin_;
+        // A straggler lands in the held-open previous bin — or, when no
+        // bin is held but the one just behind the cursor was provably
+        // never scored (stream start, forward time-base reset),
+        // retroactively opens it: "late" must mean "already scored",
+        // not merely "behind the cursor".
+        // "Provably never scored": nothing emitted yet, the last
+        // verdict is below this bin (stream start, forward time-base
+        // reset), or the last verdict is unreachably far above it
+        // (backward time-base reset started a new era; bin indices are
+        // era-local, so a bin more than max_gap_bins below every scored
+        // bin has no verdict in this era).
+        const bool retro_prev =
+            reorder && bin_open_ && !prev_open_ && bin + 1 == current_bin_ &&
+            (!any_emitted_ || last_emitted_bin_ < bin ||
+             last_emitted_bin_ - bin > opts_.max_gap_bins);
+        if (retro_prev) {
+            prev_bin_ = bin;  // prev_shards_ is empty whenever !prev_open_
+            prev_open_ = true;
+        }
+        const bool straggler =
+            reorder && prev_open_ && bin == prev_bin_;
+        const std::size_t oldest_open = prev_open_ ? prev_bin_ : current_bin_;
+        const bool late =
+            !straggler &&
+            (bin_open_ ? bin < oldest_open
+                       : metrics_.bins_emitted > 0 && bin <= current_bin_);
         if (late) {
             // A backward jump beyond max_gap_bins is a time-base
             // discontinuity, the mirror of the forward case below: one
@@ -88,14 +155,20 @@ void stream_pipeline::push(std::span<const flow::flow_record> records) {
             // late-dropped. Resync instead of dropping.
             if (current_bin_ - bin > opts_.max_gap_bins) {
                 metrics_.accumulate_ns += now_ns() - t0;
-                if (bin_open_) close_bin();
+                if (prev_open_) close_prev();
                 ++metrics_.time_base_resets;
+                const std::size_t closing = current_bin_;
+                const bool had_open = bin_open_;
                 current_bin_ = bin;
                 bin_open_ = true;
+                if (had_open) emit_bin(shards_, closing);
                 t0 = now_ns();
             } else {
-                for (std::size_t k = i; k < j; ++k)
+                resolver_.resolve_batch(run, od_scratch_,
+                                        &metrics_.resolver_drops);
+                for (std::size_t k = 0; k < run.size(); ++k)
                     if (od_scratch_[k] >= 0) ++metrics_.late_records;
+                metrics_.records_in += run.size();
                 i = j;
                 continue;
             }
@@ -110,27 +183,46 @@ void stream_pipeline::push(std::span<const flow::flow_record> records) {
             if (bin - current_bin_ > opts_.max_gap_bins) {
                 // Time-base discontinuity: don't spin through an absurd
                 // number of empty harvests (see pipeline_options).
-                close_bin();
+                if (prev_open_) close_prev();
                 ++metrics_.time_base_resets;
+                const std::size_t closing = current_bin_;
+                current_bin_ = bin;
+                emit_bin(shards_, closing);
+            } else if (reorder) {
+                // Hold bin `bin - 1` open for stragglers: emit the
+                // previously held bin, advance the current bin (and any
+                // empty gaps) through bin - 2, then move the bin - 1
+                // accumulator into the held slot.
+                if (prev_open_) close_prev();
+                while (current_bin_ < bin - 1) close_bin();
+                hold_current_as_prev();
                 current_bin_ = bin;
             } else {
                 advance_to(bin);
             }
             t0 = now_ns();
         }
-        const std::size_t before = shards_.pending_records();
-        shards_.accumulate(records.subspan(i, j - i),
-                           std::span(od_scratch_).subspan(i, j - i));
-        metrics_.records_accumulated += shards_.pending_records() - before;
+        resolver_.resolve_batch(run, od_scratch_, &metrics_.resolver_drops);
+        metrics_.records_in += run.size();
+        od_shard_set& target = straggler ? *prev_shards_ : shards_;
+        const std::size_t before = target.pending_records();
+        target.accumulate(run, od_scratch_);
+        const std::uint64_t got = target.pending_records() - before;
+        metrics_.records_accumulated += got;
+        if (straggler) metrics_.records_reordered += got;
         i = j;
     }
     metrics_.accumulate_ns += now_ns() - t0;
 }
 
 void stream_pipeline::finish() {
+    if (prev_open_) close_prev();
     if (!bin_open_) return;
-    close_bin();
+    // Clear the open flag before emitting so an observer (e.g. a
+    // checkpoint) sees the finished state: the emitted bin is the last,
+    // and any later record for it is late.
     bin_open_ = false;
+    emit_bin(shards_, current_bin_);
 }
 
 std::size_t stream_pipeline::run(flow_codec_reader& reader) {
@@ -175,6 +267,139 @@ std::size_t stream_pipeline::run(flow_codec_reader& reader) {
     if (producer_error) std::rethrow_exception(producer_error);
     finish();
     return frames;
+}
+
+std::uint64_t stream_pipeline::config_fingerprint() const {
+    io::wire_writer w;
+    // Topology digest: OD attribution (and therefore every serialized
+    // cell) depends on the PoP set, their address spaces, and the link
+    // graph — topology construction is deterministic from these, so a
+    // routing-relevant change always moves the digest even when the OD
+    // count stays the same.
+    const net::topology& topo = resolver_.topo();
+    w.varint(topo.name().size());
+    w.bytes({reinterpret_cast<const std::uint8_t*>(topo.name().data()),
+             topo.name().size()});
+    for (const net::pop& p : topo.pops()) {
+        w.varint(p.name.size());
+        w.bytes({reinterpret_cast<const std::uint8_t*>(p.name.data()),
+                 p.name.size()});
+        w.u32(p.address_space.network.value);
+        w.varint(static_cast<std::uint64_t>(p.address_space.length));
+    }
+    for (const net::link& l : topo.links()) {
+        w.varint(static_cast<std::uint64_t>(l.a));
+        w.varint(static_cast<std::uint64_t>(l.b));
+    }
+    w.varint(static_cast<std::uint64_t>(shards_.od_count()));
+    w.varint(shards_.shard_count());  // effective, not the 0 = auto knob
+    w.varint(opts_.bin_us);
+    w.varint(opts_.max_gap_bins);
+    w.varint(opts_.reorder_window_bins);
+    const core::online_options& o = opts_.online;
+    w.varint(o.window);
+    w.varint(o.warmup);
+    w.varint(o.refit_interval);
+    w.varint(o.rematerialize_every);
+    w.varint(o.max_identified);
+    w.varint(o.subspace.normal_dims);
+    w.u8(o.subspace.center ? 1 : 0);
+    w.u8(o.subspace.partial_fit ? 1 : 0);
+    w.f64(o.alpha);
+    return io::fnv1a64(w.data());
+}
+
+void stream_pipeline::save_state(io::snapshot_writer& snap) const {
+    {
+        io::wire_writer w;
+        w.varint(current_bin_);
+        w.u8(bin_open_ ? 1 : 0);
+        w.u8(prev_open_ ? 1 : 0);
+        w.varint(prev_bin_);
+        w.u8(any_emitted_ ? 1 : 0);
+        w.varint(last_emitted_bin_);
+        const pipeline_metrics& m = metrics_;
+        w.varint(m.records_in);
+        w.varint(m.records_accumulated);
+        w.varint(m.resolver_drops.unknown_ingress);
+        w.varint(m.resolver_drops.unresolvable_egress);
+        w.varint(m.late_records);
+        w.varint(m.records_reordered);
+        w.varint(m.bins_emitted);
+        w.varint(m.empty_bins);
+        w.varint(m.time_base_resets);
+        w.varint(m.anomalies);
+        w.varint(m.accumulate_ns);
+        w.varint(m.bin_close_ns);
+        w.varint(m.max_bin_close_ns);
+        w.varint(m.frames_reused);
+        snap.add_section(kTagPipeline, kSectionVersion, w.take());
+    }
+    {
+        io::wire_writer w;
+        shards_.save(w);
+        w.u8(prev_shards_.has_value() ? 1 : 0);
+        if (prev_shards_) prev_shards_->save(w);
+        snap.add_section(kTagShards, kSectionVersion, w.take());
+    }
+    {
+        io::wire_writer w;
+        detector_.save(w);
+        snap.add_section(kTagDetector, kSectionVersion, w.take());
+    }
+}
+
+void stream_pipeline::restore_state(const io::snapshot_reader& snap) {
+    for (const std::uint32_t tag : {kTagPipeline, kTagShards, kTagDetector})
+        if (snap.section_version(tag) != kSectionVersion)
+            throw io::snapshot_error(
+                io::snapshot_errc::unsupported_version,
+                "pipeline section version " +
+                    std::to_string(snap.section_version(tag)));
+    {
+        io::wire_reader r = snap.section(kTagPipeline);
+        current_bin_ = static_cast<std::size_t>(r.varint());
+        bin_open_ = r.u8() != 0;
+        prev_open_ = r.u8() != 0;
+        prev_bin_ = static_cast<std::size_t>(r.varint());
+        any_emitted_ = r.u8() != 0;
+        last_emitted_bin_ = static_cast<std::size_t>(r.varint());
+        if (prev_open_ && !prev_shards_)
+            r.fail("stream_pipeline: snapshot holds a reorder bin but "
+                   "reorder is off");
+        pipeline_metrics& m = metrics_;
+        m.records_in = r.varint();
+        m.records_accumulated = r.varint();
+        m.resolver_drops.unknown_ingress =
+            static_cast<std::size_t>(r.varint());
+        m.resolver_drops.unresolvable_egress =
+            static_cast<std::size_t>(r.varint());
+        m.late_records = r.varint();
+        m.records_reordered = r.varint();
+        m.bins_emitted = r.varint();
+        m.empty_bins = r.varint();
+        m.time_base_resets = r.varint();
+        m.anomalies = r.varint();
+        m.accumulate_ns = r.varint();
+        m.bin_close_ns = r.varint();
+        m.max_bin_close_ns = r.varint();
+        m.frames_reused = r.varint();
+        r.expect_end();
+    }
+    {
+        io::wire_reader r = snap.section(kTagShards);
+        shards_.load(r);
+        const bool has_prev = r.u8() != 0;
+        if (has_prev != prev_shards_.has_value())
+            r.fail("stream_pipeline: reorder shard state mismatch");
+        if (prev_shards_) prev_shards_->load(r);
+        r.expect_end();
+    }
+    {
+        io::wire_reader r = snap.section(kTagDetector);
+        detector_.load(r);
+        r.expect_end();
+    }
 }
 
 }  // namespace tfd::stream

@@ -40,6 +40,8 @@
 
 #include "core/online.h"
 #include "flow/od_aggregator.h"
+#include "io/snapshot.h"
+#include "io/wire.h"
 #include "net/topology.h"
 #include "stream/flow_codec.h"
 #include "stream/shard.h"
@@ -189,6 +191,15 @@ struct pipeline_options {
     /// empty harvests nor poisons the time base so every later sane
     /// record gets late-dropped. Default: one week of 5-minute bins.
     std::size_t max_gap_bins = 2016;
+    /// Opt-in reorder tolerance (0 = off, 1 = single-bin; deeper
+    /// buffers are future work and rejected). When on, a bin is held
+    /// open for one extra bin of stream time: bin B is only closed and
+    /// scored once a record of bin B+2 arrives, so straggler exports
+    /// within one bin of the cursor are accepted (counted in
+    /// metrics().records_reordered) instead of late-dropped. Costs one
+    /// bin of verdict latency; with no stragglers in the stream the
+    /// emitted bins and verdicts are identical to the default path.
+    std::size_t reorder_window_bins = 0;
 };
 
 /// Operational counters (see the header comment).
@@ -197,6 +208,9 @@ struct pipeline_metrics {
     std::uint64_t records_accumulated = 0;  ///< survived resolve + lateness
     flow::drop_counts resolver_drops;       ///< per-reason resolve failures
     std::uint64_t late_records = 0;         ///< arrived after their bin closed
+    /// Stragglers accepted into a held-open bin (reorder_window_bins
+    /// only; these records are also counted in records_accumulated).
+    std::uint64_t records_reordered = 0;
     std::uint64_t bins_emitted = 0;
     std::uint64_t empty_bins = 0;           ///< gap bins emitted with no records
     std::uint64_t time_base_resets = 0;     ///< forward jumps > max_gap_bins
@@ -266,8 +280,37 @@ public:
         return last_run_blocked_pushes_;
     }
 
+    // ---- checkpoint/restore (see stream/checkpoint.h for the file
+    //      orchestration on top of these hooks) ----
+
+    /// FNV-1a fingerprint of every configuration knob that changes
+    /// serialized-state semantics: OD count, effective shard count, bin
+    /// width, gap/reorder policy, and the full online-detector options.
+    /// Perf-only knobs (queue_frames) are excluded — resuming under a
+    /// different queue depth is sound. A snapshot restores only into a
+    /// pipeline with an equal fingerprint.
+    std::uint64_t config_fingerprint() const;
+
+    /// Add this pipeline's full state to `snap` as three sections:
+    /// cursor/time-base/metrics, open-bin shard cells (both open bins
+    /// when reorder is on), and the online detector. Bins already
+    /// emitted are NOT re-emitted after restore; everything needed to
+    /// close the open bin(s) and score every later bin bit-identically
+    /// to an uninterrupted run is captured.
+    void save_state(io::snapshot_writer& snap) const;
+
+    /// Restore state saved by save_state() into this freshly
+    /// constructed pipeline (same topology + options; the checkpoint
+    /// layer enforces the fingerprint before any section is readable).
+    /// Throws io::wire_error / io::snapshot_error on inconsistent
+    /// payloads; on throw the pipeline must be discarded.
+    void restore_state(const io::snapshot_reader& snap);
+
 private:
+    void emit_bin(od_shard_set& shards, std::size_t bin);
     void close_bin();
+    void close_prev();
+    void hold_current_as_prev();
     void advance_to(std::size_t bin);
 
     flow::od_resolver resolver_;
@@ -280,6 +323,18 @@ private:
     std::vector<int> od_scratch_;  ///< reused resolve_batch output
     std::size_t current_bin_ = 0;
     bool bin_open_ = false;
+    /// Reorder mode only: the previous bin, held open one extra bin of
+    /// stream time so stragglers can still land in it.
+    std::optional<od_shard_set> prev_shards_;
+    std::size_t prev_bin_ = 0;
+    bool prev_open_ = false;
+    /// Highest-scored-bin bookkeeping for the reorder path: a record
+    /// one bin behind the cursor is a straggler (never late) as long as
+    /// its bin was provably never emitted — at stream start, and after
+    /// a forward time-base reset, current_bin_ - 1 has no verdict yet
+    /// even though no bin is held open.
+    std::size_t last_emitted_bin_ = 0;
+    bool any_emitted_ = false;
     std::uint64_t last_run_blocked_pushes_ = 0;
 };
 

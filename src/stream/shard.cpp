@@ -76,6 +76,51 @@ void od_shard_set::harvest(bin_statistics& out) {
     pending_records_ = 0;
 }
 
+void od_shard_set::save(io::wire_writer& w) const {
+    w.varint(static_cast<std::uint64_t>(od_count_));
+    w.varint(pending_records_);
+    // Count, then emit, the non-empty cells in ascending OD order —
+    // a canonical layout independent of the shard partition.
+    std::uint64_t nonempty = 0;
+    for (int od = 0; od < od_count_; ++od) {
+        const auto& cell = shards_[shard_of(od)]
+                               .cells[static_cast<std::size_t>(od) /
+                                      shards_.size()];
+        if (cell.total_records() > 0) ++nonempty;
+    }
+    w.varint(nonempty);
+    for (int od = 0; od < od_count_; ++od) {
+        const auto& cell = shards_[shard_of(od)]
+                               .cells[static_cast<std::size_t>(od) /
+                                      shards_.size()];
+        if (cell.total_records() == 0) continue;
+        w.varint(static_cast<std::uint64_t>(od));
+        cell.save(w);
+    }
+}
+
+void od_shard_set::load(io::wire_reader& r) {
+    if (r.varint() != static_cast<std::uint64_t>(od_count_))
+        r.fail("od_shard_set: od_count mismatch");
+    const std::uint64_t pending = r.varint();
+    for (auto& s : shards_)
+        for (auto& cell : s.cells) cell.clear();
+    const std::uint64_t nonempty = r.varint();
+    if (nonempty > static_cast<std::uint64_t>(od_count_))
+        r.fail("od_shard_set: implausible cell count");
+    std::int64_t prev_od = -1;
+    for (std::uint64_t i = 0; i < nonempty; ++i) {
+        const auto od = static_cast<std::int64_t>(r.varint());
+        if (od <= prev_od || od >= od_count_)
+            r.fail("od_shard_set: cell OD out of order or range");
+        prev_od = od;
+        shards_[shard_of(static_cast<int>(od))]
+            .cells[static_cast<std::size_t>(od) / shards_.size()]
+            .load(r);
+    }
+    pending_records_ = pending;
+}
+
 core::feature_histogram_set od_shard_set::merged_cell(int od) const {
     if (od < 0 || od >= od_count_)
         throw std::out_of_range("od_shard_set: od out of range");

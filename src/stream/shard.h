@@ -35,6 +35,7 @@
 #include "core/histogram.h"
 #include "core/online.h"
 #include "flow/flow_record.h"
+#include "io/wire.h"
 
 namespace tfd::stream {
 
@@ -86,6 +87,19 @@ public:
     /// split-state layouts would call feature_histogram_set::merge once
     /// per contributing shard instance.
     core::feature_histogram_set merged_cell(int od) const;
+
+    /// Snapshot hook: the open (un-harvested) bin's state — pending
+    /// record count plus every non-empty cell, keyed by OD index in
+    /// ascending order. The layout is shard-count independent (cells
+    /// travel by OD, not by shard slot), so the bytes a 1-shard and a
+    /// 4-shard set produce for the same accumulated records are
+    /// identical.
+    void save(io::wire_writer& w) const;
+
+    /// Restore from save() output into this set's shard layout (current
+    /// bin replaced). Throws io::wire_error on truncation, an OD-count
+    /// mismatch, or out-of-order/out-of-range OD keys.
+    void load(io::wire_reader& r);
 
 private:
     struct shard {

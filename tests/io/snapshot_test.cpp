@@ -1,0 +1,175 @@
+// Snapshot container tests: round trip, atomic file save, and the
+// loud-failure matrix — every corruption mode must be rejected with its
+// own distinct snapshot_errc before any section is readable.
+#include "io/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+
+using namespace tfd::io;
+
+namespace {
+
+constexpr std::uint64_t kFingerprint = 0x1122334455667788ull;
+constexpr std::uint32_t kTagA = 0x41414141u;
+constexpr std::uint32_t kTagB = 0x42424242u;
+
+snapshot_writer make_writer() {
+    snapshot_writer snap(kFingerprint);
+    wire_writer a;
+    a.varint(7);
+    a.f64(3.25);
+    snap.add_section(kTagA, 1, a.data());
+    wire_writer b;
+    for (int i = 0; i < 100; ++i) b.u8(static_cast<std::uint8_t>(i));
+    snap.add_section(kTagB, 2, b.data());
+    return snap;
+}
+
+/// The error code a snapshot load fails with, or nullopt on success.
+std::optional<snapshot_errc> load_fails_with(std::vector<std::uint8_t> bytes,
+                                             std::uint64_t fp = kFingerprint) {
+    try {
+        snapshot_reader reader(std::move(bytes), fp);
+        return std::nullopt;
+    } catch (const snapshot_error& e) {
+        return e.code();
+    }
+}
+
+struct temp_dir {
+    std::filesystem::path path;
+    temp_dir() {
+        path = std::filesystem::temp_directory_path() /
+               ("tfd_snap_test_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(path);
+    }
+    ~temp_dir() { std::filesystem::remove_all(path); }
+};
+
+}  // namespace
+
+TEST(SnapshotTest, RoundTripPreservesSectionsAndVersions) {
+    const auto bytes = make_writer().serialize();
+    snapshot_reader reader(bytes, kFingerprint);
+    EXPECT_EQ(reader.section_count(), 2u);
+    EXPECT_TRUE(reader.has_section(kTagA));
+    EXPECT_TRUE(reader.has_section(kTagB));
+    EXPECT_FALSE(reader.has_section(0x5A5A5A5Au));
+    EXPECT_EQ(reader.section_version(kTagA), 1);
+    EXPECT_EQ(reader.section_version(kTagB), 2);
+
+    wire_reader a = reader.section(kTagA);
+    EXPECT_EQ(a.varint(), 7u);
+    EXPECT_EQ(a.f64(), 3.25);
+    a.expect_end();
+
+    wire_reader b = reader.section(kTagB);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(b.u8(), i);
+    b.expect_end();
+}
+
+TEST(SnapshotTest, MissingSectionIsDistinct) {
+    const auto bytes = make_writer().serialize();
+    snapshot_reader reader(bytes, kFingerprint);
+    try {
+        (void)reader.section(0x5A5A5A5Au);
+        FAIL() << "expected snapshot_error";
+    } catch (const snapshot_error& e) {
+        EXPECT_EQ(e.code(), snapshot_errc::missing_section);
+    }
+}
+
+TEST(SnapshotTest, FlippedChecksumByteIsRejectedAsChecksumMismatch) {
+    auto bytes = make_writer().serialize();
+    // Flip one byte inside the LAST section's payload: every section is
+    // validated up front, so even late corruption fails construction.
+    bytes[bytes.size() - 3] ^= 0x10;
+    EXPECT_EQ(load_fails_with(bytes), snapshot_errc::checksum_mismatch);
+}
+
+TEST(SnapshotTest, TruncationIsRejectedAsTruncated) {
+    const auto bytes = make_writer().serialize();
+    // Mid-payload, mid-section-header, and mid-file-header cuts.
+    for (const std::size_t keep :
+         {bytes.size() - 1, bytes.size() - 60, std::size_t{30},
+          std::size_t{10}}) {
+        std::vector<std::uint8_t> cut(bytes.begin(),
+                                      bytes.begin() + static_cast<long>(keep));
+        EXPECT_EQ(load_fails_with(std::move(cut)), snapshot_errc::truncated)
+            << "keep=" << keep;
+    }
+}
+
+TEST(SnapshotTest, VersionBumpIsRejectedAsUnsupported) {
+    auto bytes = make_writer().serialize();
+    bytes[4] = 0x7F;  // format_version low byte (after u32 magic)
+    EXPECT_EQ(load_fails_with(bytes), snapshot_errc::unsupported_version);
+}
+
+TEST(SnapshotTest, FingerprintMismatchIsRejected) {
+    const auto bytes = make_writer().serialize();
+    EXPECT_EQ(load_fails_with(bytes, kFingerprint ^ 1),
+              snapshot_errc::fingerprint_mismatch);
+}
+
+TEST(SnapshotTest, CorruptedHeaderIsChecksumMismatchNotFingerprintMismatch) {
+    // A flipped bit inside the header's fingerprint field must read as
+    // corruption — "reconfigure" would be the wrong remediation.
+    auto bytes = make_writer().serialize();
+    bytes[10] ^= 0x04;  // inside the u64 fingerprint (bytes 8..16)
+    EXPECT_EQ(load_fails_with(bytes), snapshot_errc::checksum_mismatch);
+    // Same for the section count field (bytes 16..20).
+    auto bytes2 = make_writer().serialize();
+    bytes2[17] ^= 0x01;
+    EXPECT_EQ(load_fails_with(bytes2), snapshot_errc::checksum_mismatch);
+}
+
+TEST(SnapshotTest, BadMagicIsRejected) {
+    auto bytes = make_writer().serialize();
+    bytes[0] ^= 0xFF;
+    EXPECT_EQ(load_fails_with(bytes), snapshot_errc::bad_magic);
+}
+
+TEST(SnapshotTest, TrailingGarbageIsRejectedAsMalformed) {
+    auto bytes = make_writer().serialize();
+    bytes.push_back(0x00);
+    EXPECT_EQ(load_fails_with(bytes), snapshot_errc::malformed);
+}
+
+TEST(SnapshotTest, SaveFileIsAtomicAndLoadable) {
+    const temp_dir dir;
+    const std::string path = (dir.path / "snap.tfss").string();
+    make_writer().save_file(path);
+    // No temp residue next to the target.
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+    const auto reader = snapshot_reader::load_file(path, kFingerprint);
+    EXPECT_EQ(reader.section_count(), 2u);
+
+    // Overwrite with new content: rename replaces in one step.
+    snapshot_writer v2(kFingerprint);
+    wire_writer w;
+    w.varint(99);
+    v2.add_section(kTagA, 1, w.data());
+    v2.save_file(path);
+    auto again = snapshot_reader::load_file(path, kFingerprint);
+    EXPECT_EQ(again.section_count(), 1u);
+    wire_reader a = again.section(kTagA);
+    EXPECT_EQ(a.varint(), 99u);
+}
+
+TEST(SnapshotTest, LoadFileOnMissingPathIsIoFailure) {
+    try {
+        (void)snapshot_reader::load_file("/nonexistent/dir/snap.tfss",
+                                         kFingerprint);
+        FAIL() << "expected snapshot_error";
+    } catch (const snapshot_error& e) {
+        EXPECT_EQ(e.code(), snapshot_errc::io_failure);
+    }
+}

@@ -1,0 +1,160 @@
+// Unit tests for the shared wire layer: primitive round-trips, varint
+// edge cases, bit-exact doubles, reader bounds checking, and the
+// checksummed section framing.
+#include "io/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+using namespace tfd::io;
+
+TEST(WireTest, FixedWidthRoundTrip) {
+    wire_writer w;
+    w.u8(0xAB);
+    w.u16(0xBEEF);
+    w.u32(0xDEADBEEFu);
+    w.u64(0x0123456789ABCDEFull);
+    wire_reader r(w.data());
+    EXPECT_EQ(r.u8(), 0xAB);
+    EXPECT_EQ(r.u16(), 0xBEEF);
+    EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+    EXPECT_TRUE(r.done());
+}
+
+TEST(WireTest, LittleEndianLayoutIsPinned) {
+    // The layout, not just the round trip: other-endian or doubly
+    // swapped implementations must fail here.
+    wire_writer w;
+    w.u32(0x31434654u);  // the codec magic "TFC1"
+    const auto b = w.data();
+    ASSERT_EQ(b.size(), 4u);
+    EXPECT_EQ(b[0], 0x54);  // 'T'
+    EXPECT_EQ(b[1], 0x46);  // 'F'
+    EXPECT_EQ(b[2], 0x43);  // 'C'
+    EXPECT_EQ(b[3], 0x31);  // '1'
+}
+
+TEST(WireTest, VarintRoundTripAcrossWidthBoundaries) {
+    wire_writer w;
+    std::vector<std::uint64_t> values = {0, 1, 127, 128, 16383, 16384,
+                                         (1ull << 32) - 1, 1ull << 32,
+                                         std::numeric_limits<std::uint64_t>::max()};
+    for (auto v : values) w.varint(v);
+    wire_reader r(w.data());
+    for (auto v : values) EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.done());
+}
+
+TEST(WireTest, SignedVarintZigzag) {
+    wire_writer w;
+    std::vector<std::int64_t> values = {0, -1, 1, -64, 64,
+                                        std::numeric_limits<std::int64_t>::min(),
+                                        std::numeric_limits<std::int64_t>::max()};
+    for (auto v : values) w.svarint(v);
+    wire_reader r(w.data());
+    for (auto v : values) EXPECT_EQ(r.svarint(), v);
+    // Small magnitudes must stay short: zigzag(-1) = 1 -> one byte.
+    wire_writer small;
+    small.svarint(-1);
+    EXPECT_EQ(small.size(), 1u);
+}
+
+TEST(WireTest, DoublesAreBitExact) {
+    wire_writer w;
+    const std::vector<double> values = {
+        0.0, -0.0, 1.0, -1.5, 1e-300, 1e300,
+        std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::denorm_min(),
+        std::nextafter(1.0, 2.0)};
+    for (double v : values) w.f64(v);
+    w.f64(std::nan(""));
+    wire_reader r(w.data());
+    for (double v : values) {
+        const double got = r.f64();
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(got),
+                  std::bit_cast<std::uint64_t>(v));
+    }
+    EXPECT_TRUE(std::isnan(r.f64()));  // NaN payload survives as NaN
+}
+
+TEST(WireTest, ReaderThrowsOnTruncation) {
+    wire_writer w;
+    w.u32(42);
+    {
+        wire_reader r(w.data().subspan(0, 3));
+        EXPECT_THROW(r.u32(), wire_error);
+    }
+    {
+        wire_reader r(w.data());
+        (void)r.u32();
+        EXPECT_THROW(r.u8(), wire_error);
+    }
+}
+
+TEST(WireTest, ReaderThrowsOnMalformedVarint) {
+    // 10 continuation bytes exceed a u64's 63-bit shift budget.
+    std::vector<std::uint8_t> bad(10, 0x80);
+    wire_reader r(bad);
+    EXPECT_THROW(r.varint(), wire_error);
+    // Truncated mid-varint.
+    std::vector<std::uint8_t> cut = {0x80};
+    wire_reader r2(cut);
+    EXPECT_THROW(r2.varint(), wire_error);
+}
+
+TEST(WireTest, ExpectEndRejectsTrailingBytes) {
+    wire_writer w;
+    w.u16(7);
+    w.u8(9);
+    wire_reader r(w.data());
+    (void)r.u16();
+    EXPECT_THROW(r.expect_end(), wire_error);
+    (void)r.u8();
+    EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(WireTest, SectionRoundTrip) {
+    wire_writer payload;
+    payload.varint(123);
+    payload.f64(2.5);
+    std::vector<std::uint8_t> out;
+    write_section(out, 0x54534554u /* "TEST" */, 3, payload.data());
+
+    wire_reader r(out);
+    const section_view s = read_section(r);
+    EXPECT_EQ(s.tag, 0x54534554u);
+    EXPECT_EQ(s.version, 3);
+    EXPECT_TRUE(r.done());
+    wire_reader pr(s.payload);
+    EXPECT_EQ(pr.varint(), 123u);
+    EXPECT_EQ(pr.f64(), 2.5);
+}
+
+TEST(WireTest, SectionDetectsCorruptionAndTruncation) {
+    wire_writer payload;
+    for (int i = 0; i < 32; ++i) payload.u8(static_cast<std::uint8_t>(i));
+    std::vector<std::uint8_t> good;
+    write_section(good, 1, 1, payload.data());
+
+    // Flip one payload byte: checksum must catch it.
+    auto corrupt = good;
+    corrupt[section_header_bytes + 5] ^= 0x01;
+    wire_reader cr(corrupt);
+    EXPECT_THROW(read_section(cr), wire_error);
+
+    // Truncate the payload: length check must catch it before the
+    // checksum is even computed.
+    const std::span<const std::uint8_t> cut(good.data(), good.size() - 3);
+    wire_reader tr(cut);
+    EXPECT_THROW(read_section(tr), wire_error);
+}
+
+TEST(WireTest, Fnv1a64KnownVectors) {
+    // Offset basis for empty input; standard test vector for "a".
+    EXPECT_EQ(fnv1a64({}), 0xcbf29ce484222325ull);
+    const std::uint8_t a[] = {'a'};
+    EXPECT_EQ(fnv1a64(a), 0xaf63dc4c8601ec8cull);
+}
