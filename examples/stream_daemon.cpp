@@ -3,9 +3,6 @@
 // stream the spool through the sharded bin-synchronous pipeline into
 // the online detector.
 //
-// Replaces the old ad-hoc netflow_pipeline loop: instead of one giant
-// in-RAM record vector and hand-rolled per-cell histograms, the path is
-//
 //   packets -> flow_capture (1-in-100 sampling) -> anonymizer
 //           -> flow_codec spool -> producer thread -> bounded queue
 //           -> od shards -> per-bin entropy -> online detector
@@ -13,29 +10,57 @@
 // and every stage reports its operational counters at the end.
 //
 // Usage: stream_daemon [bins] [packets_per_pop_per_bin] [shards]
-//                      [--checkpoint-dir=DIR] [--checkpoint-every-bins=N]
-//                      [--resume]
+//          [--checkpoint-dir=DIR] [--checkpoint-every-bins=N]
+//          [--checkpoint-keep=N] [--resume]
+//          [--on-corrupt=fail-fast|quarantine]
+//          [--fault-seed=S] [--fault-spool-bit-rate=R]
+//          [--fault-ckpt-fail-rate=R]
+//          [--supervise] [--max-restarts=N] [--watchdog-secs=N]
+//          [--crash-after-bins=N]
 //
 // Checkpointing: with --checkpoint-dir the daemon snapshots its full
 // pipeline state (open-bin histograms, detector window + model, cursor,
-// counters) to DIR/checkpoint.tfss every N closed bins (atomic
-// write-to-temp + rename). With --resume it restores that snapshot
-// first and skips the already-consumed prefix of the spool
+// counters) to DIR/checkpoint-NNNNNN.tfss every N closed bins (atomic
+// write-to-temp + rename, bounded retry on transient failures).
+// --checkpoint-keep=N deletes all but the newest N snapshots after each
+// successful write. With --resume it restores the newest *valid*
+// snapshot first — corrupt or truncated candidates are skipped with a
+// report — and skips the already-consumed prefix of the spool
 // (metrics().records_in is the exact drained position), so a restarted
 // daemon continues mid-trace with no warmup gap and detections
 // bit-identical to an uninterrupted run.
+//
+// Degraded feeds: --on-corrupt=quarantine skips corrupt spool frames
+// (counted, resynced) instead of aborting. The --fault-* flags inject
+// deterministic, seed-replayable faults (io/fault.h) into the spool
+// bytes and the checkpoint writes — chaos testing in one process.
+//
+// Supervision: --supervise forks the worker and restarts it from the
+// last good checkpoint when it crashes or its bin progress stalls past
+// --watchdog-secs, up to --max-restarts times. --crash-after-bins=N
+// makes the first worker attempt kill itself after N bins (test hook
+// for the recovery path).
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <optional>
 #include <span>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "flow/anonymizer.h"
 #include "flow/flow_capture.h"
+#include "io/fault.h"
 #include "net/topology.h"
 #include "stream/checkpoint.h"
 #include "stream/pipeline.h"
@@ -45,6 +70,28 @@
 using namespace tfd;
 
 namespace {
+
+/// Exit code of the deliberate --crash-after-bins test hook, distinct
+/// from real failures so the supervisor log names the cause.
+constexpr int kCrashExit = 86;
+
+struct daemon_config {
+    std::size_t bins = 24;
+    std::size_t packets_per_bin = 20000;
+    std::size_t shards = 0;
+    std::string checkpoint_dir;
+    std::size_t checkpoint_every = 8;
+    std::size_t checkpoint_keep = 0;
+    bool resume = false;
+    stream::corrupt_policy on_corrupt = stream::corrupt_policy::fail_fast;
+    std::uint64_t fault_seed = 0;
+    double fault_spool_bit_rate = 0.0;
+    double fault_ckpt_fail_rate = 0.0;
+    bool supervise = false;
+    std::size_t max_restarts = 3;
+    std::size_t watchdog_secs = 30;
+    std::size_t crash_after_bins = 0;
+};
 
 // Synthesize raw packets seen at one ingress PoP during one 5-minute bin.
 std::vector<flow::packet> packets_at_ingress(const net::topology& topo,
@@ -72,66 +119,13 @@ std::vector<flow::packet> packets_at_ingress(const net::topology& topo,
     return out;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-    std::string checkpoint_dir;
-    std::size_t checkpoint_every = 8;
-    bool resume = false;
-    std::size_t positional[3] = {24, 20000, 0};
-    std::size_t npos = 0;
-    for (int a = 1; a < argc; ++a) {
-        const std::string arg = argv[a];
-        if (arg.rfind("--checkpoint-dir=", 0) == 0) {
-            checkpoint_dir = arg.substr(std::strlen("--checkpoint-dir="));
-        } else if (arg.rfind("--checkpoint-every-bins=", 0) == 0) {
-            const char* v =
-                arg.c_str() + std::strlen("--checkpoint-every-bins=");
-            char* end = nullptr;
-            checkpoint_every = std::strtoull(v, &end, 10);
-            if (end == v || *end != '\0') {
-                std::fprintf(stderr,
-                             "stream_daemon: --checkpoint-every-bins "
-                             "expects a number, got '%s'\n",
-                             v);
-                return 2;
-            }
-        } else if (arg == "--resume") {
-            resume = true;
-        } else if (arg.rfind("--", 0) == 0 || npos >= 3) {
-            // A typo'd or space-separated flag must not be silently
-            // swallowed as a positional zero (that would reconfigure
-            // the run instead of failing).
-            std::fprintf(stderr,
-                         "stream_daemon: unrecognized argument '%s'\n"
-                         "usage: stream_daemon [bins] [packets_per_pop_per_"
-                         "bin] [shards] [--checkpoint-dir=DIR] "
-                         "[--checkpoint-every-bins=N] [--resume]\n",
-                         arg.c_str());
-            return 2;
-        } else {
-            char* end = nullptr;
-            positional[npos] = std::strtoull(arg.c_str(), &end, 10);
-            if (end == arg.c_str() || *end != '\0') {
-                std::fprintf(stderr,
-                             "stream_daemon: expected a number, got '%s'\n",
-                             arg.c_str());
-                return 2;
-            }
-            ++npos;
-        }
-    }
-    const std::size_t bins = positional[0];
-    const std::size_t packets_per_bin = positional[1];
-    const std::size_t shards = positional[2];
-    const auto topo = net::topology::abilene();
+/// Capture + anonymize + spool, deterministic for a given config: every
+/// worker attempt regenerates the identical spool, which is what lets a
+/// restarted worker skip records_in records and land exactly where the
+/// checkpoint left off.
+std::string build_spool(const daemon_config& cfg, const net::topology& topo,
+                        bool verbose) {
     traffic::rng gen(2024);
-
-    std::printf("stream_daemon: %zu bins x %zu packets at each of %d ingress "
-                "PoPs\n\n",
-                bins, packets_per_bin, topo.pop_count());
-
-    // --- capture + anonymize + spool ------------------------------------
     // One capture per PoP per bin (routers export every 5 minutes); the
     // Abilene public feed masks the low 11 address bits before anything
     // leaves the network, so the daemon spools anonymized records.
@@ -139,14 +133,14 @@ int main(int argc, char** argv) {
     std::ostringstream spool;
     stream::flow_codec_writer writer(spool, {.records_per_frame = 2048});
     std::uint64_t offered = 0, selected = 0;
-    for (std::size_t bin = 0; bin < bins; ++bin) {
+    for (std::size_t bin = 0; bin < cfg.bins; ++bin) {
         for (int pop = 0; pop < topo.pop_count(); ++pop) {
             flow::capture_options copts;
             copts.sampling_rate = 100;
             copts.ingress_pop = pop;
             flow::flow_capture capture(copts);
-            capture.add_packets(
-                packets_at_ingress(topo, pop, bin, packets_per_bin, gen));
+            capture.add_packets(packets_at_ingress(
+                topo, pop, bin, cfg.packets_per_bin, gen));
             auto records = capture.flush();
             anon.apply(records);
             writer.add(records);
@@ -157,23 +151,44 @@ int main(int argc, char** argv) {
         writer.flush_frame();
     }
     writer.finish();
-    const auto& ws = writer.stats();
-    std::printf("capture: %llu packets offered, %llu sampled (1-in-100)\n",
-                static_cast<unsigned long long>(offered),
-                static_cast<unsigned long long>(selected));
-    std::printf("codec spool: %llu records in %llu frames, %llu wire bytes "
-                "(%.1f bytes/record vs %zu in-memory)\n\n",
-                static_cast<unsigned long long>(ws.records),
-                static_cast<unsigned long long>(ws.frames),
-                static_cast<unsigned long long>(ws.wire_bytes),
-                ws.records ? static_cast<double>(ws.wire_bytes) /
-                                 static_cast<double>(ws.records)
-                           : 0.0,
-                sizeof(flow::flow_record));
+    if (verbose) {
+        const auto& ws = writer.stats();
+        std::printf("capture: %llu packets offered, %llu sampled (1-in-100)\n",
+                    static_cast<unsigned long long>(offered),
+                    static_cast<unsigned long long>(selected));
+        std::printf("codec spool: %llu records in %llu frames, %llu wire "
+                    "bytes (%.1f bytes/record vs %zu in-memory)\n\n",
+                    static_cast<unsigned long long>(ws.records),
+                    static_cast<unsigned long long>(ws.frames),
+                    static_cast<unsigned long long>(ws.wire_bytes),
+                    ws.records ? static_cast<double>(ws.wire_bytes) /
+                                     static_cast<double>(ws.records)
+                               : 0.0,
+                    sizeof(flow::flow_record));
+    }
+    return spool.str();
+}
+
+std::string progress_path(const daemon_config& cfg) {
+    return (std::filesystem::path(cfg.checkpoint_dir) / "progress").string();
+}
+
+/// One worker run: build the (deterministic) spool, restore the newest
+/// valid checkpoint when resuming, stream, report. `attempt` > 0 means
+/// the supervisor restarted us: resume is implied and the deliberate
+/// crash hook is disarmed (a crash loop would exhaust the restart
+/// budget without testing recovery).
+int run_worker(const daemon_config& cfg, std::size_t attempt) {
+    const auto topo = net::topology::abilene();
+    std::printf("stream_daemon%s: %zu bins x %zu packets at each of %d "
+                "ingress PoPs\n\n",
+                attempt > 0 ? " [restarted worker]" : "", cfg.bins,
+                cfg.packets_per_bin, topo.pop_count());
+    const std::string spool = build_spool(cfg, topo, attempt == 0);
 
     // --- stream the spool through the pipeline --------------------------
     stream::pipeline_options popts;
-    popts.shards = shards;
+    popts.shards = cfg.shards;
     popts.queue_frames = 4;
     // A short demo run: small window, score as soon as the model exists.
     popts.online.window = 8;
@@ -183,29 +198,60 @@ int main(int argc, char** argv) {
     stream::stream_pipeline pipeline(topo, popts);
 
     // --- checkpoint/restore wiring --------------------------------------
+    io::fault_injector ckpt_faults(
+        {.seed = cfg.fault_seed,
+         .write_failure_per_call = cfg.fault_ckpt_fail_rate});
     std::optional<stream::periodic_checkpointer> checkpointer;
     std::uint64_t skip_records = 0;
-    if (resume && checkpoint_dir.empty()) {
-        std::fprintf(stderr,
-                     "stream_daemon: --resume requires --checkpoint-dir\n");
-        return 2;
-    }
-    if (!checkpoint_dir.empty()) {
-        std::filesystem::create_directories(checkpoint_dir);
-        checkpointer.emplace(pipeline, checkpoint_dir, checkpoint_every);
-        if (resume && std::filesystem::exists(checkpointer->path())) {
-            stream::restore_checkpoint(pipeline, checkpointer->path());
-            skip_records = pipeline.metrics().records_in;
-            std::printf("resume: restored %s at bin cursor %llu — skipping "
-                        "%llu already-consumed records\n\n",
-                        checkpointer->path().c_str(),
-                        static_cast<unsigned long long>(
-                            pipeline.metrics().bins_emitted),
-                        static_cast<unsigned long long>(skip_records));
+    if (!cfg.checkpoint_dir.empty()) {
+        std::filesystem::create_directories(cfg.checkpoint_dir);
+        stream::checkpoint_options copts;
+        copts.jitter_seed = cfg.fault_seed;
+        if (cfg.fault_ckpt_fail_rate > 0.0) copts.faults = &ckpt_faults;
+        checkpointer.emplace(pipeline, cfg.checkpoint_dir,
+                             cfg.checkpoint_every, cfg.checkpoint_keep,
+                             copts);
+        if (cfg.resume || attempt > 0) {
+            const auto report =
+                stream::restore_latest_checkpoint(pipeline, cfg.checkpoint_dir);
+            if (!report.restored_path.empty()) {
+                skip_records = pipeline.metrics().records_in;
+                std::printf("resume: restored %s at bin cursor %llu — "
+                            "skipping %llu already-consumed records\n",
+                            report.restored_path.c_str(),
+                            static_cast<unsigned long long>(
+                                pipeline.metrics().bins_emitted),
+                            static_cast<unsigned long long>(skip_records));
+            } else {
+                std::printf("resume: no valid checkpoint in %s — cold "
+                            "start\n",
+                            cfg.checkpoint_dir.c_str());
+            }
+            if (report.corrupt_skipped + report.truncated_skipped +
+                    report.mismatched_skipped + report.io_failed_skipped >
+                0)
+                std::printf("resume: scanned %zu candidates (skipped: %zu "
+                            "corrupt, %zu truncated, %zu mismatched, %zu "
+                            "unreadable)\n",
+                            report.candidates, report.corrupt_skipped,
+                            report.truncated_skipped, report.mismatched_skipped,
+                            report.io_failed_skipped);
+            std::printf("\n");
         }
     }
 
     pipeline.on_bin([&](const stream::bin_result& r) {
+        // The deliberate crash fires BEFORE the checkpoint hook: the
+        // just-emitted bin's progress is lost and recovery must replay
+        // it from the previous snapshot — the interesting case.
+        if (cfg.crash_after_bins > 0 && attempt == 0 &&
+            pipeline.metrics().bins_emitted >= cfg.crash_after_bins) {
+            std::printf("worker: deliberate crash after %llu bins\n",
+                        static_cast<unsigned long long>(
+                            pipeline.metrics().bins_emitted));
+            std::fflush(stdout);
+            _exit(kCrashExit);
+        }
         std::printf("bin %3zu: %6llu records  %s",
                     r.stats.bin,
                     static_cast<unsigned long long>(r.stats.records),
@@ -220,17 +266,39 @@ int main(int argc, char** argv) {
                         topo.pop_at(d).name.c_str());
         }
         if (checkpointer) checkpointer->on_bin_emitted();
+        if (cfg.supervise) {
+            // Bin-progress heartbeat for the supervisor's watchdog.
+            std::ofstream(progress_path(cfg), std::ios::trunc)
+                << pipeline.metrics().bins_emitted;
+        }
     });
 
-    std::istringstream in(spool.str());
-    stream::flow_codec_reader reader(in);
+    // --- degraded-feed wiring -------------------------------------------
+    std::istringstream clean(spool);
+    io::fault_injector spool_faults(
+        {.seed = cfg.fault_seed,
+         .bit_flip_per_byte = cfg.fault_spool_bit_rate});
+    std::optional<io::fault_streambuf> degraded;
+    std::optional<std::istream> degraded_stream;
+    if (cfg.fault_spool_bit_rate > 0.0) {
+        degraded.emplace(*clean.rdbuf(), spool_faults);
+        degraded_stream.emplace(&*degraded);
+    }
+    std::istream& in = degraded_stream ? *degraded_stream : clean;
+    stream::codec_read_options ropts;
+    ropts.on_corrupt = cfg.on_corrupt;
+    stream::flow_codec_reader reader(in, ropts);
+
     std::size_t frames = 0;
+    try {
     if (skip_records == 0) {
         frames = pipeline.run(reader);
     } else {
         // Resume path: skip the exact already-consumed prefix, then
         // feed the rest frame by frame (the producer-thread fast path
-        // is pointless while skipping).
+        // is pointless while skipping). Under quarantine, records_in
+        // counts *surviving* records, and the same fault seed
+        // reproduces the same surviving stream — the skip stays exact.
         std::vector<flow::flow_record> frame;
         while (reader.next_frame(frame)) {
             std::span<const flow::flow_record> s(frame);
@@ -255,6 +323,27 @@ int main(int argc, char** argv) {
             return 2;
         }
         pipeline.finish();
+        // Note: the restored metrics already count quarantine events the
+        // crashed run saw (run() folded them before the checkpoint), and
+        // this pass re-decodes the whole spool — so the reader's own
+        // counters are reported separately below instead of folded,
+        // which would double-count the skipped prefix.
+        const auto& q = reader.quarantine();
+        if (q.frames_quarantined > 0)
+            std::printf("replay: %llu corrupt frames re-quarantined while "
+                        "skipping the consumed prefix\n",
+                        static_cast<unsigned long long>(q.frames_quarantined));
+    }
+    } catch (const stream::codec_error& e) {
+        // fail_fast (or an exhausted quarantine error budget): a daemon
+        // reports the typed cause and exits nonzero instead of
+        // std::terminate-ing through an unhandled exception.
+        std::fprintf(stderr, "stream_daemon: ingest aborted: %s\n", e.what());
+        return 3;
+    } catch (const io::snapshot_error& e) {
+        std::fprintf(stderr, "stream_daemon: checkpoint write failed: %s\n",
+                     e.what());
+        return 3;
     }
 
     const auto& m = pipeline.metrics();
@@ -276,10 +365,216 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(m.bins_emitted),
                 static_cast<unsigned long long>(m.empty_bins),
                 static_cast<unsigned long long>(m.anomalies));
+    if (m.frames_quarantined > 0 || cfg.on_corrupt ==
+                                        stream::corrupt_policy::quarantine)
+        std::printf("  quarantine             : %llu frames skipped, %llu "
+                    "records lost, %llu resync bytes\n",
+                    static_cast<unsigned long long>(m.frames_quarantined),
+                    static_cast<unsigned long long>(m.records_lost_corrupt),
+                    static_cast<unsigned long long>(m.resync_bytes_skipped));
+    if (checkpointer) {
+        const auto& s = checkpointer->save_stats();
+        std::printf("  checkpoints            : %zu written, %llu retries, "
+                    "%llu failed\n",
+                    checkpointer->checkpoints_written(),
+                    static_cast<unsigned long long>(s.save_retries),
+                    static_cast<unsigned long long>(s.saves_failed));
+    }
     std::printf("  ingest throughput      : %.0f records/s\n",
                 m.records_per_second());
     std::printf("  bin close latency      : %.2f ms mean, %.2f ms max\n",
                 m.mean_bin_close_ms(),
                 static_cast<double>(m.max_bin_close_ns) / 1e6);
     return 0;
+}
+
+/// Fork-based supervisor: run the worker as a child, restart it from
+/// the last good checkpoint on crash or on a stalled bin-progress
+/// heartbeat, up to cfg.max_restarts restarts. Forks BEFORE the worker
+/// constructs any pipeline threads, so the child never inherits a
+/// half-alive thread state.
+int run_supervised(const daemon_config& cfg) {
+    namespace fs = std::filesystem;
+    fs::create_directories(cfg.checkpoint_dir);
+    for (std::size_t attempt = 0;; ++attempt) {
+        std::error_code ec;
+        fs::remove(progress_path(cfg), ec);  // stale heartbeat
+        const pid_t pid = fork();
+        if (pid < 0) {
+            std::perror("stream_daemon: fork");
+            return 1;
+        }
+        if (pid == 0) {
+            const int rc = run_worker(cfg, attempt);
+            // _exit (not exit): never run the parent's atexit state in
+            // the child — but flush what the worker printed first.
+            std::fflush(stdout);
+            std::fflush(stderr);
+            _exit(rc);
+        }
+
+        // Watchdog: a worker that stops emitting bins (hung queue,
+        // livelock) is as dead as a crashed one. The heartbeat is the
+        // progress file the worker rewrites after every bin.
+        using clock = std::chrono::steady_clock;
+        auto last_beat = clock::now();
+        std::string last_progress;
+        bool watchdog_killed = false;
+        int status = 0;
+        for (;;) {
+            const pid_t done = waitpid(pid, &status, WNOHANG);
+            if (done == pid) break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+            std::ifstream beat(progress_path(cfg));
+            std::string progress((std::istreambuf_iterator<char>(beat)),
+                                 std::istreambuf_iterator<char>());
+            if (progress != last_progress) {
+                last_progress = std::move(progress);
+                last_beat = clock::now();
+            } else if (cfg.watchdog_secs > 0 &&
+                       clock::now() - last_beat >
+                           std::chrono::seconds(cfg.watchdog_secs)) {
+                std::fprintf(stderr,
+                             "supervisor: no bin progress for %zus — "
+                             "killing worker %d\n",
+                             cfg.watchdog_secs, static_cast<int>(pid));
+                kill(pid, SIGKILL);
+                watchdog_killed = true;
+                waitpid(pid, &status, 0);
+                break;
+            }
+        }
+
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 0) return 0;
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 2)
+            return 2;  // configuration error: retrying cannot help
+        if (watchdog_killed)
+            std::fprintf(stderr, "supervisor: worker stalled\n");
+        else if (WIFSIGNALED(status))
+            std::fprintf(stderr, "supervisor: worker killed by signal %d\n",
+                         WTERMSIG(status));
+        else
+            std::fprintf(stderr, "supervisor: worker exited with code %d%s\n",
+                         WEXITSTATUS(status),
+                         WEXITSTATUS(status) == kCrashExit
+                             ? " (deliberate test crash)"
+                             : "");
+        if (attempt >= cfg.max_restarts) {
+            std::fprintf(stderr,
+                         "supervisor: restart budget exhausted (%zu) — "
+                         "giving up\n",
+                         cfg.max_restarts);
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "supervisor: restarting from last good checkpoint "
+                     "(attempt %zu of %zu)\n",
+                     attempt + 1, cfg.max_restarts);
+    }
+}
+
+bool parse_size(const char* v, std::size_t& out) {
+    char* end = nullptr;
+    out = std::strtoull(v, &end, 10);
+    return end != v && *end == '\0';
+}
+
+bool parse_rate(const char* v, double& out) {
+    char* end = nullptr;
+    out = std::strtod(v, &end);
+    return end != v && *end == '\0' && out >= 0.0 && out <= 1.0;
+}
+
+[[noreturn]] void usage_error(const std::string& detail) {
+    std::fprintf(
+        stderr,
+        "stream_daemon: %s\n"
+        "usage: stream_daemon [bins] [packets_per_pop_per_bin] [shards]\n"
+        "  [--checkpoint-dir=DIR] [--checkpoint-every-bins=N]\n"
+        "  [--checkpoint-keep=N] [--resume]\n"
+        "  [--on-corrupt=fail-fast|quarantine]\n"
+        "  [--fault-seed=S] [--fault-spool-bit-rate=R]\n"
+        "  [--fault-ckpt-fail-rate=R]\n"
+        "  [--supervise] [--max-restarts=N] [--watchdog-secs=N]\n"
+        "  [--crash-after-bins=N]\n",
+        detail.c_str());
+    std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    daemon_config cfg;
+    std::size_t* positional[3] = {&cfg.bins, &cfg.packets_per_bin,
+                                  &cfg.shards};
+    std::size_t npos = 0;
+    const auto value_of = [](const std::string& arg, const char* flag,
+                             const char** out) {
+        const std::size_t n = std::strlen(flag);
+        if (arg.compare(0, n, flag) != 0) return false;
+        *out = arg.c_str() + n;
+        return true;
+    };
+    for (int a = 1; a < argc; ++a) {
+        const std::string arg = argv[a];
+        const char* v = nullptr;
+        if (value_of(arg, "--checkpoint-dir=", &v)) {
+            cfg.checkpoint_dir = v;
+        } else if (value_of(arg, "--checkpoint-every-bins=", &v)) {
+            if (!parse_size(v, cfg.checkpoint_every))
+                usage_error("--checkpoint-every-bins expects a number");
+        } else if (value_of(arg, "--checkpoint-keep=", &v)) {
+            if (!parse_size(v, cfg.checkpoint_keep))
+                usage_error("--checkpoint-keep expects a number");
+        } else if (arg == "--resume") {
+            cfg.resume = true;
+        } else if (value_of(arg, "--on-corrupt=", &v)) {
+            if (std::strcmp(v, "fail-fast") == 0)
+                cfg.on_corrupt = stream::corrupt_policy::fail_fast;
+            else if (std::strcmp(v, "quarantine") == 0)
+                cfg.on_corrupt = stream::corrupt_policy::quarantine;
+            else
+                usage_error("--on-corrupt expects fail-fast or quarantine");
+        } else if (value_of(arg, "--fault-seed=", &v)) {
+            std::size_t seed;
+            if (!parse_size(v, seed))
+                usage_error("--fault-seed expects a number");
+            cfg.fault_seed = seed;
+        } else if (value_of(arg, "--fault-spool-bit-rate=", &v)) {
+            if (!parse_rate(v, cfg.fault_spool_bit_rate))
+                usage_error("--fault-spool-bit-rate expects a rate in [0,1]");
+        } else if (value_of(arg, "--fault-ckpt-fail-rate=", &v)) {
+            if (!parse_rate(v, cfg.fault_ckpt_fail_rate))
+                usage_error("--fault-ckpt-fail-rate expects a rate in [0,1]");
+        } else if (arg == "--supervise") {
+            cfg.supervise = true;
+        } else if (value_of(arg, "--max-restarts=", &v)) {
+            if (!parse_size(v, cfg.max_restarts))
+                usage_error("--max-restarts expects a number");
+        } else if (value_of(arg, "--watchdog-secs=", &v)) {
+            if (!parse_size(v, cfg.watchdog_secs))
+                usage_error("--watchdog-secs expects a number");
+        } else if (value_of(arg, "--crash-after-bins=", &v)) {
+            if (!parse_size(v, cfg.crash_after_bins))
+                usage_error("--crash-after-bins expects a number");
+        } else if (arg.rfind("--", 0) == 0 || npos >= 3) {
+            // A typo'd or space-separated flag must not be silently
+            // swallowed as a positional zero (that would reconfigure
+            // the run instead of failing).
+            usage_error("unrecognized argument '" + arg + "'");
+        } else {
+            if (!parse_size(arg.c_str(), *positional[npos]))
+                usage_error("expected a number, got '" + arg + "'");
+            ++npos;
+        }
+    }
+    if (cfg.resume && cfg.checkpoint_dir.empty())
+        usage_error("--resume requires --checkpoint-dir");
+    if (cfg.supervise && cfg.checkpoint_dir.empty())
+        usage_error("--supervise requires --checkpoint-dir (restart "
+                    "without durable progress is just a retry loop)");
+    if (cfg.crash_after_bins > 0 && !cfg.supervise)
+        usage_error("--crash-after-bins only makes sense with --supervise");
+
+    return cfg.supervise ? run_supervised(cfg) : run_worker(cfg, 0);
 }

@@ -8,6 +8,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "io/fault.h"
+
 namespace tfd::io {
 
 namespace {
@@ -73,7 +75,9 @@ std::vector<std::uint8_t> snapshot_writer::serialize() const {
     return out;
 }
 
-void snapshot_writer::save_file(const std::string& path) const {
+void snapshot_writer::save_file(const std::string& path,
+                                fault_injector* faults,
+                                std::uint64_t attempt) const {
     const std::vector<std::uint8_t> bytes = serialize();
     const std::string tmp = path + ".tmp";
     const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -83,6 +87,11 @@ void snapshot_writer::save_file(const std::string& path) const {
         std::remove(tmp.c_str());
         reject(snapshot_errc::io_failure, what);
     };
+    // Injected transient failure: after the open (so the cleanup path
+    // runs too), before any byte lands.
+    if (faults && faults->should_fail_write(attempt))
+        fail_tmp("injected transient write failure (attempt " +
+                 std::to_string(attempt) + ") for " + tmp);
     std::size_t off = 0;
     while (off < bytes.size()) {
         const ssize_t n =

@@ -46,6 +46,8 @@
 
 namespace tfd::io {
 
+class fault_injector;  // io/fault.h — optional test seam for save_file
+
 inline constexpr std::uint32_t snapshot_magic = 0x53534654u;  // "TFSS"
 inline constexpr std::uint16_t snapshot_format_version = 1;
 
@@ -95,7 +97,15 @@ public:
     /// Atomic save: serialize to `<path>.tmp`, flush, rename onto
     /// `path`. Throws snapshot_error{io_failure} on any filesystem
     /// error (the temp file is removed best-effort).
-    void save_file(const std::string& path) const;
+    ///
+    /// `faults`, when non-null, is consulted once per call with
+    /// `attempt` (fault_site::write_failure): a firing decision makes
+    /// the save fail exactly like a transient EIO — temp file cleaned
+    /// up, snapshot_error{io_failure} thrown, target untouched — so the
+    /// checkpoint retry/backoff path is testable without a faulty disk.
+    void save_file(const std::string& path,
+                   fault_injector* faults = nullptr,
+                   std::uint64_t attempt = 0) const;
 
 private:
     struct section {

@@ -26,6 +26,10 @@
 
 #include "stream/pipeline.h"
 
+namespace tfd::io {
+class fault_injector;  // io/fault.h — optional test seam
+}
+
 namespace tfd::stream {
 
 /// Atomically write `pipeline`'s complete state (cursor + time base,
@@ -34,6 +38,44 @@ namespace tfd::stream {
 /// filesystem failure.
 void save_checkpoint(const stream_pipeline& pipeline,
                      const std::string& path);
+
+/// Durability policy for checkpoint writes under a flaky filesystem.
+struct checkpoint_options {
+    /// Total save attempts before giving up (>= 1). Only transient
+    /// io::snapshot_errc::io_failure is retried; anything else (a bug,
+    /// not weather) rethrows immediately.
+    std::size_t save_attempts = 3;
+    /// Backoff before retry k (0-based): backoff_initial_us *
+    /// backoff_multiplier^k, plus deterministic jitter in [0, delay/2)
+    /// drawn from (jitter_seed, k) — retries de-synchronize across
+    /// daemons without a global clock, and a replay sleeps identically.
+    /// 0 disables sleeping entirely (tests).
+    std::uint64_t backoff_initial_us = 500;
+    double backoff_multiplier = 4.0;
+    std::uint64_t jitter_seed = 0;
+    /// Injected write failures (io/fault.h); decisions are drawn at
+    /// index first_attempt_index + attempt, so a caller issuing many
+    /// saves threads a cumulative counter through and each physical
+    /// attempt draws a fresh decision.
+    io::fault_injector* faults = nullptr;
+    std::uint64_t first_attempt_index = 0;
+};
+
+/// What the retrying saver did (cumulative across calls when reused).
+struct checkpoint_save_stats {
+    std::uint64_t saves_ok = 0;      ///< saves that eventually landed
+    std::uint64_t save_retries = 0;  ///< extra attempts beyond the first
+    std::uint64_t saves_failed = 0;  ///< saves abandoned after all attempts
+};
+
+/// save_checkpoint with bounded retry: on transient io_failure, retry
+/// up to opts.save_attempts total attempts with exponential backoff and
+/// deterministic jitter. Rethrows the last error once attempts are
+/// exhausted (after counting saves_failed). `stats`, when non-null, is
+/// updated either way.
+void save_checkpoint(const stream_pipeline& pipeline, const std::string& path,
+                     const checkpoint_options& opts,
+                     checkpoint_save_stats* stats = nullptr);
 
 /// Restore a checkpoint into `pipeline`, which must be freshly
 /// constructed with the same topology and options as the saver (the
@@ -44,37 +86,82 @@ void save_checkpoint(const stream_pipeline& pipeline,
 /// corruption, which is rejected before restoration begins.
 void restore_checkpoint(stream_pipeline& pipeline, const std::string& path);
 
+/// What restore_latest_checkpoint() found while scanning a directory.
+struct restore_report {
+    /// The snapshot actually restored; empty when no valid candidate
+    /// existed (the caller cold-starts).
+    std::string restored_path;
+    std::size_t candidates = 0;          ///< checkpoint files considered
+    std::size_t corrupt_skipped = 0;     ///< bad magic/checksum/framing
+    std::size_t truncated_skipped = 0;   ///< shorter than their framing claims
+    std::size_t mismatched_skipped = 0;  ///< other config or format version
+    std::size_t io_failed_skipped = 0;   ///< unreadable (permissions, EIO)
+};
+
+/// Scan `dir` for checkpoint snapshots (newest sequence number first,
+/// the legacy unnumbered `checkpoint.tfss` last), fully validate each
+/// candidate, and restore the newest valid one into `pipeline`. Invalid
+/// candidates are skipped and counted by cause — a corrupt latest
+/// checkpoint costs `every_bins` of extra replay, not the run.
+///
+/// Validation happens on the file bytes before any pipeline state is
+/// touched, so skipping a bad candidate never taints the pipeline. If
+/// the post-validation restore itself throws (a semantic mismatch a
+/// valid container cannot rule out), that error propagates and the
+/// pipeline must be discarded, same as restore_checkpoint().
+restore_report restore_latest_checkpoint(stream_pipeline& pipeline,
+                                         const std::string& dir);
+
 /// Periodic checkpointing policy for a daemon: call on_bin_emitted()
 /// from the pipeline's bin observer; every `every_bins` emitted bins it
-/// writes `<dir>/checkpoint.tfss` atomically. A crash between writes
-/// loses at most `every_bins` bins of progress. Resume by replaying the
-/// stream from exactly `metrics().records_in` records in — the precise
-/// drained position at the checkpoint cut. With reorder off, replaying
-/// from any earlier point is also safe (the open bin is empty at every
-/// observer cut, so the already-scored prefix simply late-drops); with
-/// reorder on it is NOT — a cut taken while a bin is held open
-/// serializes records of the current bin, and re-pushing those would
-/// double-count them. Skip exactly records_in and both modes resume
-/// bit-identically.
+/// writes `<dir>/checkpoint-NNNNNN.tfss` atomically (sequence numbers
+/// continue from whatever the directory already holds). A crash between
+/// writes loses at most `every_bins` bins of progress. Resume by
+/// replaying the stream from exactly `metrics().records_in` records in
+/// — the precise drained position at the checkpoint cut. With reorder
+/// off, replaying from any earlier point is also safe (the open bin is
+/// empty at every observer cut, so the already-scored prefix simply
+/// late-drops); with reorder on it is NOT — a cut taken while a bin is
+/// held open serializes records of the current bin, and re-pushing
+/// those would double-count them. Skip exactly records_in and both
+/// modes resume bit-identically.
+///
+/// `keep_last` > 0 enables retention: after each successful write,
+/// older checkpoint files beyond the newest keep_last are deleted
+/// oldest-first (the legacy unnumbered file counts as oldest). 0 keeps
+/// everything.
 class periodic_checkpointer {
 public:
     /// `every_bins` == 0 disables (on_bin_emitted becomes a no-op).
     periodic_checkpointer(stream_pipeline& pipeline, std::string dir,
-                          std::size_t every_bins);
+                          std::size_t every_bins, std::size_t keep_last = 0,
+                          checkpoint_options opts = {});
 
-    /// Count one emitted bin; writes a checkpoint when due.
+    /// Count one emitted bin; writes a checkpoint when due. Write
+    /// failures (after opts.save_attempts tries) propagate
+    /// io::snapshot_error — the caller decides whether a daemon without
+    /// durable progress should keep running.
     void on_bin_emitted();
 
-    /// The fixed snapshot path inside `dir`.
-    const std::string& path() const noexcept { return path_; }
+    /// Path of the most recently written snapshot (empty before the
+    /// first write).
+    const std::string& path() const noexcept { return last_path_; }
 
-    /// Checkpoints written so far.
+    /// Checkpoints written so far (this instance).
     std::size_t checkpoints_written() const noexcept { return written_; }
+
+    /// Retry/failure counters for this instance's saves.
+    const checkpoint_save_stats& save_stats() const noexcept { return stats_; }
 
 private:
     stream_pipeline* pipeline_;
-    std::string path_;
+    std::string dir_;
+    std::string last_path_;
     std::size_t every_bins_;
+    std::size_t keep_last_;
+    checkpoint_options opts_;
+    checkpoint_save_stats stats_;
+    std::uint64_t next_seq_ = 0;
     std::size_t since_last_ = 0;
     std::size_t written_ = 0;
 };

@@ -18,11 +18,22 @@ std::uint64_t now_ns() {
 }
 
 // Section tags of a pipeline snapshot ("PIPE", "SHRD", "DETC" as
-// little-endian fourccs) and their payload versions.
+// little-endian fourccs) and their payload versions. PIPE/SHRD moved
+// to v2 when the single held reorder bin became a ring of up to
+// reorder_window_bins held bins (and PIPE grew the quarantine
+// counters); v1 snapshots are rejected as unsupported_version rather
+// than guessed at.
 constexpr std::uint32_t kTagPipeline = 0x45504950u;
 constexpr std::uint32_t kTagShards = 0x44524853u;
 constexpr std::uint32_t kTagDetector = 0x43544544u;
-constexpr std::uint16_t kSectionVersion = 1;
+constexpr std::uint16_t kVersionPipeline = 2;
+constexpr std::uint16_t kVersionShards = 2;
+constexpr std::uint16_t kVersionDetector = 1;
+
+/// Hard cap on the reorder ring: W held bins cost W open accumulators
+/// of memory and W bins of verdict latency; anything past this is a
+/// misconfiguration, not a workload.
+constexpr std::size_t kMaxReorderWindow = 64;
 
 }  // namespace
 
@@ -34,11 +45,12 @@ stream_pipeline::stream_pipeline(const net::topology& topo,
       detector_(static_cast<std::size_t>(topo.od_count()), opts.online) {
     if (opts.bin_us == 0)
         throw std::invalid_argument("stream_pipeline: bin_us must be > 0");
-    if (opts.reorder_window_bins > 1)
+    if (opts.reorder_window_bins > kMaxReorderWindow)
         throw std::invalid_argument(
-            "stream_pipeline: reorder_window_bins must be 0 or 1");
-    if (opts.reorder_window_bins > 0)
-        prev_shards_.emplace(topo.od_count(), opts.shards);
+            "stream_pipeline: reorder_window_bins must be <= 64");
+    if (opts.reorder_window_bins > opts.max_gap_bins)
+        throw std::invalid_argument(
+            "stream_pipeline: reorder_window_bins must be <= max_gap_bins");
 }
 
 void stream_pipeline::emit_bin(od_shard_set& shards, std::size_t bin) {
@@ -65,23 +77,12 @@ void stream_pipeline::emit_bin(od_shard_set& shards, std::size_t bin) {
 // re-emits the observed bin.
 
 void stream_pipeline::close_bin() {
+    // Only valid when nothing is held below the cursor: every bin under
+    // the new cursor position has been emitted.
     const std::size_t closing = current_bin_;
     current_bin_ = closing + 1;
+    open_floor_ = current_bin_;
     emit_bin(shards_, closing);
-}
-
-void stream_pipeline::close_prev() {
-    prev_open_ = false;
-    emit_bin(*prev_shards_, prev_bin_);
-}
-
-void stream_pipeline::hold_current_as_prev() {
-    // The (possibly still accumulating) current bin moves into the
-    // held-open slot; the just-harvested (empty) previous set becomes
-    // the new current accumulator.
-    std::swap(shards_, *prev_shards_);
-    prev_bin_ = current_bin_;
-    prev_open_ = true;
 }
 
 void stream_pipeline::advance_to(std::size_t bin) {
@@ -89,6 +90,75 @@ void stream_pipeline::advance_to(std::size_t bin) {
     // gap bins, keeping the detector's row-per-bin time base intact.
     while (bin_open_ && current_bin_ < bin) close_bin();
     current_bin_ = bin;
+}
+
+od_shard_set stream_pipeline::acquire_set() {
+    if (!set_pool_.empty()) {
+        od_shard_set set = std::move(set_pool_.back());
+        set_pool_.pop_back();
+        return set;
+    }
+    return od_shard_set(shards_.od_count(), opts_.shards);
+}
+
+od_shard_set* stream_pipeline::find_held(std::size_t bin) {
+    for (held_bin& h : held_)
+        if (h.bin == bin) return &h.set;
+    return nullptr;
+}
+
+od_shard_set* stream_pipeline::retro_open(std::size_t bin) {
+    const auto it = std::lower_bound(
+        held_.begin(), held_.end(), bin,
+        [](const held_bin& h, std::size_t b) { return h.bin < b; });
+    const auto inserted = held_.insert(it, held_bin{bin, acquire_set()});
+    open_floor_ = std::min(open_floor_, bin);
+    return &inserted->set;
+}
+
+void stream_pipeline::emit_pending_below(std::size_t limit) {
+    // Emit, in ascending bin order, every pending bin below `limit`:
+    // held accumulators, and the implicit empty gap bins between them,
+    // so the detector's row-per-bin time base stays gap-complete. The
+    // floor is advanced and the ring popped BEFORE each emission, so an
+    // on_bin observer always sees a resumable cut (see close_bin).
+    while (open_floor_ < limit && open_floor_ < current_bin_) {
+        const std::size_t bin = open_floor_;
+        open_floor_ = bin + 1;
+        od_shard_set set = (!held_.empty() && held_.front().bin == bin)
+                               ? [&] {
+                                     od_shard_set s =
+                                         std::move(held_.front().set);
+                                     held_.erase(held_.begin());
+                                     return s;
+                                 }()
+                               : acquire_set();
+        emit_bin(set, bin);
+        set_pool_.push_back(std::move(set));
+    }
+}
+
+void stream_pipeline::reorder_advance(std::size_t bin) {
+    // The cursor moves forward to `bin`; the window now covers
+    // [bin - W, bin]. Everything that slid below it is emitted
+    // (ascending, gap-complete); the cursor's old bin either joins the
+    // held ring or — when the jump is wider than the window — is
+    // emitted along with the empty bins bridging it to the window edge.
+    const std::size_t w = opts_.reorder_window_bins;
+    const std::size_t low = bin > w ? bin - w : 0;
+    if (current_bin_ < low) {
+        emit_pending_below(current_bin_);
+        close_bin();
+        while (current_bin_ < low) close_bin();
+        current_bin_ = bin;
+        // Bins [low, bin) stay implicit: straggler-eligible, emitted
+        // as empty when the window slides past them.
+    } else {
+        emit_pending_below(low);
+        held_.push_back(held_bin{current_bin_, std::move(shards_)});
+        shards_ = acquire_set();
+        current_bin_ = bin;
+    }
 }
 
 void stream_pipeline::push(std::span<const flow::flow_record> records) {
@@ -115,37 +185,37 @@ void stream_pipeline::push(std::span<const flow::flow_record> records) {
             ++j;
         const auto run = records.subspan(i, j - i);
         // A record is late when its bin has already been scored: below
-        // the oldest open bin (the held-open previous bin in reorder
-        // mode), or — after finish()/run() closed the stream — at or
+        // the reorder window (or, with reorder off, behind the
+        // cursor), or — after finish()/run() closed the stream — at or
         // below the last emitted bin. Late records cannot be replayed
         // into the model. Only resolvable records count as late;
         // unresolvable ones are already in resolver_drops, so the
         // counters partition records_in exactly.
-        // A straggler lands in the held-open previous bin — or, when no
-        // bin is held but the one just behind the cursor was provably
-        // never scored (stream start, forward time-base reset),
-        // retroactively opens it: "late" must mean "already scored",
-        // not merely "behind the cursor".
+        // A straggler lands in a held bin of the reorder ring — or,
+        // when its bin is inside the window but holds no accumulator
+        // yet and was provably never scored (an implicit empty gap,
+        // stream start, a time-base reset), retroactively opens one:
+        // "late" must mean "already scored", not merely "behind the
+        // cursor".
         // "Provably never scored": nothing emitted yet, the last
         // verdict is below this bin (stream start, forward time-base
         // reset), or the last verdict is unreachably far above it
         // (backward time-base reset started a new era; bin indices are
         // era-local, so a bin more than max_gap_bins below every scored
         // bin has no verdict in this era).
-        const bool retro_prev =
-            reorder && bin_open_ && !prev_open_ && bin + 1 == current_bin_ &&
-            (!any_emitted_ || last_emitted_bin_ < bin ||
-             last_emitted_bin_ - bin > opts_.max_gap_bins);
-        if (retro_prev) {
-            prev_bin_ = bin;  // prev_shards_ is empty whenever !prev_open_
-            prev_open_ = true;
+        od_shard_set* straggler_set = nullptr;
+        if (reorder && bin_open_ && bin < current_bin_ &&
+            current_bin_ - bin <= opts_.reorder_window_bins) {
+            straggler_set = find_held(bin);
+            if (!straggler_set &&
+                (!any_emitted_ || last_emitted_bin_ < bin ||
+                 last_emitted_bin_ - bin > opts_.max_gap_bins))
+                straggler_set = retro_open(bin);
         }
-        const bool straggler =
-            reorder && prev_open_ && bin == prev_bin_;
-        const std::size_t oldest_open = prev_open_ ? prev_bin_ : current_bin_;
+        const bool straggler = straggler_set != nullptr;
         const bool late =
             !straggler &&
-            (bin_open_ ? bin < oldest_open
+            (bin_open_ ? bin < current_bin_
                        : metrics_.bins_emitted > 0 && bin <= current_bin_);
         if (late) {
             // A backward jump beyond max_gap_bins is a time-base
@@ -155,11 +225,12 @@ void stream_pipeline::push(std::span<const flow::flow_record> records) {
             // late-dropped. Resync instead of dropping.
             if (current_bin_ - bin > opts_.max_gap_bins) {
                 metrics_.accumulate_ns += now_ns() - t0;
-                if (prev_open_) close_prev();
+                if (reorder) emit_pending_below(current_bin_);
                 ++metrics_.time_base_resets;
                 const std::size_t closing = current_bin_;
                 const bool had_open = bin_open_;
                 current_bin_ = bin;
+                open_floor_ = bin;
                 bin_open_ = true;
                 if (had_open) emit_bin(shards_, closing);
                 t0 = now_ns();
@@ -175,6 +246,7 @@ void stream_pipeline::push(std::span<const flow::flow_record> records) {
         }
         if (!bin_open_) {
             current_bin_ = bin;
+            open_floor_ = bin;
             bin_open_ = true;
         } else if (bin > current_bin_) {
             // Bin closures are timed separately (bin_close_ns), so pause
@@ -183,20 +255,14 @@ void stream_pipeline::push(std::span<const flow::flow_record> records) {
             if (bin - current_bin_ > opts_.max_gap_bins) {
                 // Time-base discontinuity: don't spin through an absurd
                 // number of empty harvests (see pipeline_options).
-                if (prev_open_) close_prev();
+                if (reorder) emit_pending_below(current_bin_);
                 ++metrics_.time_base_resets;
                 const std::size_t closing = current_bin_;
                 current_bin_ = bin;
+                open_floor_ = bin;
                 emit_bin(shards_, closing);
             } else if (reorder) {
-                // Hold bin `bin - 1` open for stragglers: emit the
-                // previously held bin, advance the current bin (and any
-                // empty gaps) through bin - 2, then move the bin - 1
-                // accumulator into the held slot.
-                if (prev_open_) close_prev();
-                while (current_bin_ < bin - 1) close_bin();
-                hold_current_as_prev();
-                current_bin_ = bin;
+                reorder_advance(bin);
             } else {
                 advance_to(bin);
             }
@@ -204,7 +270,7 @@ void stream_pipeline::push(std::span<const flow::flow_record> records) {
         }
         resolver_.resolve_batch(run, od_scratch_, &metrics_.resolver_drops);
         metrics_.records_in += run.size();
-        od_shard_set& target = straggler ? *prev_shards_ : shards_;
+        od_shard_set& target = straggler ? *straggler_set : shards_;
         const std::size_t before = target.pending_records();
         target.accumulate(run, od_scratch_);
         const std::uint64_t got = target.pending_records() - before;
@@ -216,7 +282,8 @@ void stream_pipeline::push(std::span<const flow::flow_record> records) {
 }
 
 void stream_pipeline::finish() {
-    if (prev_open_) close_prev();
+    if (bin_open_ && opts_.reorder_window_bins > 0)
+        emit_pending_below(current_bin_);
     if (!bin_open_) return;
     // Clear the open flag before emitting so an observer (e.g. a
     // checkpoint) sees the finished state: the emitted bin is the last,
@@ -226,6 +293,10 @@ void stream_pipeline::finish() {
 }
 
 std::size_t stream_pipeline::run(flow_codec_reader& reader) {
+    // The reader's quarantine counters are cumulative per reader; fold
+    // only this run's delta into the pipeline metrics (readers may be
+    // reused, pipelines may drain several readers).
+    const quarantine_stats q0 = reader.quarantine();
     bounded_queue<std::vector<flow::flow_record>> queue(opts_.queue_frames);
     // Queue depth + one in flight on each side bounds how many buffers
     // can circulate, so the ring never needs to hold more than that.
@@ -263,6 +334,12 @@ std::size_t stream_pipeline::run(flow_codec_reader& reader) {
     producer.join();
     last_run_blocked_pushes_ = queue.blocked_pushes();
     metrics_.frames_reused += ring.reuses();
+    const quarantine_stats& q1 = reader.quarantine();
+    metrics_.frames_quarantined += q1.frames_quarantined - q0.frames_quarantined;
+    metrics_.records_lost_corrupt +=
+        q1.records_lost_corrupt - q0.records_lost_corrupt;
+    metrics_.resync_bytes_skipped +=
+        q1.resync_bytes_skipped - q0.resync_bytes_skipped;
     if (consumer_error) std::rethrow_exception(consumer_error);
     if (producer_error) std::rethrow_exception(producer_error);
     finish();
@@ -314,10 +391,9 @@ void stream_pipeline::save_state(io::snapshot_writer& snap) const {
         io::wire_writer w;
         w.varint(current_bin_);
         w.u8(bin_open_ ? 1 : 0);
-        w.u8(prev_open_ ? 1 : 0);
-        w.varint(prev_bin_);
         w.u8(any_emitted_ ? 1 : 0);
         w.varint(last_emitted_bin_);
+        w.varint(open_floor_);
         const pipeline_metrics& m = metrics_;
         w.varint(m.records_in);
         w.varint(m.records_accumulated);
@@ -333,40 +409,49 @@ void stream_pipeline::save_state(io::snapshot_writer& snap) const {
         w.varint(m.bin_close_ns);
         w.varint(m.max_bin_close_ns);
         w.varint(m.frames_reused);
-        snap.add_section(kTagPipeline, kSectionVersion, w.take());
+        w.varint(m.frames_quarantined);
+        w.varint(m.records_lost_corrupt);
+        w.varint(m.resync_bytes_skipped);
+        snap.add_section(kTagPipeline, kVersionPipeline, w.take());
     }
     {
         io::wire_writer w;
         shards_.save(w);
-        w.u8(prev_shards_.has_value() ? 1 : 0);
-        if (prev_shards_) prev_shards_->save(w);
-        snap.add_section(kTagShards, kSectionVersion, w.take());
+        w.varint(held_.size());
+        for (const held_bin& h : held_) {
+            w.varint(h.bin);
+            h.set.save(w);
+        }
+        snap.add_section(kTagShards, kVersionShards, w.take());
     }
     {
         io::wire_writer w;
         detector_.save(w);
-        snap.add_section(kTagDetector, kSectionVersion, w.take());
+        snap.add_section(kTagDetector, kVersionDetector, w.take());
     }
 }
 
 void stream_pipeline::restore_state(const io::snapshot_reader& snap) {
-    for (const std::uint32_t tag : {kTagPipeline, kTagShards, kTagDetector})
-        if (snap.section_version(tag) != kSectionVersion)
+    const auto expect_version = [&](std::uint32_t tag, std::uint16_t want,
+                                    const char* name) {
+        const std::uint16_t got = snap.section_version(tag);
+        if (got != want)
             throw io::snapshot_error(
                 io::snapshot_errc::unsupported_version,
-                "pipeline section version " +
-                    std::to_string(snap.section_version(tag)));
+                std::string(name) + " section version " +
+                    std::to_string(got) + ", this build reads " +
+                    std::to_string(want));
+    };
+    expect_version(kTagPipeline, kVersionPipeline, "pipeline");
+    expect_version(kTagShards, kVersionShards, "shards");
+    expect_version(kTagDetector, kVersionDetector, "detector");
     {
         io::wire_reader r = snap.section(kTagPipeline);
         current_bin_ = static_cast<std::size_t>(r.varint());
         bin_open_ = r.u8() != 0;
-        prev_open_ = r.u8() != 0;
-        prev_bin_ = static_cast<std::size_t>(r.varint());
         any_emitted_ = r.u8() != 0;
         last_emitted_bin_ = static_cast<std::size_t>(r.varint());
-        if (prev_open_ && !prev_shards_)
-            r.fail("stream_pipeline: snapshot holds a reorder bin but "
-                   "reorder is off");
+        open_floor_ = static_cast<std::size_t>(r.varint());
         pipeline_metrics& m = metrics_;
         m.records_in = r.varint();
         m.records_accumulated = r.varint();
@@ -384,15 +469,27 @@ void stream_pipeline::restore_state(const io::snapshot_reader& snap) {
         m.bin_close_ns = r.varint();
         m.max_bin_close_ns = r.varint();
         m.frames_reused = r.varint();
+        m.frames_quarantined = r.varint();
+        m.records_lost_corrupt = r.varint();
+        m.resync_bytes_skipped = r.varint();
         r.expect_end();
     }
     {
         io::wire_reader r = snap.section(kTagShards);
         shards_.load(r);
-        const bool has_prev = r.u8() != 0;
-        if (has_prev != prev_shards_.has_value())
-            r.fail("stream_pipeline: reorder shard state mismatch");
-        if (prev_shards_) prev_shards_->load(r);
+        const std::size_t held = static_cast<std::size_t>(r.varint());
+        if (held > opts_.reorder_window_bins)
+            r.fail("stream_pipeline: snapshot holds more reorder bins "
+                   "than this pipeline's window");
+        held_.clear();
+        held_.reserve(held);
+        for (std::size_t i = 0; i < held; ++i) {
+            const std::size_t bin = static_cast<std::size_t>(r.varint());
+            if (!held_.empty() && bin <= held_.back().bin)
+                r.fail("stream_pipeline: held reorder bins out of order");
+            held_.push_back(held_bin{bin, acquire_set()});
+            held_.back().set.load(r);
+        }
         r.expect_end();
     }
     {

@@ -191,14 +191,16 @@ struct pipeline_options {
     /// empty harvests nor poisons the time base so every later sane
     /// record gets late-dropped. Default: one week of 5-minute bins.
     std::size_t max_gap_bins = 2016;
-    /// Opt-in reorder tolerance (0 = off, 1 = single-bin; deeper
-    /// buffers are future work and rejected). When on, a bin is held
-    /// open for one extra bin of stream time: bin B is only closed and
-    /// scored once a record of bin B+2 arrives, so straggler exports
-    /// within one bin of the cursor are accepted (counted in
-    /// metrics().records_reordered) instead of late-dropped. Costs one
-    /// bin of verdict latency; with no stragglers in the stream the
-    /// emitted bins and verdicts are identical to the default path.
+    /// Opt-in reorder tolerance (0 = off; up to 64 bins of depth). With
+    /// window W, the W bins behind the cursor are held open: bin B is
+    /// only closed and scored once a record of bin B+W+1 arrives, so
+    /// straggler exports within W bins of the cursor are accepted
+    /// (counted in metrics().records_reordered) instead of
+    /// late-dropped. Costs W bins of verdict latency; with no
+    /// stragglers in the stream the emitted bins and verdicts are
+    /// identical to the default path for every W. Must be <=
+    /// max_gap_bins (a straggler inside the window is never a
+    /// time-base discontinuity); values above 64 are rejected.
     std::size_t reorder_window_bins = 0;
 };
 
@@ -222,6 +224,17 @@ struct pipeline_metrics {
     /// run() calls (steady state: every frame after the first
     /// queue-depth's worth reuses a prior buffer's capacity).
     std::uint64_t frames_reused = 0;
+    /// Degraded-operation counters, folded in from the codec reader's
+    /// quarantine_stats by run() when the reader was constructed with
+    /// corrupt_policy::quarantine (always zero under fail_fast):
+    /// corrupt frames skipped, records they provably carried, and bytes
+    /// discarded while rescanning for the next plausible frame
+    /// boundary. Records lost to quarantine never reach push(), so
+    /// records_in still names the exact resume position within the
+    /// *surviving* record stream.
+    std::uint64_t frames_quarantined = 0;
+    std::uint64_t records_lost_corrupt = 0;
+    std::uint64_t resync_bytes_skipped = 0;
 
     double mean_bin_close_ms() const noexcept {
         return bins_emitted == 0 ? 0.0
@@ -292,8 +305,8 @@ public:
     std::uint64_t config_fingerprint() const;
 
     /// Add this pipeline's full state to `snap` as three sections:
-    /// cursor/time-base/metrics, open-bin shard cells (both open bins
-    /// when reorder is on), and the online detector. Bins already
+    /// cursor/time-base/metrics, open-bin shard cells (the cursor's bin
+    /// plus every held reorder bin), and the online detector. Bins already
     /// emitted are NOT re-emitted after restore; everything needed to
     /// close the open bin(s) and score every later bin bit-identically
     /// to an uninterrupted run is captured.
@@ -307,11 +320,22 @@ public:
     void restore_state(const io::snapshot_reader& snap);
 
 private:
+    /// One bin of the reorder ring: an accumulator held open behind the
+    /// cursor so stragglers can still land in it.
+    struct held_bin {
+        std::size_t bin;
+        od_shard_set set;
+    };
+
     void emit_bin(od_shard_set& shards, std::size_t bin);
     void close_bin();
-    void close_prev();
-    void hold_current_as_prev();
     void advance_to(std::size_t bin);
+    // ---- reorder ring (reorder_window_bins > 0) ----
+    od_shard_set acquire_set();
+    od_shard_set* find_held(std::size_t bin);
+    od_shard_set* retro_open(std::size_t bin);
+    void emit_pending_below(std::size_t limit);
+    void reorder_advance(std::size_t bin);
 
     flow::od_resolver resolver_;
     pipeline_options opts_;
@@ -323,16 +347,27 @@ private:
     std::vector<int> od_scratch_;  ///< reused resolve_batch output
     std::size_t current_bin_ = 0;
     bool bin_open_ = false;
-    /// Reorder mode only: the previous bin, held open one extra bin of
-    /// stream time so stragglers can still land in it.
-    std::optional<od_shard_set> prev_shards_;
-    std::size_t prev_bin_ = 0;
-    bool prev_open_ = false;
+    /// Reorder mode only: bins held open behind the cursor, ascending
+    /// by bin index. Sparse — only bins that actually received records
+    /// (or were once the cursor) carry an accumulator; window bins
+    /// nothing landed in stay implicit and are emitted as empty gap
+    /// bins when the window slides past them.
+    std::vector<held_bin> held_;
+    /// Harvested (empty) shard sets recycled across held bins and
+    /// empty-gap emissions, so a sliding window allocates nothing in
+    /// steady state.
+    std::vector<od_shard_set> set_pool_;
+    /// Lowest bin of the current era that has not been emitted: every
+    /// bin in [open_floor_, current_bin_) is pending — held, or an
+    /// implicit empty gap — and everything below was scored (or
+    /// predates the era). Drives ascending gap-complete emission when
+    /// the window slides.
+    std::size_t open_floor_ = 0;
     /// Highest-scored-bin bookkeeping for the reorder path: a record
-    /// one bin behind the cursor is a straggler (never late) as long as
-    /// its bin was provably never emitted — at stream start, and after
-    /// a forward time-base reset, current_bin_ - 1 has no verdict yet
-    /// even though no bin is held open.
+    /// behind the cursor but inside the window is a straggler (never
+    /// late) as long as its bin was provably never emitted — at stream
+    /// start, and after a time-base reset, bins behind the cursor have
+    /// no verdict yet even though no accumulator is held for them.
     std::size_t last_emitted_bin_ = 0;
     bool any_emitted_ = false;
     std::uint64_t last_run_blocked_pushes_ = 0;

@@ -1,0 +1,144 @@
+// io::fault — the whole point of the injector is reproducibility:
+// decisions are pure functions of (seed, site, index), independent of
+// call order and chunking, so a chaos run replays exactly.
+#include "io/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace tfd;
+using namespace tfd::io;
+
+namespace {
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t n) {
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(i * 131 + 7);
+    return v;
+}
+
+}  // namespace
+
+TEST(FaultTest, DisabledPlanIsAPassthrough) {
+    fault_injector f({});
+    EXPECT_FALSE(f.enabled());
+    auto bytes = pattern_bytes(4096);
+    const auto orig = bytes;
+    EXPECT_EQ(f.corrupt(bytes), 0u);
+    EXPECT_EQ(bytes, orig);
+    EXPECT_FALSE(f.should_fail_write(0));
+    EXPECT_FALSE(f.should_truncate_at(123));
+    EXPECT_EQ(f.short_read_len(0, 100), 100u);
+}
+
+TEST(FaultTest, CorruptionIsDeterministicAndChunkingIndependent) {
+    const fault_plan plan{.seed = 42, .bit_flip_per_byte = 0.01};
+    auto whole = pattern_bytes(8192);
+    auto chunked = whole;
+
+    fault_injector a(plan);
+    a.corrupt(whole);
+    EXPECT_GT(a.stats().bits_flipped, 0u);
+
+    // Same plan, applied in uneven chunks with correct base offsets.
+    fault_injector b(plan);
+    std::size_t off = 0;
+    for (const std::size_t len : {7u, 1000u, 1u, 5000u, 2184u}) {
+        b.corrupt(std::span(chunked).subspan(off, len), off);
+        off += len;
+    }
+    ASSERT_EQ(off, chunked.size());
+    EXPECT_EQ(whole, chunked);
+    EXPECT_EQ(a.stats().bits_flipped, b.stats().bits_flipped);
+
+    // A different seed draws a different fault set.
+    auto other = pattern_bytes(8192);
+    fault_injector c({.seed = 43, .bit_flip_per_byte = 0.01});
+    c.corrupt(other);
+    EXPECT_NE(other, whole);
+}
+
+TEST(FaultTest, SitesAreIndependent) {
+    // The same index at different sites must draw independent decisions
+    // (a write-failure plan must not silently imply bit flips).
+    const fault_plan plan{.seed = 7, .write_failure_per_call = 1.0};
+    fault_injector f(plan);
+    auto bytes = pattern_bytes(64);
+    const auto orig = bytes;
+    f.corrupt(bytes);
+    EXPECT_EQ(bytes, orig);
+    EXPECT_TRUE(f.should_fail_write(0));
+    EXPECT_EQ(f.stats().writes_failed, 1u);
+    EXPECT_EQ(f.stats().bits_flipped, 0u);
+}
+
+TEST(FaultTest, WriteFailureDecisionsReplayPerAttempt) {
+    const fault_plan plan{.seed = 1234, .write_failure_per_call = 0.3};
+    fault_injector a(plan);
+    fault_injector b(plan);
+    for (std::uint64_t attempt = 0; attempt < 64; ++attempt)
+        EXPECT_EQ(a.should_fail_write(attempt), b.should_fail_write(attempt))
+            << attempt;
+    // At 30% over 64 attempts both some failures and some successes
+    // must occur, or the rate logic is broken.
+    EXPECT_GT(a.stats().writes_failed, 0u);
+    EXPECT_LT(a.stats().writes_failed, 64u);
+}
+
+TEST(FaultTest, StreambufPassthroughWhenQuiet) {
+    const std::string payload(10000, '\0');
+    std::string noisy;
+    for (std::size_t i = 0; i < 10000; ++i)
+        noisy += static_cast<char>(i % 251);
+    std::istringstream src(noisy);
+    fault_injector f({});
+    fault_streambuf buf(*src.rdbuf(), f);
+    std::istream in(&buf);
+    std::string got((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_EQ(got, noisy);
+}
+
+TEST(FaultTest, StreambufFlipsAndTruncatesDeterministically) {
+    std::string data;
+    for (std::size_t i = 0; i < 50000; ++i)
+        data += static_cast<char>(i % 239);
+
+    const fault_plan plan{.seed = 99,
+                          .bit_flip_per_byte = 1e-3,
+                          .truncate_per_byte = 1e-4};
+    const auto read_degraded = [&] {
+        std::istringstream src(data);
+        fault_injector f(plan);
+        fault_streambuf buf(*src.rdbuf(), f);
+        std::istream in(&buf);
+        std::string got((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+        return std::pair(got, f.stats());
+    };
+    const auto [first, stats_first] = read_degraded();
+    const auto [second, stats_second] = read_degraded();
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(stats_first.bits_flipped, stats_second.bits_flipped);
+    EXPECT_GT(stats_first.bits_flipped, 0u);
+    EXPECT_EQ(stats_first.reads_truncated, 1u);  // ends at first firing
+    EXPECT_LT(first.size(), data.size());        // truncated early
+    // The prefix before the first flip/truncation matches the source.
+    EXPECT_EQ(first.compare(0, 100, data, 0, 100), 0);
+}
+
+TEST(FaultTest, ShortReadsNeverStallProgress) {
+    std::string data(4096 * 3 + 17, 'x');
+    std::istringstream src(data);
+    fault_injector f({.seed = 5, .short_read_per_call = 1.0});
+    fault_streambuf buf(*src.rdbuf(), f);
+    std::istream in(&buf);
+    std::string got((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_EQ(got, data);  // short reads reorder chunking, lose nothing
+    EXPECT_GT(f.stats().reads_shortened, 0u);
+}

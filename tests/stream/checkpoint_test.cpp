@@ -174,6 +174,7 @@ TEST(CheckpointTest, CheckpointFromOnBinObserverResumesExactly) {
 
     const temp_dir dir;
     std::size_t checkpoints = 0;
+    std::string last_path;
     {
         stream_pipeline p(topo, opts);
         periodic_checkpointer ckpt(p, dir.path.string(), 4);
@@ -182,10 +183,13 @@ TEST(CheckpointTest, CheckpointFromOnBinObserverResumesExactly) {
         p.finish();
         checkpoints = ckpt.checkpoints_written();
         EXPECT_EQ(checkpoints, 2u);  // bins 10 / every 4
+        last_path = ckpt.path();
+        EXPECT_EQ(ckpt.save_stats().saves_ok, 2u);
+        EXPECT_EQ(ckpt.save_stats().save_retries, 0u);
     }
     // "Restart": the last checkpoint was taken when bin 7 closed.
     stream_pipeline p(topo, opts);
-    restore_checkpoint(p, (dir.path / "checkpoint.tfss").string());
+    restore_checkpoint(p, last_path);
     const std::uint64_t consumed = p.metrics().records_in;
     ASSERT_GT(consumed, 0u);
     ASSERT_LT(consumed, stream.size());

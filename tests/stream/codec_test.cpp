@@ -27,6 +27,17 @@ void expect_identical(const flow::flow_record& a, const flow::flow_record& b) {
     EXPECT_EQ(a.ingress_pop, b.ingress_pop);
 }
 
+// Run `f`, which must throw codec_error, and return its code.
+template <typename F>
+codec_errc thrown_code(F&& f) {
+    try {
+        f();
+    } catch (const codec_error& e) {
+        return e.code();
+    }
+    throw std::logic_error("expected codec_error was not thrown");
+}
+
 std::vector<flow::flow_record> assorted_records() {
     std::vector<flow::flow_record> rs;
 
@@ -126,19 +137,26 @@ TEST(FlowCodecTest, EmptyStream) {
     EXPECT_FALSE(r.next_frame(frame));
 }
 
-TEST(FlowCodecTest, ChecksumMismatchThrows) {
+TEST(FlowCodecTest, ChecksumMismatchThrowsTypedCode) {
     auto bytes = encode_records(assorted_records());
     bytes[bytes.size() - 3] ^= 0x40;  // corrupt payload near the end
+    // codec_error still IS-A runtime_error for legacy catch sites...
     EXPECT_THROW(decode_records(bytes), std::runtime_error);
+    // ...but carries a typed code so nobody matches message text.
+    EXPECT_EQ(thrown_code([&] { decode_records(bytes); }),
+              codec_errc::checksum_mismatch);
 }
 
-TEST(FlowCodecTest, TruncationThrows) {
+TEST(FlowCodecTest, TruncationThrowsTypedCode) {
     const auto bytes = encode_records(assorted_records());
     // Chop mid-payload and mid-frame-header.
-    for (const std::size_t keep : {bytes.size() - 5, std::size_t{8 + 10}}) {
-        const std::span<const std::uint8_t> cut(bytes.data(), keep);
-        EXPECT_THROW(decode_records(cut), std::runtime_error);
-    }
+    const std::span<const std::uint8_t> mid_payload(bytes.data(),
+                                                    bytes.size() - 5);
+    EXPECT_EQ(thrown_code([&] { decode_records(mid_payload); }),
+              codec_errc::truncated_payload);
+    const std::span<const std::uint8_t> mid_header(bytes.data(), 8 + 10);
+    EXPECT_EQ(thrown_code([&] { decode_records(mid_header); }),
+              codec_errc::truncated_header);
 }
 
 TEST(FlowCodecTest, ImplausibleFrameHeaderThrowsBeforeAllocating) {
@@ -147,18 +165,28 @@ TEST(FlowCodecTest, ImplausibleFrameHeaderThrowsBeforeAllocating) {
     // record_count is the first 4 of the frame header) to a huge value;
     // the reader must reject it without attempting the allocation.
     bytes[8 + 4 + 3] = 0xFF;
-    EXPECT_THROW(decode_records(bytes), std::runtime_error);
+    EXPECT_EQ(thrown_code([&] { decode_records(bytes); }),
+              codec_errc::implausible_frame);
 }
 
-TEST(FlowCodecTest, BadMagicOrVersionThrows) {
+TEST(FlowCodecTest, BadMagicOrVersionThrowsTypedCode) {
     auto bytes = encode_records(assorted_records());
     auto bad_magic = bytes;
     bad_magic[0] ^= 0xFF;
-    EXPECT_THROW(decode_records(bad_magic), std::runtime_error);
+    EXPECT_EQ(thrown_code([&] { decode_records(bad_magic); }),
+              codec_errc::bad_magic);
 
     auto bad_version = bytes;
     bad_version[4] = 0x7F;
-    EXPECT_THROW(decode_records(bad_version), std::runtime_error);
+    EXPECT_EQ(thrown_code([&] { decode_records(bad_version); }),
+              codec_errc::unsupported_version);
+}
+
+TEST(FlowCodecTest, ErrorCodeNamesAreStable) {
+    EXPECT_STREQ(to_string(codec_errc::checksum_mismatch),
+                 "checksum_mismatch");
+    EXPECT_STREQ(to_string(codec_errc::error_budget_exceeded),
+                 "error_budget_exceeded");
 }
 
 TEST(FlowCodecTest, WriterIsReusableAfterFinish) {

@@ -1,0 +1,235 @@
+// Corrupt-frame quarantine: a bad frame is skipped, the stream resumes
+// at the next plausible boundary, losses are counted, and clean frames
+// decode bit-identically to the fail-fast reader on a clean stream.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "stream/flow_codec.h"
+#include "traffic/rng.h"
+
+using namespace tfd;
+using namespace tfd::stream;
+
+namespace {
+
+constexpr std::size_t kFileHeaderBytes = 8;
+constexpr std::size_t kFrameHeaderBytes = 24;
+
+std::vector<flow::flow_record> make_records(std::size_t n,
+                                            std::uint64_t seed) {
+    traffic::rng gen(seed);
+    std::vector<flow::flow_record> rs;
+    std::uint64_t t = 1'000'000;
+    for (std::size_t i = 0; i < n; ++i) {
+        flow::flow_record x;
+        x.key.src.value = static_cast<std::uint32_t>(gen.uniform_int(1u << 31));
+        x.key.dst.value = static_cast<std::uint32_t>(gen.uniform_int(1u << 31));
+        x.key.src_port = static_cast<std::uint16_t>(gen.uniform_int(65536));
+        x.key.dst_port = static_cast<std::uint16_t>(gen.uniform_int(65536));
+        x.key.protocol = gen.chance(0.5) ? 6 : 17;
+        x.packets = 1 + gen.uniform_int(1000);
+        x.bytes = x.packets * 1500;
+        t += gen.uniform_int(10'000);
+        x.first_us = t;
+        x.last_us = t + gen.uniform_int(1'000'000);
+        x.ingress_pop = static_cast<int>(gen.uniform_int(11));
+        rs.push_back(x);
+    }
+    return rs;
+}
+
+struct framed_stream {
+    std::vector<std::uint8_t> bytes;
+    /// Byte offset of each frame's header and its total wire length.
+    std::vector<std::pair<std::size_t, std::size_t>> frames;
+    std::vector<std::size_t> frame_records;
+};
+
+/// Encode `records` as frames of `per_frame` records, tracking each
+/// frame's byte extent so tests can corrupt surgical spots.
+framed_stream build_stream(const std::vector<flow::flow_record>& records,
+                           std::size_t per_frame) {
+    std::ostringstream os;
+    flow_codec_writer w(os, {.records_per_frame = per_frame});
+    framed_stream fs;
+    std::size_t prev_end = kFileHeaderBytes;
+    for (std::size_t i = 0; i < records.size(); i += per_frame) {
+        const std::size_t n = std::min(per_frame, records.size() - i);
+        w.add(std::span(records).subspan(i, n));
+        w.flush_frame();
+        const auto end = static_cast<std::size_t>(os.tellp());
+        fs.frames.emplace_back(prev_end, end - prev_end);
+        fs.frame_records.push_back(n);
+        prev_end = end;
+    }
+    w.finish();
+    const std::string s = os.str();
+    fs.bytes.assign(s.begin(), s.end());
+    return fs;
+}
+
+struct read_result {
+    std::vector<flow::flow_record> records;
+    codec_stats stats;
+    quarantine_stats qstats;
+};
+
+read_result read_all(const std::vector<std::uint8_t>& bytes,
+                     codec_read_options opts) {
+    std::istringstream is(
+        std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+    flow_codec_reader r(is, opts);
+    read_result out;
+    std::vector<flow::flow_record> frame;
+    while (r.next_frame(frame))
+        out.records.insert(out.records.end(), frame.begin(), frame.end());
+    out.stats = r.stats();
+    out.qstats = r.quarantine();
+    return out;
+}
+
+bool same_record(const flow::flow_record& a, const flow::flow_record& b) {
+    return a.key.src.value == b.key.src.value &&
+           a.key.dst.value == b.key.dst.value &&
+           a.key.src_port == b.key.src_port &&
+           a.key.dst_port == b.key.dst_port &&
+           a.key.protocol == b.key.protocol && a.packets == b.packets &&
+           a.bytes == b.bytes && a.first_us == b.first_us &&
+           a.last_us == b.last_us && a.ingress_pop == b.ingress_pop;
+}
+
+constexpr codec_read_options kQuarantine{
+    .on_corrupt = corrupt_policy::quarantine};
+
+}  // namespace
+
+TEST(QuarantineTest, CleanStreamMatchesFailFastWithZeroStats) {
+    const auto records = make_records(200, 7);
+    const auto fs = build_stream(records, 32);
+    const auto strict = read_all(fs.bytes, {});
+    const auto lenient = read_all(fs.bytes, kQuarantine);
+    ASSERT_EQ(strict.records.size(), lenient.records.size());
+    for (std::size_t i = 0; i < strict.records.size(); ++i)
+        EXPECT_TRUE(same_record(strict.records[i], lenient.records[i])) << i;
+    EXPECT_EQ(lenient.qstats.frames_quarantined, 0u);
+    EXPECT_EQ(lenient.qstats.records_lost_corrupt, 0u);
+    EXPECT_EQ(lenient.qstats.resyncs, 0u);
+    EXPECT_EQ(lenient.qstats.resync_bytes_skipped, 0u);
+    EXPECT_EQ(lenient.stats.wire_bytes, fs.bytes.size());
+}
+
+TEST(QuarantineTest, PayloadCorruptionLosesExactlyThatFrame) {
+    const auto records = make_records(160, 11);
+    auto fs = build_stream(records, 32);  // 5 frames of 32
+    // Flip one payload byte in frame 2 (past its 24-byte header).
+    const auto [off, len] = fs.frames[2];
+    fs.bytes[off + kFrameHeaderBytes + len / 2] ^= 0x10;
+
+    const auto got = read_all(fs.bytes, kQuarantine);
+    EXPECT_EQ(got.qstats.frames_quarantined, 1u);
+    EXPECT_EQ(got.qstats.records_lost_corrupt, 32u);
+    EXPECT_EQ(got.qstats.resyncs, 0u);  // boundary was never in doubt
+    ASSERT_EQ(got.records.size(), records.size() - 32);
+    // Frames 0,1 then 3,4 — all surviving records bit-identical.
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        if (i >= 64 && i < 96) continue;  // the quarantined frame
+        EXPECT_TRUE(same_record(records[i], got.records[idx++])) << i;
+    }
+}
+
+TEST(QuarantineTest, CorruptLengthFieldResyncsToNextFrame) {
+    const auto records = make_records(160, 13);
+    auto fs = build_stream(records, 32);
+    // Smash frame 1's payload_bytes field (bytes 4..7 of its header) so
+    // the envelope check fails and the boundary is lost.
+    const auto [off, len] = fs.frames[1];
+    fs.bytes[off + 7] = 0xFF;
+
+    const auto got = read_all(fs.bytes, kQuarantine);
+    EXPECT_EQ(got.qstats.frames_quarantined, 1u);
+    EXPECT_EQ(got.qstats.resyncs, 1u);
+    // The scan discarded frame 1's header + payload before locking onto
+    // frame 2's header.
+    EXPECT_EQ(got.qstats.resync_bytes_skipped, len);
+    ASSERT_EQ(got.records.size(), records.size() - 32);
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        if (i >= 32 && i < 64) continue;
+        EXPECT_TRUE(same_record(records[i], got.records[idx++])) << i;
+    }
+}
+
+TEST(QuarantineTest, GarbageBetweenFramesIsSkipped) {
+    const auto records = make_records(96, 17);
+    auto fs = build_stream(records, 32);
+    // Splice 300 bytes of junk between frames 1 and 2.
+    const auto [off2, len2] = fs.frames[2];
+    std::vector<std::uint8_t> junk(300);
+    for (std::size_t i = 0; i < junk.size(); ++i)
+        junk[i] = static_cast<std::uint8_t>(i * 167 + 3);
+    fs.bytes.insert(fs.bytes.begin() + static_cast<std::ptrdiff_t>(off2),
+                    junk.begin(), junk.end());
+
+    const auto got = read_all(fs.bytes, kQuarantine);
+    EXPECT_EQ(got.qstats.resyncs, 1u);
+    EXPECT_EQ(got.qstats.resync_bytes_skipped, junk.size());
+    ASSERT_EQ(got.records.size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i)
+        EXPECT_TRUE(same_record(records[i], got.records[i])) << i;
+}
+
+TEST(QuarantineTest, TruncatedTailIsCountedNotFatal) {
+    const auto records = make_records(96, 19);
+    auto fs = build_stream(records, 32);
+    // Chop mid-way through the last frame's payload.
+    const auto [off, len] = fs.frames[2];
+    fs.bytes.resize(off + kFrameHeaderBytes + len / 3);
+
+    const auto got = read_all(fs.bytes, kQuarantine);
+    EXPECT_EQ(got.records.size(), 64u);
+    EXPECT_EQ(got.qstats.frames_quarantined, 1u);
+    EXPECT_GT(got.qstats.resync_bytes_skipped, 0u);
+    EXPECT_EQ(got.qstats.resyncs, 0u);  // nothing left to resync into
+}
+
+TEST(QuarantineTest, ErrorBudgetAbortsOnSustainedGarbage) {
+    const auto records = make_records(320, 23);
+    auto fs = build_stream(records, 32);  // 10 frames
+    // Corrupt every frame's payload: a feed this bad is systemic.
+    for (const auto& [off, len] : fs.frames)
+        fs.bytes[off + kFrameHeaderBytes + 1] ^= 0x08;
+
+    codec_read_options opts = kQuarantine;
+    opts.budget_window_frames = 8;
+    opts.budget_max_corrupt = 2;
+    try {
+        read_all(fs.bytes, opts);
+        FAIL() << "expected error_budget_exceeded";
+    } catch (const codec_error& e) {
+        EXPECT_EQ(e.code(), codec_errc::error_budget_exceeded);
+    }
+
+    // A generous budget rides out the same stream (losing every frame).
+    opts.budget_window_frames = 0;
+    const auto got = read_all(fs.bytes, opts);
+    EXPECT_EQ(got.records.size(), 0u);
+    EXPECT_EQ(got.qstats.frames_quarantined, fs.frames.size());
+    EXPECT_EQ(got.qstats.records_lost_corrupt, records.size());
+}
+
+TEST(QuarantineTest, FileHeaderIsValidatedUnderEitherPolicy) {
+    const auto records = make_records(32, 29);
+    auto fs = build_stream(records, 32);
+    fs.bytes[0] ^= 0xFF;
+    try {
+        read_all(fs.bytes, kQuarantine);
+        FAIL() << "expected bad_magic";
+    } catch (const codec_error& e) {
+        EXPECT_EQ(e.code(), codec_errc::bad_magic);
+    }
+}

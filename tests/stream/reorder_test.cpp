@@ -233,12 +233,187 @@ TEST(ReorderTest, StragglerAfterBackwardTimeBaseResetIsAccepted) {
     EXPECT_EQ(bins[1].stats.records, 1u);
 }
 
-TEST(ReorderTest, DeeperBuffersAreRejected) {
+TEST(ReorderTest, WindowLimitsAreEnforced) {
     const auto topo = net::topology::abilene();
     pipeline_options opts;
     opts.online = small_online();
-    opts.reorder_window_bins = 2;
+    opts.reorder_window_bins = 64;  // the cap itself is accepted
+    stream_pipeline ok(topo, opts);
+    opts.reorder_window_bins = 65;
     EXPECT_THROW(stream_pipeline(topo, opts), std::invalid_argument);
+    // The window may not exceed max_gap_bins: a straggler inside the
+    // window must never read as a time-base discontinuity.
+    opts.reorder_window_bins = 8;
+    opts.max_gap_bins = 4;
+    EXPECT_THROW(stream_pipeline(topo, opts), std::invalid_argument);
+}
+
+TEST(ReorderTest, DeepWindowOrderedStreamMatchesDefaultPathBitForBit) {
+    // The W=1 contract generalizes: for any window depth, an in-order
+    // stream produces bins and verdicts identical to reorder off.
+    const auto topo = net::topology::abilene();
+    const traffic::background_model bg(topo);
+    const auto stream = make_stream(bg, 10);
+
+    pipeline_options base;
+    base.shards = 2;
+    base.online = small_online();
+    std::vector<bin_result> ref;
+    {
+        stream_pipeline p(topo, base);
+        p.on_bin([&](const bin_result& r) { ref.push_back(r); });
+        p.push(stream);
+        p.finish();
+    }
+    for (const std::size_t w : {2u, 5u, 64u}) {
+        auto opts = base;
+        opts.reorder_window_bins = w;
+        std::vector<bin_result> got;
+        stream_pipeline p(topo, opts);
+        p.on_bin([&](const bin_result& r) { got.push_back(r); });
+        p.push(stream);
+        p.finish();
+        EXPECT_EQ(p.metrics().records_reordered, 0u) << w;
+        ASSERT_EQ(got.size(), ref.size()) << w;
+        for (std::size_t b = 0; b < ref.size(); ++b) {
+            EXPECT_EQ(got[b].stats.bin, ref[b].stats.bin) << w;
+            for (int f = 0; f < flow::feature_count; ++f)
+                EXPECT_EQ(got[b].stats.snapshot.entropies[f],
+                          ref[b].stats.snapshot.entropies[f])
+                    << w << ":" << b;
+            EXPECT_EQ(got[b].verdict.spe, ref[b].verdict.spe) << w << ":" << b;
+        }
+    }
+}
+
+TEST(ReorderTest, StragglersUpToWindowDepthAreAccepted) {
+    const auto topo = net::topology::abilene();
+    pipeline_options opts;
+    opts.shards = 1;
+    opts.online = small_online();
+    opts.reorder_window_bins = 3;
+    stream_pipeline p(topo, opts);
+    std::vector<bin_result> bins;
+    p.on_bin([&](const bin_result& r) { bins.push_back(r); });
+
+    // Bins 0..4 arrive in order; with W = 3 the cursor at 4 keeps bins
+    // 1, 2, 3 held open and has scored only bin 0.
+    std::vector<flow::flow_record> batch;
+    for (std::size_t b = 0; b <= 4; ++b) batch.push_back(record_in_bin(topo, b));
+    p.push(batch);
+    ASSERT_EQ(bins.size(), 1u);
+    EXPECT_EQ(bins[0].stats.bin, 0u);
+
+    // Stragglers one, two, and three bins behind the cursor all land.
+    std::vector<flow::flow_record> stragglers = {record_in_bin(topo, 3, 9),
+                                                 record_in_bin(topo, 2, 9),
+                                                 record_in_bin(topo, 1, 9)};
+    p.push(stragglers);
+    EXPECT_EQ(p.metrics().records_reordered, 3u);
+    EXPECT_EQ(p.metrics().late_records, 0u);
+
+    // Four bins behind (bin 0, already scored) is late.
+    std::vector<flow::flow_record> too_late = {record_in_bin(topo, 0, 11)};
+    p.push(too_late);
+    EXPECT_EQ(p.metrics().late_records, 1u);
+
+    p.finish();
+    ASSERT_EQ(bins.size(), 5u);
+    const std::uint64_t expect_records[5] = {1, 2, 2, 2, 1};
+    for (std::size_t b = 0; b < 5; ++b) {
+        EXPECT_EQ(bins[b].stats.bin, b);
+        EXPECT_EQ(bins[b].stats.records, expect_records[b]);
+    }
+    const auto& m = p.metrics();
+    EXPECT_EQ(m.records_in, m.records_accumulated + m.late_records +
+                                m.resolver_drops.total());
+}
+
+TEST(ReorderTest, JumpBeyondWindowKeepsImplicitBinsStragglerEligible) {
+    // A forward jump wider than the window emits everything below the
+    // window's new lower edge; the in-window bins nothing landed in yet
+    // stay implicit: a straggler retro-opens one, and the rest emit as
+    // empty gap bins in ascending order.
+    const auto topo = net::topology::abilene();
+    pipeline_options opts;
+    opts.shards = 1;
+    opts.online = small_online();
+    opts.reorder_window_bins = 4;
+    stream_pipeline p(topo, opts);
+    std::vector<bin_result> bins;
+    p.on_bin([&](const bin_result& r) { bins.push_back(r); });
+
+    std::vector<flow::flow_record> batch = {record_in_bin(topo, 0),
+                                            record_in_bin(topo, 10)};
+    p.push(batch);
+    // Window is now [6, 10]: bins 0..5 scored, 6..9 implicit.
+    ASSERT_EQ(bins.size(), 6u);
+
+    std::vector<flow::flow_record> straggler = {record_in_bin(topo, 7)};
+    p.push(straggler);
+    EXPECT_EQ(p.metrics().records_reordered, 1u);
+    EXPECT_EQ(p.metrics().late_records, 0u);
+    std::vector<flow::flow_record> late = {record_in_bin(topo, 5, 9)};
+    p.push(late);
+    EXPECT_EQ(p.metrics().late_records, 1u);
+
+    p.finish();
+    ASSERT_EQ(bins.size(), 11u);
+    for (std::size_t b = 0; b < 11; ++b) {
+        EXPECT_EQ(bins[b].stats.bin, b);
+        EXPECT_EQ(bins[b].stats.records,
+                  (b == 0 || b == 7 || b == 10) ? 1u : 0u);
+    }
+}
+
+TEST(ReorderTest, DeepWindowCheckpointRoundTripIsBitIdentical) {
+    // A snapshot cut while several bins are held open restores the full
+    // ring: the resumed pipeline finishes bit-identically to the
+    // uninterrupted one.
+    const auto topo = net::topology::abilene();
+    const traffic::background_model bg(topo);
+    const auto stream = make_stream(bg, 8);
+    pipeline_options opts;
+    opts.shards = 2;
+    opts.online = small_online();
+    opts.reorder_window_bins = 3;
+
+    std::vector<bin_result> ref;
+    {
+        stream_pipeline p(topo, opts);
+        p.on_bin([&](const bin_result& r) { ref.push_back(r); });
+        p.push(stream);
+        p.finish();
+    }
+
+    stream_pipeline p(topo, opts);
+    std::vector<bin_result> got;
+    p.on_bin([&](const bin_result& r) { got.push_back(r); });
+    const std::size_t half = stream.size() / 2;  // mid-bin, ring populated
+    p.push(std::span(stream).first(half));
+
+    io::snapshot_writer snap(p.config_fingerprint());
+    p.save_state(snap);
+    const io::snapshot_reader loaded(snap.serialize(),
+                                     p.config_fingerprint());
+    stream_pipeline q(topo, opts);
+    q.on_bin([&](const bin_result& r) { got.push_back(r); });
+    q.restore_state(loaded);
+    q.push(std::span(stream).subspan(
+        static_cast<std::size_t>(q.metrics().records_in)));
+    q.finish();
+
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t b = 0; b < ref.size(); ++b) {
+        EXPECT_EQ(got[b].stats.bin, ref[b].stats.bin);
+        EXPECT_EQ(got[b].stats.records, ref[b].stats.records);
+        for (int f = 0; f < flow::feature_count; ++f)
+            EXPECT_EQ(got[b].stats.snapshot.entropies[f],
+                      ref[b].stats.snapshot.entropies[f])
+                << b;
+        EXPECT_EQ(got[b].verdict.spe, ref[b].verdict.spe) << b;
+        EXPECT_EQ(got[b].verdict.anomalous, ref[b].verdict.anomalous) << b;
+    }
 }
 
 TEST(ReorderTest, VerdictsMatchAStreamThatWasNeverOutOfOrder) {
