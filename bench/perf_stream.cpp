@@ -11,6 +11,10 @@
 
 #include "flow/od_aggregator.h"
 #include "net/topology.h"
+#include "obs/alert.h"
+#include "obs/bridge.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
 #include "stream/flow_codec.h"
 #include "stream/pipeline.h"
 #include "stream/shard.h"
@@ -127,6 +131,98 @@ void bm_stream_ingest(benchmark::State& state) {
                              static_cast<double>(state.iterations());
 }
 BENCHMARK(bm_stream_ingest)->Unit(benchmark::kMillisecond);
+
+// The same end-to-end ingest with the full observability harness wired
+// in (registry + stage timers + alerts + ring sink + bridge). CI gates
+// this against bm_stream_ingest with --compare: event emission and
+// metric adoption must stay within a few percent of the bare pipeline.
+void bm_stream_ingest_events(benchmark::State& state) {
+    static const auto bytes = stream::encode_records(day_stream());
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        obs::metrics_registry registry;
+        obs::stage_timers timers = obs::register_stage_timers(registry);
+        obs::alert_manager alerts;
+        obs::ring_sink sink(256);
+        stream::pipeline_options opts;
+        opts.online.window = 8;
+        opts.online.warmup = 4;
+        opts.online.refit_interval = 4;
+        opts.online.subspace.normal_dims = 2;
+        opts.online.refit_timer = timers.refit;
+        opts.timers = &timers;
+        stream::stream_pipeline pipeline(abilene(), opts);
+        obs::bridge_options bopts;
+        bopts.sink = &sink;
+        bopts.registry = &registry;
+        bopts.alerts = &alerts;
+        bopts.topology = &abilene();
+        obs::pipeline_bridge bridge(pipeline, bopts);
+        pipeline.on_bin([&](const stream::bin_result& r) {
+            bridge.observe_bin(r);
+        });
+        std::istringstream in(
+            std::string(reinterpret_cast<const char*>(bytes.data()),
+                        bytes.size()));
+        stream::flow_codec_reader reader(in);
+        pipeline.run(reader);
+        bridge.sync_metrics();
+        benchmark::DoNotOptimize(pipeline.metrics().bins_emitted);
+        events += bridge.emitter().emitted();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(day_stream().size()));
+    state.counters["events"] = static_cast<double>(events) /
+                               static_cast<double>(state.iterations());
+}
+BENCHMARK(bm_stream_ingest_events)->Unit(benchmark::kMillisecond);
+
+// Serialization cost of one structured event (a bin_closed — the
+// highest-frequency type) through the emitter into the /events/recent
+// ring: what every closed bin pays on top of the pipeline work.
+void bm_event_emit(benchmark::State& state) {
+    obs::ring_sink sink(256);
+    obs::event_emitter emitter(&sink);
+    std::uint64_t bin = 0;
+    for (auto _ : state) {
+        obs::bin_closed_data d;
+        d.records = 12345;
+        d.scored = true;
+        d.close_ns = 1234567;
+        benchmark::DoNotOptimize(
+            emitter.emit(bin++, obs::event_data(d)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_event_emit)->Unit(benchmark::kMicrosecond);
+
+// One /metrics scrape: render the daemon's full metric surface (the
+// bridge's adopted counters + gauges and the five stage histograms).
+void bm_metrics_render(benchmark::State& state) {
+    obs::metrics_registry registry;
+    obs::stage_timers timers = obs::register_stage_timers(registry);
+    obs::alert_manager alerts;
+    stream::pipeline_options opts;
+    opts.online.window = 8;
+    opts.online.warmup = 4;
+    opts.online.subspace.normal_dims = 2;
+    stream::stream_pipeline pipeline(abilene(), opts);
+    obs::bridge_options bopts;
+    bopts.registry = &registry;
+    bopts.alerts = &alerts;
+    obs::pipeline_bridge bridge(pipeline, bopts);
+    bridge.sync_metrics();
+    for (int i = 0; i < 1000; ++i) {  // populate histogram buckets
+        timers.decode->record_ns(1000 + i * 977);
+        timers.bin_close->record_ns(100000 + i * 99991);
+    }
+    for (auto _ : state) {
+        const std::string text = registry.render_prometheus();
+        benchmark::DoNotOptimize(text.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_metrics_render)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -7,6 +7,7 @@
 // a working miniature of the system the paper envisions.
 //
 // Usage: anomaly_classifier [seed] [days]
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -27,9 +28,8 @@ int main(int argc, char** argv) {
     cfg.schedule.anomalies_per_day = 14;
     network_study study(cfg);
     std::printf("anomaly_classifier: %s, %zu days, %zu planted anomalies "
-                "(seed %llu)\n\n",
-                cfg.name.c_str(), days, study.schedule().size(),
-                static_cast<unsigned long long>(seed));
+                "(seed %" PRIu64 ")\n\n",
+                cfg.name.c_str(), days, study.schedule().size(), seed);
 
     diagnosis_options opts;
     opts.alpha = 0.999;

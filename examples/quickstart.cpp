@@ -6,6 +6,7 @@
 // space.
 //
 // Usage: quickstart [seed]
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 
@@ -16,8 +17,7 @@
 
 int main(int argc, char** argv) {
     const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
-    std::printf("tfd quickstart (seed %llu)\n\n",
-                static_cast<unsigned long long>(seed));
+    std::printf("tfd quickstart (seed %" PRIu64 ")\n\n", seed);
 
     // 1. The network: Abilene, 11 PoPs, 121 OD flows.
     const auto topo = tfd::net::topology::abilene();

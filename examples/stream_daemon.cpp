@@ -17,6 +17,19 @@
 //          [--fault-ckpt-fail-rate=R]
 //          [--supervise] [--max-restarts=N] [--watchdog-secs=N]
 //          [--crash-after-bins=N]
+//          [--events=FILE] [--metrics-port=N] [--serve-secs=N]
+//
+// Observability (tfd::obs): every bin close, anomaly, checkpoint save/
+// restore, quarantine fold, time-base reset and backpressure stall is
+// a typed event. --events=FILE appends them as schema-versioned JSONL;
+// the most recent 256 are always retained in memory. --metrics-port=N
+// serves, on 127.0.0.1 only: /metrics (Prometheus text: adopted
+// pipeline counters, derived gauges, per-stage latency histograms),
+// /healthz, /alerts (severity-graded, per-OD deduped anomaly state)
+// and /events/recent (the retained JSONL). N=0 picks an ephemeral port
+// (printed). --serve-secs=S keeps the endpoint alive S seconds after
+// the drain so external scrapers can collect a finished run. stdout
+// carries only a thin summary — the event stream is the full record.
 //
 // Checkpointing: with --checkpoint-dir the daemon snapshots its full
 // pipeline state (open-bin histograms, detector window + model, cursor,
@@ -45,6 +58,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cinttypes>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -55,6 +69,7 @@
 #include <span>
 #include <sstream>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -62,6 +77,11 @@
 #include "flow/flow_capture.h"
 #include "io/fault.h"
 #include "net/topology.h"
+#include "obs/alert.h"
+#include "obs/bridge.h"
+#include "obs/http.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
 #include "stream/checkpoint.h"
 #include "stream/pipeline.h"
 #include "traffic/rng.h"
@@ -91,6 +111,9 @@ struct daemon_config {
     std::size_t max_restarts = 3;
     std::size_t watchdog_secs = 30;
     std::size_t crash_after_bins = 0;
+    std::string events_path;   ///< JSONL event file (empty = none)
+    int metrics_port = -1;     ///< -1 disabled, 0 ephemeral, else fixed
+    std::size_t serve_secs = 0;  ///< keep the endpoint up after the drain
 };
 
 // Synthesize raw packets seen at one ingress PoP during one 5-minute bin.
@@ -153,14 +176,13 @@ std::string build_spool(const daemon_config& cfg, const net::topology& topo,
     writer.finish();
     if (verbose) {
         const auto& ws = writer.stats();
-        std::printf("capture: %llu packets offered, %llu sampled (1-in-100)\n",
-                    static_cast<unsigned long long>(offered),
-                    static_cast<unsigned long long>(selected));
-        std::printf("codec spool: %llu records in %llu frames, %llu wire "
+        std::printf("capture: %" PRIu64 " packets offered, %" PRIu64
+                    " sampled (1-in-100)\n",
+                    offered, selected);
+        std::printf("codec spool: %" PRIu64 " records in %" PRIu64
+                    " frames, %" PRIu64 " wire "
                     "bytes (%.1f bytes/record vs %zu in-memory)\n\n",
-                    static_cast<unsigned long long>(ws.records),
-                    static_cast<unsigned long long>(ws.frames),
-                    static_cast<unsigned long long>(ws.wire_bytes),
+                    ws.records, ws.frames, ws.wire_bytes,
                     ws.records ? static_cast<double>(ws.wire_bytes) /
                                      static_cast<double>(ws.records)
                                : 0.0,
@@ -186,6 +208,29 @@ int run_worker(const daemon_config& cfg, std::size_t attempt) {
                 cfg.packets_per_bin, topo.pop_count());
     const std::string spool = build_spool(cfg, topo, attempt == 0);
 
+    // --- observability surface ------------------------------------------
+    // Always on: the registry, per-stage timers, alert manager and the
+    // in-memory recent-events ring cost nothing measurable without a
+    // scraper attached; the file sink and HTTP endpoint are opt-in.
+    obs::metrics_registry registry;
+    obs::stage_timers timers = obs::register_stage_timers(registry);
+    obs::alert_manager alerts;
+    obs::ring_sink recent_events(256);
+    obs::tee_sink event_tee;
+    event_tee.add(&recent_events);
+    std::optional<obs::file_sink> event_file;
+    if (!cfg.events_path.empty()) {
+        try {
+            event_file.emplace(cfg.events_path);
+        } catch (const std::system_error& e) {
+            std::fprintf(stderr, "stream_daemon: cannot open --events file "
+                         "%s: %s\n",
+                         cfg.events_path.c_str(), e.what());
+            return 2;
+        }
+        event_tee.add(&*event_file);
+    }
+
     // --- stream the spool through the pipeline --------------------------
     stream::pipeline_options popts;
     popts.shards = cfg.shards;
@@ -195,7 +240,16 @@ int run_worker(const daemon_config& cfg, std::size_t attempt) {
     popts.online.warmup = 4;
     popts.online.refit_interval = 4;
     popts.online.subspace.normal_dims = 2;
+    popts.online.refit_timer = timers.refit;
+    popts.timers = &timers;
     stream::stream_pipeline pipeline(topo, popts);
+
+    obs::bridge_options bopts;
+    bopts.sink = &event_tee;
+    bopts.registry = &registry;
+    bopts.alerts = &alerts;
+    bopts.topology = &topo;
+    obs::pipeline_bridge bridge(pipeline, bopts);
 
     // --- checkpoint/restore wiring --------------------------------------
     io::fault_injector ckpt_faults(
@@ -208,20 +262,22 @@ int run_worker(const daemon_config& cfg, std::size_t attempt) {
         stream::checkpoint_options copts;
         copts.jitter_seed = cfg.fault_seed;
         if (cfg.fault_ckpt_fail_rate > 0.0) copts.faults = &ckpt_faults;
+        copts.save_timer = timers.checkpoint_write;
         checkpointer.emplace(pipeline, cfg.checkpoint_dir,
                              cfg.checkpoint_every, cfg.checkpoint_keep,
                              copts);
+        bridge.wire_checkpointer(*checkpointer);
         if (cfg.resume || attempt > 0) {
             const auto report =
                 stream::restore_latest_checkpoint(pipeline, cfg.checkpoint_dir);
+            bridge.emit_checkpoint_restored(report);
             if (!report.restored_path.empty()) {
                 skip_records = pipeline.metrics().records_in;
-                std::printf("resume: restored %s at bin cursor %llu — "
-                            "skipping %llu already-consumed records\n",
+                std::printf("resume: restored %s at bin cursor %" PRIu64
+                            " — skipping %" PRIu64
+                            " already-consumed records\n",
                             report.restored_path.c_str(),
-                            static_cast<unsigned long long>(
-                                pipeline.metrics().bins_emitted),
-                            static_cast<unsigned long long>(skip_records));
+                            pipeline.metrics().bins_emitted, skip_records);
             } else {
                 std::printf("resume: no valid checkpoint in %s — cold "
                             "start\n",
@@ -240,28 +296,44 @@ int run_worker(const daemon_config& cfg, std::size_t attempt) {
         }
     }
 
+    // --- exposition endpoint --------------------------------------------
+    std::optional<obs::http_server> http;
+    if (cfg.metrics_port >= 0) {
+        obs::http_options hopts;
+        hopts.port = static_cast<std::uint16_t>(cfg.metrics_port);
+        hopts.registry = &registry;
+        hopts.alerts = &alerts;
+        hopts.recent_events = &recent_events;
+        hopts.healthz = [&bridge] { return bridge.healthz_json(); };
+        try {
+            http.emplace(std::move(hopts));
+        } catch (const std::system_error& e) {
+            std::fprintf(stderr, "stream_daemon: %s\n", e.what());
+            return 2;
+        }
+        std::printf("metrics: serving /metrics /healthz /alerts "
+                    "/events/recent on 127.0.0.1:%u\n\n",
+                    static_cast<unsigned>(http->port()));
+    }
+
     pipeline.on_bin([&](const stream::bin_result& r) {
         // The deliberate crash fires BEFORE the checkpoint hook: the
         // just-emitted bin's progress is lost and recovery must replay
         // it from the previous snapshot — the interesting case.
         if (cfg.crash_after_bins > 0 && attempt == 0 &&
             pipeline.metrics().bins_emitted >= cfg.crash_after_bins) {
-            std::printf("worker: deliberate crash after %llu bins\n",
-                        static_cast<unsigned long long>(
-                            pipeline.metrics().bins_emitted));
+            std::printf("worker: deliberate crash after %" PRIu64 " bins\n",
+                        pipeline.metrics().bins_emitted);
             std::fflush(stdout);
             _exit(kCrashExit);
         }
-        std::printf("bin %3zu: %6llu records  %s",
-                    r.stats.bin,
-                    static_cast<unsigned long long>(r.stats.records),
-                    !r.verdict.scored  ? "(warmup)\n"
-                    : r.verdict.anomalous ? ""
-                                          : "ok\n");
+        // The bin_closed / anomaly events (bridge) are the full record;
+        // stdout keeps a one-line note per anomaly only.
+        bridge.observe_bin(r);
         if (r.verdict.scored && r.verdict.anomalous) {
             const auto [o, d] = topo.od_pair(r.verdict.top_od);
-            std::printf("ANOMALY spe=%.3g > %.3g, top OD %s->%s\n",
-                        r.verdict.spe, r.verdict.threshold,
+            std::printf("bin %3zu: ANOMALY spe=%.3g > %.3g, top OD %s->%s\n",
+                        r.stats.bin, r.verdict.spe, r.verdict.threshold,
                         topo.pop_at(o).name.c_str(),
                         topo.pop_at(d).name.c_str());
         }
@@ -316,10 +388,11 @@ int run_worker(const daemon_config& cfg, std::size_t attempt) {
             // completion with zero new bins" would mask a workload
             // mismatch (the run shape is not config-fingerprinted).
             std::fprintf(stderr,
-                         "stream_daemon: checkpoint is %llu records ahead "
+                         "stream_daemon: checkpoint is %" PRIu64
+                         " records ahead "
                          "of this spool — wrong [bins]/[packets] for this "
                          "checkpoint?\n",
-                         static_cast<unsigned long long>(skip_records));
+                         skip_records);
             return 2;
         }
         pipeline.finish();
@@ -330,9 +403,10 @@ int run_worker(const daemon_config& cfg, std::size_t attempt) {
         // which would double-count the skipped prefix.
         const auto& q = reader.quarantine();
         if (q.frames_quarantined > 0)
-            std::printf("replay: %llu corrupt frames re-quarantined while "
+            std::printf("replay: %" PRIu64
+                        " corrupt frames re-quarantined while "
                         "skipping the consumed prefix\n",
-                        static_cast<unsigned long long>(q.frames_quarantined));
+                        q.frames_quarantined);
     }
     } catch (const stream::codec_error& e) {
         // fail_fast (or an exhausted quarantine error budget): a daemon
@@ -346,45 +420,57 @@ int run_worker(const daemon_config& cfg, std::size_t attempt) {
         return 3;
     }
 
+    // Expose the post-drain state (quarantine folds, late drops past the
+    // last bin close) before the summary and any late scrapes.
+    bridge.sync_metrics();
+
     const auto& m = pipeline.metrics();
-    std::printf("\npipeline: %zu frames consumed, %llu backpressure stalls\n",
-                frames,
-                static_cast<unsigned long long>(
-                    pipeline.last_run_blocked_pushes()));
-    std::printf("  records in/accumulated : %llu / %llu\n",
-                static_cast<unsigned long long>(m.records_in),
-                static_cast<unsigned long long>(m.records_accumulated));
+    std::printf("\npipeline: %zu frames consumed, %" PRIu64
+                " backpressure stalls\n",
+                frames, pipeline.last_run_blocked_pushes());
+    std::printf("  records in/accumulated : %" PRIu64 " / %" PRIu64 "\n",
+                m.records_in, m.records_accumulated);
     std::printf("  resolver drops         : %zu unknown ingress, %zu "
                 "unresolvable egress\n",
                 m.resolver_drops.unknown_ingress,
                 m.resolver_drops.unresolvable_egress);
-    std::printf("  late drops             : %llu\n",
-                static_cast<unsigned long long>(m.late_records));
-    std::printf("  bins emitted           : %llu (%llu empty, %llu "
-                "anomalous)\n",
-                static_cast<unsigned long long>(m.bins_emitted),
-                static_cast<unsigned long long>(m.empty_bins),
-                static_cast<unsigned long long>(m.anomalies));
+    std::printf("  late drops             : %" PRIu64 "\n", m.late_records);
+    std::printf("  bins emitted           : %" PRIu64 " (%" PRIu64
+                " empty, %" PRIu64 " anomalous)\n",
+                m.bins_emitted, m.empty_bins, m.anomalies);
     if (m.frames_quarantined > 0 || cfg.on_corrupt ==
                                         stream::corrupt_policy::quarantine)
-        std::printf("  quarantine             : %llu frames skipped, %llu "
-                    "records lost, %llu resync bytes\n",
-                    static_cast<unsigned long long>(m.frames_quarantined),
-                    static_cast<unsigned long long>(m.records_lost_corrupt),
-                    static_cast<unsigned long long>(m.resync_bytes_skipped));
+        std::printf("  quarantine             : %" PRIu64
+                    " frames skipped, %" PRIu64 " records lost, %" PRIu64
+                    " resync bytes\n",
+                    m.frames_quarantined, m.records_lost_corrupt,
+                    m.resync_bytes_skipped);
     if (checkpointer) {
         const auto& s = checkpointer->save_stats();
-        std::printf("  checkpoints            : %zu written, %llu retries, "
-                    "%llu failed\n",
-                    checkpointer->checkpoints_written(),
-                    static_cast<unsigned long long>(s.save_retries),
-                    static_cast<unsigned long long>(s.saves_failed));
+        std::printf("  checkpoints            : %zu written, %" PRIu64
+                    " retries, %" PRIu64 " failed\n",
+                    checkpointer->checkpoints_written(), s.save_retries,
+                    s.saves_failed);
     }
     std::printf("  ingest throughput      : %.0f records/s\n",
                 m.records_per_second());
     std::printf("  bin close latency      : %.2f ms mean, %.2f ms max\n",
                 m.mean_bin_close_ms(),
                 static_cast<double>(m.max_bin_close_ns) / 1e6);
+    std::printf("  events emitted         : %" PRIu64 " (%" PRIu64
+                " alerts, %" PRIu64 " suppressed)%s%s\n",
+                bridge.emitter().emitted(), alerts.alerts_total(),
+                alerts.suppressed_total(),
+                cfg.events_path.empty() ? "" : " -> ",
+                cfg.events_path.c_str());
+
+    if (http && cfg.serve_secs > 0) {
+        std::printf("\nmetrics: endpoint stays up %zus for scrapers "
+                    "(--serve-secs)\n",
+                    cfg.serve_secs);
+        std::fflush(stdout);
+        std::this_thread::sleep_for(std::chrono::seconds(cfg.serve_secs));
+    }
     return 0;
 }
 
@@ -496,7 +582,8 @@ bool parse_rate(const char* v, double& out) {
         "  [--fault-seed=S] [--fault-spool-bit-rate=R]\n"
         "  [--fault-ckpt-fail-rate=R]\n"
         "  [--supervise] [--max-restarts=N] [--watchdog-secs=N]\n"
-        "  [--crash-after-bins=N]\n",
+        "  [--crash-after-bins=N]\n"
+        "  [--events=FILE] [--metrics-port=N] [--serve-secs=N]\n",
         detail.c_str());
     std::exit(2);
 }
@@ -557,6 +644,17 @@ int main(int argc, char** argv) {
         } else if (value_of(arg, "--crash-after-bins=", &v)) {
             if (!parse_size(v, cfg.crash_after_bins))
                 usage_error("--crash-after-bins expects a number");
+        } else if (value_of(arg, "--events=", &v)) {
+            if (*v == '\0') usage_error("--events expects a file path");
+            cfg.events_path = v;
+        } else if (value_of(arg, "--metrics-port=", &v)) {
+            std::size_t port;
+            if (!parse_size(v, port) || port > 65535)
+                usage_error("--metrics-port expects a port (0 = ephemeral)");
+            cfg.metrics_port = static_cast<int>(port);
+        } else if (value_of(arg, "--serve-secs=", &v)) {
+            if (!parse_size(v, cfg.serve_secs))
+                usage_error("--serve-secs expects a number");
         } else if (arg.rfind("--", 0) == 0 || npos >= 3) {
             // A typo'd or space-separated flag must not be silently
             // swallowed as a positional zero (that would reconfigure
@@ -575,6 +673,8 @@ int main(int argc, char** argv) {
                     "without durable progress is just a retry loop)");
     if (cfg.crash_after_bins > 0 && !cfg.supervise)
         usage_error("--crash-after-bins only makes sense with --supervise");
+    if (cfg.serve_secs > 0 && cfg.metrics_port < 0)
+        usage_error("--serve-secs requires --metrics-port");
 
     return cfg.supervise ? run_supervised(cfg) : run_worker(cfg, 0);
 }

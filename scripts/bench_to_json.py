@@ -30,6 +30,14 @@ than PCT percent slower — the CI perf smoke uses this to fail on real
 regressions instead of eyeballing log output. --check-only skips
 rewriting the output file (checks still run), so a noisy CI runner
 never overwrites the curated perf record.
+
+--compare BASE:OTHER:PCT compares two benchmarks from the SAME run and
+exits nonzero if OTHER's per-item time exceeds BASE's by more than PCT
+percent. Both benchmarks ran on the same machine seconds apart, so the
+gate is immune to runner-to-runner noise — the CI obs smoke uses it to
+pin the observability overhead (bm_stream_ingest_events vs
+bm_stream_ingest). Per-item time (real_time / items_per_second scaling)
+is used when both report items, raw real_time otherwise.
 """
 
 import argparse
@@ -111,6 +119,10 @@ def main():
                          "recorded 'current' entry (repeatable)")
     ap.add_argument("--check-only", action="store_true",
                     help="run regression checks without rewriting --output")
+    ap.add_argument("--compare", action="append", default=[],
+                    metavar="BASE:OTHER:PCT",
+                    help="fail if OTHER is more than PCT%% slower than BASE "
+                         "within this same run (repeatable)")
     args = ap.parse_args()
 
     benchmarks = {}
@@ -162,6 +174,37 @@ def main():
         if verdict != "ok":
             failures.append(
                 f"{name}: {ratio:.3f}x the recorded time "
+                f"(allowed {1.0 + allowed / 100.0:.2f}x)")
+
+    for spec in args.compare:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise SystemExit(
+                f"error: --compare expects BASE:OTHER:PCT, got {spec!r}")
+        base_name, other_name, pct = parts
+        allowed = float(pct)
+        missing = [n for n in (base_name, other_name) if n not in benchmarks]
+        if missing:
+            failures.append(
+                f"{spec}: not produced by this run: {', '.join(missing)}")
+            continue
+
+        def per_item_ns(entry):
+            # Normalize to time-per-item when the benchmark reports
+            # throughput; otherwise compare wall time directly.
+            if entry.get("items_per_second"):
+                return 1e9 / entry["items_per_second"]
+            return to_ns(entry["real_time"], entry["time_unit"])
+
+        base_ns = per_item_ns(benchmarks[base_name])
+        other_ns = per_item_ns(benchmarks[other_name])
+        ratio = other_ns / base_ns if base_ns > 0 else float("inf")
+        verdict = "ok" if ratio <= 1.0 + allowed / 100.0 else "REGRESSION"
+        print(f"compare {other_name} vs {base_name}: {ratio:.3f}x "
+              f"(allowed +{allowed:.0f}%) {verdict}")
+        if verdict != "ok":
+            failures.append(
+                f"{other_name}: {ratio:.3f}x {base_name} "
                 f"(allowed {1.0 + allowed / 100.0:.2f}x)")
 
     if failures:

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "linalg/serialize.h"
+#include "obs/trace.h"
 
 namespace tfd::core {
 
@@ -71,6 +72,7 @@ std::vector<double> online_detector::flatten(const entropy_snapshot& s) const {
 }
 
 void online_detector::refit() {
+    obs::stage_span refit_span(opts_.refit_timer);
     // The incremental moments already hold everything a fit needs: the
     // per-feature-block energies are diagonal sums of the raw Gram, and
     // the covariance of the block-normalized window is a rescaling of it

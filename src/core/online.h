@@ -37,6 +37,10 @@
 #include "flow/flow_record.h"
 #include "io/wire.h"
 
+namespace tfd::obs {
+class latency_histogram;  // obs/metrics.h — optional refit latency sink
+}
+
 namespace tfd::core {
 
 /// One network-wide observation: per-OD entropy 4-tuples.
@@ -59,6 +63,11 @@ struct online_options {
     /// Rebuild the incremental Gram/sums exactly from the raw window
     /// every this many refits (drift bound). Must be > 0.
     std::size_t rematerialize_every = 8;
+    /// Optional latency sink: each refit() (the eigendecomposition
+    /// cadence) records its duration here when non-null.
+    /// Observability-only — excluded from the checkpoint fingerprint,
+    /// never changes behaviour.
+    obs::latency_histogram* refit_timer = nullptr;
 };
 
 /// Verdict for one scored bin.

@@ -1,0 +1,190 @@
+#include "obs/alert.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace tfd::obs {
+
+const char* severity_name(severity s) noexcept {
+    switch (s) {
+        case severity::warning: return "warning";
+        case severity::major: return "major";
+        case severity::critical: return "critical";
+    }
+    return "unknown";
+}
+
+alert_manager::alert_manager(alert_options opts) : opts_(opts) {
+    if (opts_.bucket_bins == 0 || opts_.bucket_count == 0)
+        throw std::invalid_argument(
+            "alert_manager: bucket_bins and bucket_count must be > 0");
+    if (!(opts_.major_ratio > 1.0) ||
+        !(opts_.critical_ratio > opts_.major_ratio))
+        throw std::invalid_argument(
+            "alert_manager: need 1 < major_ratio < critical_ratio");
+    ring_.resize(opts_.bucket_count);
+    ring_valid_.assign(opts_.bucket_count, false);
+}
+
+severity alert_manager::classify(double ratio) const noexcept {
+    if (ratio >= opts_.critical_ratio) return severity::critical;
+    if (ratio >= opts_.major_ratio) return severity::major;
+    return severity::warning;
+}
+
+alert_decision alert_manager::observe(std::uint64_t bin, int od, double spe,
+                                      double threshold) {
+    alert_decision d;
+    if (threshold > 0.0) {
+        d.ratio = spe / threshold;
+        d.sev = classify(d.ratio);
+    } else {
+        // No live threshold: cannot grade, assume the worst.
+        d.ratio = 0.0;
+        d.sev = severity::critical;
+    }
+
+    std::lock_guard lock(mu_);
+    newest_bin_ = any_observed_ ? std::max(newest_bin_, bin) : bin;
+    any_observed_ = true;
+
+    // Per-OD dedup: a repeat within the cooldown window is suppressed
+    // unless it escalates to a strictly higher severity.
+    const auto it = last_delivered_.find(od);
+    if (opts_.cooldown_bins > 0 && it != last_delivered_.end() &&
+        bin >= it->second.bin &&
+        bin - it->second.bin <= opts_.cooldown_bins &&
+        d.sev <= it->second.sev) {
+        d.suppressed = true;
+        ++suppressed_total_;
+    } else {
+        last_delivered_[od] = active_alert{od, bin, d.sev, d.ratio};
+        ++alerts_total_;
+    }
+
+    // Ring bucket (AnomalyHistoryTracker idiom): fixed slot by bin,
+    // lazily reset when a wrap reuses the slot for a newer window.
+    const std::uint64_t start =
+        (bin / opts_.bucket_bins) * opts_.bucket_bins;
+    const std::size_t idx =
+        static_cast<std::size_t>(bin / opts_.bucket_bins) % opts_.bucket_count;
+    alert_bucket& b = ring_[idx];
+    if (!ring_valid_[idx] || b.start_bin != start) {
+        b = alert_bucket{};
+        b.start_bin = start;
+        ring_valid_[idx] = true;
+    }
+    ++b.anomalies;
+    if (!d.suppressed) ++b.delivered;
+    ++b.by_severity[static_cast<int>(d.sev)];
+    if (d.ratio >= b.max_ratio) {
+        b.max_ratio = d.ratio;
+        b.max_od = od;
+    }
+    return d;
+}
+
+std::uint64_t alert_manager::alerts_total() const {
+    std::lock_guard lock(mu_);
+    return alerts_total_;
+}
+
+std::uint64_t alert_manager::suppressed_total() const {
+    std::lock_guard lock(mu_);
+    return suppressed_total_;
+}
+
+std::vector<alert_bucket> alert_manager::history() const {
+    std::lock_guard lock(mu_);
+    std::vector<alert_bucket> out;
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        if (ring_valid_[i]) out.push_back(ring_[i]);
+    std::sort(out.begin(), out.end(),
+              [](const alert_bucket& a, const alert_bucket& b) {
+                  return a.start_bin < b.start_bin;
+              });
+    return out;
+}
+
+std::vector<active_alert> alert_manager::active(std::uint64_t now_bin) const {
+    std::lock_guard lock(mu_);
+    std::vector<active_alert> out;
+    for (const auto& [od, a] : last_delivered_)
+        if (now_bin >= a.bin && now_bin - a.bin <= opts_.cooldown_bins)
+            out.push_back(a);
+    std::sort(out.begin(), out.end(),
+              [](const active_alert& a, const active_alert& b) {
+                  return a.od < b.od;
+              });
+    return out;
+}
+
+std::string alert_manager::to_json() const {
+    // Snapshot under the lock, format outside it.
+    std::uint64_t alerts, suppressed, now_bin;
+    {
+        std::lock_guard lock(mu_);
+        alerts = alerts_total_;
+        suppressed = suppressed_total_;
+        now_bin = newest_bin_;
+    }
+    const std::vector<active_alert> act = active(now_bin);
+    const std::vector<alert_bucket> hist = history();
+
+    json_writer w;
+    w.begin_object();
+    w.key("alerts_total");
+    w.value(alerts);
+    w.key("suppressed_total");
+    w.value(suppressed);
+    w.key("newest_bin");
+    w.value(now_bin);
+    w.key("cooldown_bins");
+    w.value(static_cast<std::uint64_t>(opts_.cooldown_bins));
+    w.key("bucket_bins");
+    w.value(static_cast<std::uint64_t>(opts_.bucket_bins));
+    w.key("active");
+    w.begin_array();
+    for (const active_alert& a : act) {
+        w.begin_object();
+        w.key("od");
+        w.value(a.od);
+        w.key("bin");
+        w.value(a.bin);
+        w.key("severity");
+        w.value(severity_name(a.sev));
+        w.key("ratio");
+        w.value(a.ratio);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("buckets");
+    w.begin_array();
+    for (const alert_bucket& b : hist) {
+        w.begin_object();
+        w.key("start_bin");
+        w.value(b.start_bin);
+        w.key("anomalies");
+        w.value(b.anomalies);
+        w.key("delivered");
+        w.value(b.delivered);
+        w.key("warning");
+        w.value(b.by_severity[0]);
+        w.key("major");
+        w.value(b.by_severity[1]);
+        w.key("critical");
+        w.value(b.by_severity[2]);
+        w.key("max_ratio");
+        w.value(b.max_ratio);
+        w.key("max_od");
+        w.value(b.max_od);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.take();
+}
+
+}  // namespace tfd::obs

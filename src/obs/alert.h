@@ -1,0 +1,115 @@
+// tfd::obs — alert manager: severity tiers, per-OD dedup/cooldown, and
+// a ring-bucketed anomaly history.
+//
+// Raw anomaly events are the record of truth, but an operator paging
+// surface needs less: *how bad* (severity from the SPE-vs-threshold
+// ratio — the same quantity the Q-statistic test already computes),
+// *is this new* (a per-OD cooldown so a multi-bin anomaly pages once,
+// with escalation breaking through when severity rises), and *what
+// happened lately* (a fixed ring of time buckets aggregating anomaly
+// counts — the Vibration-Motor-Monitoring AnomalyHistoryTracker idiom:
+// bucket index = (bin / bucket_bins) mod bucket_count, stale wraps
+// detected by the stored start bin). The whole state is queryable as
+// JSON over the HTTP endpoint (/alerts).
+//
+// Thread-safe: observe() runs on the pipeline thread, to_json()/
+// history() on the HTTP thread.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tfd::obs {
+
+enum class severity : int { warning = 0, major = 1, critical = 2 };
+
+/// Wire name ("warning" | "major" | "critical").
+const char* severity_name(severity s) noexcept;
+
+struct alert_options {
+    /// spe/threshold at or above this is major (below: warning).
+    double major_ratio = 2.0;
+    /// spe/threshold at or above this is critical.
+    double critical_ratio = 5.0;
+    /// A repeat alert for the same OD within this many bins of the last
+    /// delivered one is suppressed — unless its severity is strictly
+    /// higher (escalation always breaks through). 0 disables dedup.
+    std::size_t cooldown_bins = 6;
+    /// History granularity: bins aggregated per bucket (12 x 5-minute
+    /// bins = 1 hour).
+    std::size_t bucket_bins = 12;
+    /// Ring length (48 hourly buckets = 2 days of history).
+    std::size_t bucket_count = 48;
+};
+
+/// What the manager decided about one anomalous bin.
+struct alert_decision {
+    severity sev = severity::warning;
+    double ratio = 0.0;      ///< spe/threshold that produced `sev`
+    bool suppressed = false; ///< deduped by the per-OD cooldown
+};
+
+/// One history bucket (aggregate over `bucket_bins` consecutive bins).
+struct alert_bucket {
+    std::uint64_t start_bin = 0;  ///< first bin the bucket covers
+    std::uint64_t anomalies = 0;  ///< anomalous bins observed
+    std::uint64_t delivered = 0;  ///< alerts that survived dedup
+    std::uint64_t by_severity[3] = {0, 0, 0};
+    double max_ratio = 0.0;
+    int max_od = -1;  ///< OD of the worst anomaly in the bucket
+};
+
+/// One OD's most recent delivered alert (the dedup anchor).
+struct active_alert {
+    int od = -1;
+    std::uint64_t bin = 0;
+    severity sev = severity::warning;
+    double ratio = 0.0;
+};
+
+class alert_manager {
+public:
+    /// Throws std::invalid_argument on zero bucket_bins/bucket_count or
+    /// non-ascending severity ratios.
+    explicit alert_manager(alert_options opts = {});
+
+    /// Classify one anomalous bin. `threshold` <= 0 (a detector scoring
+    /// before a threshold exists cannot happen, but a defensive caller
+    /// might) is treated as critical with ratio 0.
+    alert_decision observe(std::uint64_t bin, int od, double spe,
+                           double threshold);
+
+    std::uint64_t alerts_total() const;      ///< delivered (not suppressed)
+    std::uint64_t suppressed_total() const;  ///< deduped by cooldown
+
+    /// Valid buckets, oldest first.
+    std::vector<alert_bucket> history() const;
+
+    /// ODs whose last delivered alert is within cooldown of `now_bin`
+    /// (the "currently firing" set).
+    std::vector<active_alert> active(std::uint64_t now_bin) const;
+
+    /// Full queryable state: totals, active alerts (relative to the
+    /// newest observed bin), and the bucket ring.
+    std::string to_json() const;
+
+    const alert_options& options() const noexcept { return opts_; }
+
+private:
+    severity classify(double ratio) const noexcept;
+
+    alert_options opts_;
+    mutable std::mutex mu_;
+    std::vector<alert_bucket> ring_;
+    std::vector<bool> ring_valid_;
+    std::unordered_map<int, active_alert> last_delivered_;
+    std::uint64_t alerts_total_ = 0;
+    std::uint64_t suppressed_total_ = 0;
+    std::uint64_t newest_bin_ = 0;
+    bool any_observed_ = false;
+};
+
+}  // namespace tfd::obs

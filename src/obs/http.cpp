@@ -1,0 +1,163 @@
+#include "obs/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+#include "obs/alert.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+
+namespace tfd::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+void send_all(int fd, std::string_view data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = send(fd, data.data() + off, data.size() - off,
+                               MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return;  // client gone; nothing useful to do
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+void respond(int fd, int status, const char* reason,
+             const char* content_type, std::string_view body) {
+    std::string head = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                       "\r\nContent-Type: " + content_type +
+                       "\r\nContent-Length: " + std::to_string(body.size()) +
+                       "\r\nConnection: close\r\n\r\n";
+    send_all(fd, head);
+    send_all(fd, body);
+}
+
+}  // namespace
+
+http_server::http_server(http_options opts) : opts_(std::move(opts)) {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        throw std::system_error(errno, std::generic_category(),
+                                "http_server: socket");
+    const int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(opts_.port);
+    if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+        listen(listen_fd_, 16) != 0) {
+        const int err = errno;
+        close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::system_error(err, std::generic_category(),
+                                "http_server: cannot bind port " +
+                                    std::to_string(opts_.port));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0)
+        port_ = ntohs(bound.sin_port);
+    thread_ = std::thread([this] { serve(); });
+}
+
+http_server::~http_server() { stop(); }
+
+void http_server::stop() {
+    if (!thread_.joinable()) return;
+    stopping_.store(true, std::memory_order_relaxed);
+    // Unblock accept(): shutdown is not enough for a listening socket
+    // on all kernels, so close the fd too — the accept loop treats the
+    // resulting error + stopping_ flag as a clean exit.
+    shutdown(listen_fd_, SHUT_RDWR);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    thread_.join();
+}
+
+void http_server::serve() {
+    for (;;) {
+        const int fd = accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load(std::memory_order_relaxed)) return;
+            if (errno == EINTR || errno == ECONNABORTED) continue;
+            return;  // listener is gone
+        }
+        // Bound how long a slow client can hold the single server
+        // thread (this is a diagnostics endpoint, not a web server).
+        timeval tv{.tv_sec = 2, .tv_usec = 0};
+        setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+        handle_connection(fd);
+        close(fd);
+    }
+}
+
+void http_server::handle_connection(int fd) {
+    std::string req;
+    char buf[2048];
+    while (req.size() < kMaxRequestBytes &&
+           req.find("\r\n\r\n") == std::string::npos &&
+           req.find("\n\n") == std::string::npos) {
+        const ssize_t n = recv(fd, buf, sizeof buf, 0);
+        if (n <= 0) break;
+        req.append(buf, static_cast<std::size_t>(n));
+    }
+    const std::size_t line_end = req.find_first_of("\r\n");
+    if (line_end == std::string::npos) return;  // not HTTP; just close
+    const std::string line = req.substr(0, line_end);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+
+    // "METHOD /path HTTP/1.x"
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        respond(fd, 400, "Bad Request", "text/plain", "bad request\n");
+        return;
+    }
+    const std::string method = line.substr(0, sp1);
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+    if (method != "GET") {
+        respond(fd, 405, "Method Not Allowed", "text/plain",
+                "GET only\n");
+        return;
+    }
+
+    if (path == "/metrics" && opts_.registry) {
+        respond(fd, 200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                opts_.registry->render_prometheus());
+    } else if (path == "/healthz") {
+        const std::string body =
+            opts_.healthz ? opts_.healthz() : std::string("{\"status\":\"ok\"}");
+        respond(fd, 200, "OK", "application/json", body);
+    } else if (path == "/alerts" && opts_.alerts) {
+        respond(fd, 200, "OK", "application/json", opts_.alerts->to_json());
+    } else if (path == "/events/recent" && opts_.recent_events) {
+        std::string body;
+        for (const std::string& l : opts_.recent_events->recent()) {
+            body += l;
+            body += '\n';
+        }
+        respond(fd, 200, "OK", "application/x-ndjson", body);
+    } else {
+        respond(fd, 404, "Not Found", "text/plain", "not found\n");
+    }
+}
+
+}  // namespace tfd::obs

@@ -1,0 +1,79 @@
+// tfd::obs — minimal blocking HTTP exposition endpoint.
+//
+// One listener thread, one request per connection, close after the
+// response: exactly enough HTTP for `curl` and a Prometheus scraper,
+// with zero dependencies. Routes:
+//
+//   GET /metrics        Prometheus text exposition of the registry
+//   GET /healthz        JSON health payload (caller-provided)
+//   GET /alerts         alert_manager state (active + ring history)
+//   GET /events/recent  the ring_sink's retained JSONL lines
+//
+// Anything else is 404; non-GET methods are 405. The server binds the
+// loopback interface only — a metrics port is an operational surface,
+// not a public one; front it with a real proxy to expose it wider.
+//
+// The handlers read atomics (registry), lock internally (alerts, ring)
+// or call a caller-supplied snapshot function (healthz), so a scrape
+// concurrent with ingest is safe by construction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace tfd::obs {
+
+class metrics_registry;
+class alert_manager;
+class ring_sink;
+
+struct http_options {
+    /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read
+    /// it back via port()).
+    std::uint16_t port = 0;
+    metrics_registry* registry = nullptr;  ///< /metrics (404 when null)
+    alert_manager* alerts = nullptr;       ///< /alerts (404 when null)
+    ring_sink* recent_events = nullptr;    ///< /events/recent (404 when null)
+    /// /healthz body provider; must be safe to call from the server
+    /// thread. Null serves a plain {"status":"ok"}.
+    std::function<std::string()> healthz;
+};
+
+class http_server {
+public:
+    /// Binds + listens + starts the accept thread. Throws
+    /// std::system_error when the port cannot be bound.
+    explicit http_server(http_options opts);
+    ~http_server();
+
+    http_server(const http_server&) = delete;
+    http_server& operator=(const http_server&) = delete;
+
+    /// The bound port (the ephemeral one when opts.port was 0).
+    std::uint16_t port() const noexcept { return port_; }
+
+    /// Requests answered so far (any status).
+    std::uint64_t requests_served() const noexcept {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+    /// Stop accepting and join the server thread (idempotent; the
+    /// destructor calls it).
+    void stop();
+
+private:
+    void serve();
+    void handle_connection(int fd);
+
+    http_options opts_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread thread_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace tfd::obs

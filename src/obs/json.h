@@ -1,0 +1,74 @@
+// tfd::obs — minimal JSON emission helpers.
+//
+// The observability layer serializes events, alert history and health
+// payloads as JSON without any external dependency. This is an
+// *emitter* only (the repo never parses JSON in C++); numbers are
+// written with std::to_chars shortest-round-trip so a consumer reading
+// the value back gets the bit-identical double — the event/metrics
+// reconciliation contract depends on that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tfd::obs {
+
+/// Append `s` as a JSON string literal (quotes + escapes) to `out`.
+void append_json_string(std::string& out, std::string_view s);
+
+/// Append a double with shortest-round-trip formatting. Non-finite
+/// values (which JSON cannot represent) are emitted as null.
+void append_json_double(std::string& out, double v);
+
+/// Append an unsigned integer.
+void append_json_u64(std::string& out, std::uint64_t v);
+
+/// Append a signed integer.
+void append_json_i64(std::string& out, std::int64_t v);
+
+/// Incremental object/array writer over one growing string. Purely
+/// syntactic (comma placement); nesting correctness is the caller's
+/// job, which is fine for the handful of fixed shapes obs emits.
+class json_writer {
+public:
+    std::string& out() noexcept { return out_; }
+    std::string take() { return std::move(out_); }
+
+    void begin_object() { punct('{'); }
+    void end_object() { out_ += '}'; fresh_ = false; }
+    void begin_array() { punct('['); }
+    void end_array() { out_ += ']'; fresh_ = false; }
+
+    /// Start a `"key":` inside the current object.
+    void key(std::string_view k) {
+        comma();
+        append_json_string(out_, k);
+        out_ += ':';
+        fresh_ = true;
+    }
+
+    void value(std::string_view v) { comma(); append_json_string(out_, v); }
+    void value(const char* v) { value(std::string_view(v)); }
+    void value(double v) { comma(); append_json_double(out_, v); }
+    void value(std::uint64_t v) { comma(); append_json_u64(out_, v); }
+    void value(std::int64_t v) { comma(); append_json_i64(out_, v); }
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(bool v) { comma(); out_ += v ? "true" : "false"; }
+
+private:
+    void punct(char open) {
+        comma();
+        out_ += open;
+        fresh_ = true;
+    }
+    void comma() {
+        if (!fresh_ && !out_.empty()) out_ += ',';
+        fresh_ = false;
+    }
+
+    std::string out_;
+    bool fresh_ = true;  ///< next value is first in its container
+};
+
+}  // namespace tfd::obs

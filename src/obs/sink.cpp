@@ -1,0 +1,165 @@
+#include "obs/sink.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <system_error>
+
+#include "obs/metrics.h"
+
+namespace tfd::obs {
+
+// type_of() maps variant index -> event_type by value; keep the two
+// declarations in lockstep.
+static_assert(std::is_same_v<std::variant_alternative_t<0, event_data>,
+                             anomaly_data>);
+static_assert(std::is_same_v<std::variant_alternative_t<6, event_data>,
+                             backpressure_data>);
+
+void memory_sink::emit(const event& e, std::string_view jsonl_line) {
+    std::lock_guard lock(mu_);
+    events_.push_back(e);
+    lines_.emplace_back(jsonl_line);
+}
+
+std::vector<event> memory_sink::events() const {
+    std::lock_guard lock(mu_);
+    return events_;
+}
+
+std::vector<std::string> memory_sink::lines() const {
+    std::lock_guard lock(mu_);
+    return lines_;
+}
+
+std::size_t memory_sink::count() const {
+    std::lock_guard lock(mu_);
+    return events_.size();
+}
+
+std::vector<event> memory_sink::events_of(event_type t) const {
+    std::lock_guard lock(mu_);
+    std::vector<event> out;
+    for (const event& e : events_)
+        if (type_of(e) == t) out.push_back(e);
+    return out;
+}
+
+file_sink::file_sink(const std::string& path)
+    : out_(path, std::ios::app) {
+    if (!out_)
+        throw std::system_error(errno, std::generic_category(),
+                                "file_sink: cannot open " + path);
+}
+
+void file_sink::emit(const event&, std::string_view jsonl_line) {
+    if (!out_) {
+        ++dropped_;
+        return;
+    }
+    out_ << jsonl_line << '\n';
+    out_.flush();
+    if (!out_) ++dropped_;
+}
+
+void stream_sink::emit(const event&, std::string_view jsonl_line) {
+    *out_ << jsonl_line << '\n';
+}
+
+void ring_sink::emit(const event&, std::string_view jsonl_line) {
+    std::lock_guard lock(mu_);
+    lines_.emplace_back(jsonl_line);
+    if (lines_.size() > capacity_) lines_.pop_front();
+    ++total_;
+}
+
+std::vector<std::string> ring_sink::recent() const {
+    std::lock_guard lock(mu_);
+    return {lines_.begin(), lines_.end()};
+}
+
+std::uint64_t ring_sink::total_emitted() const {
+    std::lock_guard lock(mu_);
+    return total_;
+}
+
+tcp_sink::tcp_sink(const std::string& host, std::uint16_t port) {
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const std::string service = std::to_string(port);
+    const int rc = getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+    if (rc != 0)
+        throw std::system_error(
+            std::make_error_code(std::errc::host_unreachable),
+            "tcp_sink: cannot resolve " + host + ": " + gai_strerror(rc));
+    int fd = -1;
+    int err = ECONNREFUSED;
+    for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+        fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            err = errno;
+            continue;
+        }
+        if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+        err = errno;
+        close(fd);
+        fd = -1;
+    }
+    freeaddrinfo(res);
+    if (fd < 0)
+        throw std::system_error(err, std::generic_category(),
+                                "tcp_sink: cannot connect to " + host + ":" +
+                                    service);
+    fd_ = fd;
+}
+
+tcp_sink::~tcp_sink() {
+    if (fd_ >= 0) close(fd_);
+}
+
+void tcp_sink::emit(const event&, std::string_view jsonl_line) {
+    if (fd_ < 0) {
+        ++dropped_;
+        return;
+    }
+    std::string line(jsonl_line);
+    line += '\n';
+    std::size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n = send(fd_, line.data() + off, line.size() - off,
+                               MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            // Peer gone: drop this and every later line, visibly.
+            close(fd_);
+            fd_ = -1;
+            ++dropped_;
+            return;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+std::uint64_t event_emitter::emit(std::uint64_t bin, event_data data) {
+    event e;
+    e.seq = next_seq_++;
+    e.ts_unix_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    e.bin = bin;
+    e.data = std::move(data);
+    ++emitted_;
+    if (counter_) counter_->inc();
+    if (sink_) sink_->emit(e, to_jsonl(e));
+    return e.seq;
+}
+
+}  // namespace tfd::obs

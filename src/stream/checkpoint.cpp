@@ -11,6 +11,7 @@
 
 #include "io/fault.h"
 #include "io/snapshot.h"
+#include "obs/trace.h"
 
 namespace tfd::stream {
 
@@ -111,8 +112,12 @@ void save_checkpoint(const stream_pipeline& pipeline, const std::string& path,
     const std::size_t attempts = std::max<std::size_t>(1, opts.save_attempts);
     for (std::size_t attempt = 0;; ++attempt) {
         try {
+            // Time each physical attempt, failed ones included (a slow
+            // failing disk belongs in the write-latency distribution).
+            obs::stage_span span(opts.save_timer);
             snap.save_file(path, opts.faults,
                            opts.first_attempt_index + attempt);
+            span.stop();
             if (stats) stats->saves_ok += 1;
             return;
         } catch (const io::snapshot_error& e) {
@@ -204,9 +209,11 @@ void periodic_checkpointer::on_bin_emitted() {
     // save used 1 final attempt (ok or failed) plus its retries.
     opts.first_attempt_index = opts_.first_attempt_index + stats_.saves_ok +
                                stats_.saves_failed + stats_.save_retries;
+    const std::uint64_t retries_before = stats_.save_retries;
     save_checkpoint(*pipeline_, path, opts, &stats_);
 
     last_path_ = path;
+    const std::uint64_t seq = next_seq_;
     next_seq_ += 1;
     since_last_ = 0;
     ++written_;
@@ -218,6 +225,14 @@ void periodic_checkpointer::on_bin_emitted() {
                 std::error_code ec;
                 fs::remove(all[i].path, ec);  // best-effort
             }
+    }
+
+    if (on_checkpoint_) {
+        checkpoint_written info;
+        info.path = path;
+        info.seq = seq;
+        info.retries = stats_.save_retries - retries_before;
+        on_checkpoint_(info);
     }
 }
 

@@ -22,12 +22,17 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "stream/pipeline.h"
 
 namespace tfd::io {
 class fault_injector;  // io/fault.h — optional test seam
+}
+
+namespace tfd::obs {
+class latency_histogram;  // obs/metrics.h — optional write latency sink
 }
 
 namespace tfd::stream {
@@ -59,6 +64,11 @@ struct checkpoint_options {
     /// attempt draws a fresh decision.
     io::fault_injector* faults = nullptr;
     std::uint64_t first_attempt_index = 0;
+    /// Optional latency sink: every physical save attempt (including
+    /// failed ones — a slow failing disk should show in the
+    /// distribution) records its duration here when non-null.
+    /// Observability-only, never changes behaviour.
+    obs::latency_histogram* save_timer = nullptr;
 };
 
 /// What the retrying saver did (cumulative across calls when reused).
@@ -130,12 +140,26 @@ restore_report restore_latest_checkpoint(stream_pipeline& pipeline,
 /// older checkpoint files beyond the newest keep_last are deleted
 /// oldest-first (the legacy unnumbered file counts as oldest). 0 keeps
 /// everything.
+/// What one successful periodic checkpoint write produced (for the
+/// on_checkpoint observer).
+struct checkpoint_written {
+    std::string path;          ///< the snapshot file that landed
+    std::uint64_t seq = 0;     ///< its sequence number
+    std::uint64_t retries = 0; ///< extra attempts this write needed
+};
+
 class periodic_checkpointer {
 public:
     /// `every_bins` == 0 disables (on_bin_emitted becomes a no-op).
     periodic_checkpointer(stream_pipeline& pipeline, std::string dir,
                           std::size_t every_bins, std::size_t keep_last = 0,
                           checkpoint_options opts = {});
+
+    /// Observer invoked after each successful checkpoint write (and its
+    /// retention pass), on the thread driving on_bin_emitted().
+    void on_checkpoint(std::function<void(const checkpoint_written&)> cb) {
+        on_checkpoint_ = std::move(cb);
+    }
 
     /// Count one emitted bin; writes a checkpoint when due. Write
     /// failures (after opts.save_attempts tries) propagate
@@ -161,6 +185,7 @@ private:
     std::size_t keep_last_;
     checkpoint_options opts_;
     checkpoint_save_stats stats_;
+    std::function<void(const checkpoint_written&)> on_checkpoint_;
     std::uint64_t next_seq_ = 0;
     std::size_t since_last_ = 0;
     std::size_t written_ = 0;

@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tfd::stream {
 
 namespace {
@@ -62,6 +65,8 @@ void stream_pipeline::emit_bin(od_shard_set& shards, std::size_t bin) {
     const std::uint64_t dt = now_ns() - t0;
     metrics_.bin_close_ns += dt;
     metrics_.max_bin_close_ns = std::max(metrics_.max_bin_close_ns, dt);
+    if (opts_.timers && opts_.timers->bin_close)
+        opts_.timers->bin_close->record_ns(dt);
     ++metrics_.bins_emitted;
     if (scratch_.verdict.anomalous) ++metrics_.anomalies;
     last_emitted_bin_ = bin;
@@ -166,6 +171,9 @@ void stream_pipeline::push(std::span<const flow::flow_record> records) {
     const bool reorder = opts_.reorder_window_bins > 0;
     // The accumulation clock covers resolve + routing + shard work, so
     // records_per_second() reflects the full per-record ingest cost.
+    // The same clock (bin closures excluded) feeds the per-push
+    // accumulate stage histogram when one is attached.
+    std::uint64_t push_accum_ns = 0;
     std::uint64_t t0 = now_ns();
 
     // Process maximal same-bin runs so shard fan-out happens once per
@@ -224,11 +232,20 @@ void stream_pipeline::push(std::span<const flow::flow_record> records) {
             // so badly that the entire remaining (sane) feed gets
             // late-dropped. Resync instead of dropping.
             if (current_bin_ - bin > opts_.max_gap_bins) {
-                metrics_.accumulate_ns += now_ns() - t0;
+                const std::uint64_t dt = now_ns() - t0;
+                metrics_.accumulate_ns += dt;
+                push_accum_ns += dt;
                 if (reorder) emit_pending_below(current_bin_);
                 ++metrics_.time_base_resets;
                 const std::size_t closing = current_bin_;
                 const bool had_open = bin_open_;
+                if (lifecycle_cb_) {
+                    lifecycle_event ev;
+                    ev.type = lifecycle_event::kind::time_base_reset;
+                    ev.from_bin = closing;
+                    ev.to_bin = bin;
+                    lifecycle_cb_(ev);
+                }
                 current_bin_ = bin;
                 open_floor_ = bin;
                 bin_open_ = true;
@@ -251,13 +268,22 @@ void stream_pipeline::push(std::span<const flow::flow_record> records) {
         } else if (bin > current_bin_) {
             // Bin closures are timed separately (bin_close_ns), so pause
             // the accumulation clock around them.
-            metrics_.accumulate_ns += now_ns() - t0;
+            const std::uint64_t dt = now_ns() - t0;
+            metrics_.accumulate_ns += dt;
+            push_accum_ns += dt;
             if (bin - current_bin_ > opts_.max_gap_bins) {
                 // Time-base discontinuity: don't spin through an absurd
                 // number of empty harvests (see pipeline_options).
                 if (reorder) emit_pending_below(current_bin_);
                 ++metrics_.time_base_resets;
                 const std::size_t closing = current_bin_;
+                if (lifecycle_cb_) {
+                    lifecycle_event ev;
+                    ev.type = lifecycle_event::kind::time_base_reset;
+                    ev.from_bin = closing;
+                    ev.to_bin = bin;
+                    lifecycle_cb_(ev);
+                }
                 current_bin_ = bin;
                 open_floor_ = bin;
                 emit_bin(shards_, closing);
@@ -278,7 +304,11 @@ void stream_pipeline::push(std::span<const flow::flow_record> records) {
         if (straggler) metrics_.records_reordered += got;
         i = j;
     }
-    metrics_.accumulate_ns += now_ns() - t0;
+    const std::uint64_t dt = now_ns() - t0;
+    metrics_.accumulate_ns += dt;
+    push_accum_ns += dt;
+    if (opts_.timers && opts_.timers->accumulate)
+        opts_.timers->accumulate->record_ns(push_accum_ns);
 }
 
 void stream_pipeline::finish() {
@@ -303,10 +333,20 @@ std::size_t stream_pipeline::run(flow_codec_reader& reader) {
     frame_ring ring(opts_.queue_frames + 2);
     std::exception_ptr producer_error;
 
+    // The decode stage histogram is fed from the producer thread; the
+    // histogram's buckets are atomics, so this is scrape-safe.
+    obs::latency_histogram* decode_timer =
+        opts_.timers ? opts_.timers->decode : nullptr;
     std::thread producer([&] {
         try {
             std::vector<flow::flow_record> frame = ring.acquire();
-            while (reader.next_frame(frame)) {
+            for (;;) {
+                bool got;
+                {
+                    obs::stage_span span(decode_timer);
+                    got = reader.next_frame(frame);
+                }
+                if (!got) break;
                 if (!queue.push(std::move(frame))) break;
                 frame = ring.acquire();
             }
@@ -335,11 +375,36 @@ std::size_t stream_pipeline::run(flow_codec_reader& reader) {
     last_run_blocked_pushes_ = queue.blocked_pushes();
     metrics_.frames_reused += ring.reuses();
     const quarantine_stats& q1 = reader.quarantine();
-    metrics_.frames_quarantined += q1.frames_quarantined - q0.frames_quarantined;
-    metrics_.records_lost_corrupt +=
+    const std::uint64_t dq_frames =
+        q1.frames_quarantined - q0.frames_quarantined;
+    const std::uint64_t dq_records =
         q1.records_lost_corrupt - q0.records_lost_corrupt;
-    metrics_.resync_bytes_skipped +=
+    const std::uint64_t dq_bytes =
         q1.resync_bytes_skipped - q0.resync_bytes_skipped;
+    metrics_.frames_quarantined += dq_frames;
+    metrics_.records_lost_corrupt += dq_records;
+    metrics_.resync_bytes_skipped += dq_bytes;
+    // Degraded-operation summaries for this run, emitted only when the
+    // run actually degraded (zero-delta events would be noise). Summing
+    // the deltas across every emitted event reproduces metrics()
+    // exactly, which the reconciliation test relies on. Emitted even
+    // when the drain is about to rethrow: the deltas are already folded
+    // into metrics(), so the event stream must carry them too.
+    if (lifecycle_cb_ && (dq_frames || dq_records || dq_bytes)) {
+        lifecycle_event ev;
+        ev.type = lifecycle_event::kind::quarantine;
+        ev.frames_quarantined = dq_frames;
+        ev.records_lost = dq_records;
+        ev.resync_bytes = dq_bytes;
+        lifecycle_cb_(ev);
+    }
+    if (lifecycle_cb_ && last_run_blocked_pushes_ > 0) {
+        lifecycle_event ev;
+        ev.type = lifecycle_event::kind::backpressure;
+        ev.blocked_pushes = last_run_blocked_pushes_;
+        ev.queue_high_watermark = queue.high_watermark();
+        lifecycle_cb_(ev);
+    }
     if (consumer_error) std::rethrow_exception(consumer_error);
     if (producer_error) std::rethrow_exception(producer_error);
     finish();

@@ -46,6 +46,10 @@
 #include "stream/flow_codec.h"
 #include "stream/shard.h"
 
+namespace tfd::obs {
+struct stage_timers;  // obs/metrics.h — optional per-stage latency sinks
+}
+
 namespace tfd::stream {
 
 /// A mutex+condvar bounded MPMC queue with blocking push (backpressure)
@@ -202,6 +206,32 @@ struct pipeline_options {
     /// max_gap_bins (a straggler inside the window is never a
     /// time-base discontinuity); values above 64 are rejected.
     std::size_t reorder_window_bins = 0;
+    /// Optional per-stage latency histograms (obs/metrics.h): frame
+    /// decode, resolve+accumulate per push, and bin close feed the
+    /// corresponding members when non-null. Observability-only — not
+    /// part of the config fingerprint, never changes behaviour.
+    obs::stage_timers* timers = nullptr;
+};
+
+/// A lifecycle occurrence the on_lifecycle observer is told about —
+/// the degraded-operation moments that the bin observer cannot see:
+/// time-base discontinuities (emitted at the reset, before the closing
+/// bin's on_bin callback), and per-run() quarantine/backpressure
+/// summaries (emitted once after a run() drain, with this run's deltas,
+/// after the quarantine counters were folded into metrics()).
+struct lifecycle_event {
+    enum class kind { time_base_reset, quarantine, backpressure };
+    kind type = kind::time_base_reset;
+    // time_base_reset: the cursor jumped from_bin -> to_bin.
+    std::size_t from_bin = 0;
+    std::size_t to_bin = 0;
+    // quarantine: this run()'s deltas (sum over events == metrics()).
+    std::uint64_t frames_quarantined = 0;
+    std::uint64_t records_lost = 0;
+    std::uint64_t resync_bytes = 0;
+    // backpressure: this run()'s producer stalls and peak queue depth.
+    std::uint64_t blocked_pushes = 0;
+    std::uint64_t queue_high_watermark = 0;
 };
 
 /// Operational counters (see the header comment).
@@ -236,12 +266,22 @@ struct pipeline_metrics {
     std::uint64_t records_lost_corrupt = 0;
     std::uint64_t resync_bytes_skipped = 0;
 
+    /// Mean harvest+detect latency per *emitted* bin, in milliseconds.
+    /// The denominator is bins_emitted, which includes empty gap bins —
+    /// they go through the same harvest+score path, just cheaply — so a
+    /// gappy stream reads lower than max_bin_close_ns suggests; compare
+    /// against the per-stage histogram for the distribution. Returns
+    /// 0.0 before the first bin is emitted (never divides by zero).
     double mean_bin_close_ms() const noexcept {
         return bins_emitted == 0 ? 0.0
                                  : static_cast<double>(bin_close_ns) / 1e6 /
                                        static_cast<double>(bins_emitted);
     }
-    /// Ingest throughput over time spent inside the pipeline.
+    /// Ingest throughput over time spent *inside* the pipeline
+    /// (accumulate + bin close) — not wall clock, so idle time between
+    /// pushes does not dilute it. Counts only records that survived
+    /// resolve + lateness (records_accumulated). Returns 0.0 until any
+    /// pipeline time has been spent (never divides by zero).
     double records_per_second() const noexcept {
         const double ns =
             static_cast<double>(accumulate_ns) + static_cast<double>(bin_close_ns);
@@ -268,6 +308,14 @@ public:
     /// thread driving push()/finish()/run().
     void on_bin(std::function<void(const bin_result&)> callback) {
         callback_ = std::move(callback);
+    }
+
+    /// Observer for degraded-operation moments the bin observer cannot
+    /// see (time-base resets as they happen; quarantine/backpressure
+    /// summaries once per run()). Invoked on the thread driving
+    /// push()/run(); see lifecycle_event for the exact timing contract.
+    void on_lifecycle(std::function<void(const lifecycle_event&)> callback) {
+        lifecycle_cb_ = std::move(callback);
     }
 
     /// Ingest a record batch. Records may span bins; bins must be
@@ -342,6 +390,7 @@ private:
     od_shard_set shards_;
     core::online_detector detector_;
     std::function<void(const bin_result&)> callback_;
+    std::function<void(const lifecycle_event&)> lifecycle_cb_;
     pipeline_metrics metrics_;
     bin_result scratch_;           ///< reused harvest/verdict buffer
     std::vector<int> od_scratch_;  ///< reused resolve_batch output

@@ -1,0 +1,136 @@
+// The alert manager: severity classification, per-OD cooldown dedup
+// with escalation break-through, and the ring-bucketed anomaly history.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "obs/alert.h"
+
+using namespace tfd::obs;
+
+namespace {
+
+alert_options small_opts() {
+    alert_options o;
+    o.major_ratio = 2.0;
+    o.critical_ratio = 5.0;
+    o.cooldown_bins = 4;
+    o.bucket_bins = 10;
+    o.bucket_count = 3;
+    return o;
+}
+
+}  // namespace
+
+TEST(ObsAlert, SeverityTiersFromRatio) {
+    alert_manager am(small_opts());
+    // ratio 1.5 < 2 -> warning; 2 <= ratio < 5 -> major; >= 5 -> critical.
+    EXPECT_EQ(am.observe(0, 1, 1.5, 1.0).sev, severity::warning);
+    EXPECT_EQ(am.observe(100, 2, 2.0, 1.0).sev, severity::major);
+    EXPECT_EQ(am.observe(200, 3, 5.0, 1.0).sev, severity::critical);
+    EXPECT_DOUBLE_EQ(am.observe(300, 4, 3.0, 2.0).ratio, 1.5);
+    // Defensive: a non-positive threshold is critical with ratio 0.
+    const alert_decision d = am.observe(400, 5, 3.0, 0.0);
+    EXPECT_EQ(d.sev, severity::critical);
+    EXPECT_DOUBLE_EQ(d.ratio, 0.0);
+    EXPECT_STREQ(severity_name(severity::warning), "warning");
+    EXPECT_STREQ(severity_name(severity::major), "major");
+    EXPECT_STREQ(severity_name(severity::critical), "critical");
+}
+
+TEST(ObsAlert, CooldownSuppressesRepeatsPerOd) {
+    alert_manager am(small_opts());  // cooldown 4 bins
+    EXPECT_FALSE(am.observe(10, 7, 1.5, 1.0).suppressed);  // delivered
+    EXPECT_TRUE(am.observe(12, 7, 1.5, 1.0).suppressed);   // within cooldown
+    EXPECT_FALSE(am.observe(12, 8, 1.5, 1.0).suppressed);  // other OD is fresh
+    EXPECT_TRUE(am.observe(14, 7, 1.5, 1.0).suppressed);   // still cooling
+    EXPECT_FALSE(am.observe(15, 7, 1.5, 1.0).suppressed);  // cooldown expired
+    EXPECT_EQ(am.alerts_total(), 3u);
+    EXPECT_EQ(am.suppressed_total(), 2u);
+}
+
+TEST(ObsAlert, EscalationBreaksThroughCooldown) {
+    alert_manager am(small_opts());
+    EXPECT_FALSE(am.observe(10, 7, 1.5, 1.0).suppressed);  // warning
+    EXPECT_TRUE(am.observe(11, 7, 1.9, 1.0).suppressed);   // same severity
+    EXPECT_FALSE(am.observe(12, 7, 3.0, 1.0).suppressed);  // -> major: through
+    EXPECT_TRUE(am.observe(13, 7, 2.5, 1.0).suppressed);   // major again: dedup
+    EXPECT_FALSE(am.observe(14, 7, 9.0, 1.0).suppressed);  // -> critical
+    // Equal-or-lower severity after the critical stays suppressed.
+    EXPECT_TRUE(am.observe(15, 7, 9.0, 1.0).suppressed);
+    EXPECT_TRUE(am.observe(16, 7, 1.1, 1.0).suppressed);
+}
+
+TEST(ObsAlert, ZeroCooldownDisablesDedup) {
+    alert_options o = small_opts();
+    o.cooldown_bins = 0;
+    alert_manager am(o);
+    EXPECT_FALSE(am.observe(1, 7, 1.5, 1.0).suppressed);
+    EXPECT_FALSE(am.observe(1, 7, 1.5, 1.0).suppressed);
+    EXPECT_EQ(am.alerts_total(), 2u);
+}
+
+TEST(ObsAlert, HistoryBucketsAggregateAndWrap) {
+    alert_manager am(small_opts());  // bucket_bins 10, ring of 3
+    am.observe(0, 1, 1.5, 1.0);      // bucket [0,10)
+    am.observe(5, 2, 6.0, 1.0);      // same bucket, critical
+    am.observe(12, 1, 2.5, 1.0);     // bucket [10,20)
+    auto h = am.history();
+    ASSERT_EQ(h.size(), 2u);
+    EXPECT_EQ(h[0].start_bin, 0u);
+    EXPECT_EQ(h[0].anomalies, 2u);
+    EXPECT_EQ(h[0].delivered, 2u);
+    EXPECT_EQ(h[0].by_severity[static_cast<int>(severity::critical)], 1u);
+    EXPECT_DOUBLE_EQ(h[0].max_ratio, 6.0);
+    EXPECT_EQ(h[0].max_od, 2);
+    EXPECT_EQ(h[1].start_bin, 10u);
+    EXPECT_EQ(h[1].anomalies, 1u);
+
+    // Bin 30 maps onto the same ring slot as bin 0 (3 buckets x 10 bins)
+    // and must reset it rather than keep the stale aggregate.
+    am.observe(31, 3, 1.5, 1.0);
+    h = am.history();
+    // Slot 0 now holds [30,40); slot 2 ([20,30)) was never observed.
+    ASSERT_EQ(h.size(), 2u);
+    EXPECT_EQ(h.front().start_bin, 10u);
+    EXPECT_EQ(h.back().start_bin, 30u);
+    EXPECT_EQ(h.back().anomalies, 1u);
+    EXPECT_EQ(h.back().max_od, 3);
+}
+
+TEST(ObsAlert, ActiveReflectsCooldownWindow) {
+    alert_manager am(small_opts());  // cooldown 4
+    am.observe(10, 1, 1.5, 1.0);
+    am.observe(12, 2, 6.0, 1.0);
+    auto act = am.active(13);
+    ASSERT_EQ(act.size(), 2u);
+    act = am.active(16);  // OD 1 last fired at 10: 16-10 > 4 -> expired
+    ASSERT_EQ(act.size(), 1u);
+    EXPECT_EQ(act[0].od, 2);
+    EXPECT_EQ(act[0].sev, severity::critical);
+    EXPECT_TRUE(am.active(100).empty());
+}
+
+TEST(ObsAlert, ToJsonCarriesTotalsAndHistory) {
+    alert_manager am(small_opts());
+    am.observe(10, 1, 1.5, 1.0);
+    am.observe(11, 1, 1.5, 1.0);  // suppressed
+    const std::string j = am.to_json();
+    EXPECT_NE(j.find("\"alerts_total\":1"), std::string::npos);
+    EXPECT_NE(j.find("\"suppressed_total\":1"), std::string::npos);
+    EXPECT_NE(j.find("\"active\":["), std::string::npos);
+    EXPECT_NE(j.find("\"buckets\":["), std::string::npos);
+    EXPECT_NE(j.find("\"severity\":\"warning\""), std::string::npos);
+}
+
+TEST(ObsAlert, RejectsDegenerateOptions) {
+    alert_options bad = small_opts();
+    bad.bucket_bins = 0;
+    EXPECT_THROW(alert_manager{bad}, std::invalid_argument);
+    bad = small_opts();
+    bad.bucket_count = 0;
+    EXPECT_THROW(alert_manager{bad}, std::invalid_argument);
+    bad = small_opts();
+    bad.critical_ratio = bad.major_ratio;  // tiers must ascend
+    EXPECT_THROW(alert_manager{bad}, std::invalid_argument);
+}

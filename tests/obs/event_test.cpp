@@ -1,0 +1,214 @@
+// The structured event stream: JSON encoding invariants, the JSONL
+// schema of every event type, emitter sequencing, and sink behaviour
+// (memory, ring, tee, file, stream).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/event.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+
+using namespace tfd::obs;
+
+namespace {
+
+std::string esc(const std::string& s) {
+    std::string out;
+    append_json_string(out, s);
+    return out;
+}
+
+std::string num(double v) {
+    std::string out;
+    append_json_double(out, v);
+    return out;
+}
+
+}  // namespace
+
+TEST(ObsJson, EscapesControlAndSpecialCharacters) {
+    EXPECT_EQ(esc("plain"), "\"plain\"");
+    EXPECT_EQ(esc("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(esc("a\\b"), "\"a\\\\b\"");
+    EXPECT_EQ(esc("a\nb\tc"), "\"a\\nb\\tc\"");
+    EXPECT_EQ(esc(std::string("a\x01z")), "\"a\\u0001z\"");
+}
+
+TEST(ObsJson, DoublesRoundTripShortest) {
+    // std::to_chars shortest form: parses back bit-exactly, and simple
+    // values stay human-readable.
+    for (double v : {0.0, 1.0, -2.5, 0.1, 1e-9, 123456.789, 3.0e300}) {
+        const std::string s = num(v);
+        EXPECT_EQ(std::stod(s), v) << s;
+    }
+    EXPECT_EQ(num(std::nan("")), "null");
+    EXPECT_EQ(num(INFINITY), "null");
+}
+
+TEST(ObsJson, WriterCommasAndNesting) {
+    json_writer w;
+    w.begin_object();
+    w.key("a");
+    w.value(std::uint64_t{1});
+    w.key("b");
+    w.begin_array();
+    w.value("x");
+    w.value(std::int64_t{-2});
+    w.end_array();
+    w.end_object();
+    EXPECT_EQ(w.take(), "{\"a\":1,\"b\":[\"x\",-2]}");
+}
+
+TEST(ObsEvent, TypeNamesAndVariantOrderAgree) {
+    event e;
+    e.data = anomaly_data{};
+    EXPECT_EQ(type_of(e), event_type::anomaly);
+    e.data = bin_closed_data{};
+    EXPECT_EQ(type_of(e), event_type::bin_closed);
+    e.data = checkpoint_saved_data{};
+    EXPECT_EQ(type_of(e), event_type::checkpoint_saved);
+    e.data = checkpoint_restored_data{};
+    EXPECT_EQ(type_of(e), event_type::checkpoint_restored);
+    e.data = quarantine_data{};
+    EXPECT_EQ(type_of(e), event_type::quarantine);
+    e.data = time_base_reset_data{};
+    EXPECT_EQ(type_of(e), event_type::time_base_reset);
+    e.data = backpressure_data{};
+    EXPECT_EQ(type_of(e), event_type::backpressure);
+    EXPECT_STREQ(event_type_name(event_type::anomaly), "anomaly");
+    EXPECT_STREQ(event_type_name(event_type::backpressure), "backpressure");
+}
+
+TEST(ObsEvent, BinClosedJsonlShape) {
+    event e;
+    e.seq = 7;
+    e.ts_unix_ms = 1000;
+    e.bin = 42;
+    e.data = bin_closed_data{.records = 11, .empty = false, .scored = true,
+                             .anomalous = false, .close_ns = 1234};
+    const std::string line = to_jsonl(e);
+    EXPECT_EQ(line,
+              "{\"v\":1,\"seq\":7,\"ts_ms\":1000,\"type\":\"bin_closed\","
+              "\"bin\":42,\"records\":11,\"empty\":false,\"scored\":true,"
+              "\"anomalous\":false,\"close_ns\":1234}");
+}
+
+TEST(ObsEvent, AnomalyJsonlCarriesFlowsAndEntropyDeltas) {
+    anomaly_data an;
+    an.od = 5;
+    an.origin = "SNVA";
+    an.dest = "CHIN";
+    an.spe = 2.5;
+    an.threshold = 1.25;
+    an.ratio = 2.0;
+    an.severity = "major";
+    an.h_tilde = {0.5, -0.5, 0.25, 0.0};
+    anomaly_flow f;
+    f.od = 5;
+    f.magnitude = {1.0, 0.0, 0.0, 0.0};
+    f.spe_after = 0.5;
+    an.flows.push_back(f);
+    event e;
+    e.seq = 1;
+    e.ts_unix_ms = 1;
+    e.bin = 9;
+    e.data = an;
+    const std::string line = to_jsonl(e);
+    EXPECT_NE(line.find("\"type\":\"anomaly\""), std::string::npos);
+    EXPECT_NE(line.find("\"origin\":\"SNVA\""), std::string::npos);
+    EXPECT_NE(line.find("\"h_tilde\":[0.5,-0.5,0.25,0]"), std::string::npos);
+    EXPECT_NE(line.find("\"flows\":[{"), std::string::npos);
+    EXPECT_NE(line.find("\"spe_after\":0.5"), std::string::npos);
+    EXPECT_NE(line.find("\"severity\":\"major\""), std::string::npos);
+}
+
+TEST(ObsEvent, EmitterAssignsMonotoneSeqAndCounts) {
+    memory_sink sink;
+    event_emitter em(&sink, /*first_seq=*/10);
+    counter c;
+    em.count_into(&c);
+    EXPECT_EQ(em.emit(1, event_data(bin_closed_data{})), 10u);
+    EXPECT_EQ(em.emit(2, event_data(bin_closed_data{})), 11u);
+    EXPECT_EQ(em.emitted(), 2u);
+    EXPECT_EQ(c.value(), 2u);
+    const auto events = sink.events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].seq, 10u);
+    EXPECT_EQ(events[1].seq, 11u);
+    EXPECT_GE(events[1].ts_unix_ms, events[0].ts_unix_ms);
+    EXPECT_GT(events[0].ts_unix_ms, 0u);
+    // A null sink still counts.
+    event_emitter nowhere(nullptr);
+    EXPECT_EQ(nowhere.emit(0, event_data(quarantine_data{})), 1u);
+    EXPECT_EQ(nowhere.emitted(), 1u);
+}
+
+TEST(ObsSink, RingKeepsNewestCapacityLines) {
+    ring_sink ring(3);
+    event_emitter em(&ring);
+    for (int i = 0; i < 5; ++i)
+        em.emit(static_cast<std::uint64_t>(i), event_data(bin_closed_data{}));
+    EXPECT_EQ(ring.total_emitted(), 5u);
+    const auto lines = ring.recent();
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_NE(lines.front().find("\"bin\":2"), std::string::npos);
+    EXPECT_NE(lines.back().find("\"bin\":4"), std::string::npos);
+}
+
+TEST(ObsSink, TeeFansOutIdenticalBytes) {
+    memory_sink a, b;
+    tee_sink tee;
+    tee.add(&a);
+    tee.add(&b);
+    event_emitter em(&tee);
+    em.emit(3, event_data(time_base_reset_data{.from_bin = 1, .to_bin = 99}));
+    ASSERT_EQ(a.count(), 1u);
+    ASSERT_EQ(b.count(), 1u);
+    EXPECT_EQ(a.lines()[0], b.lines()[0]);
+    EXPECT_EQ(a.events_of(event_type::time_base_reset).size(), 1u);
+}
+
+TEST(ObsSink, FileSinkAppendsValidJsonl) {
+    namespace fs = std::filesystem;
+    const fs::path path = fs::temp_directory_path() /
+                          ("tfd_obs_events_" + std::to_string(::getpid()) +
+                           ".jsonl");
+    fs::remove(path);
+    {
+        file_sink sink(path.string());
+        event_emitter em(&sink);
+        em.emit(1, event_data(bin_closed_data{.records = 5}));
+        em.emit(2, event_data(quarantine_data{.frames = 1}));
+        EXPECT_EQ(sink.dropped(), 0u);
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(in, line)) {
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"v\":1"), std::string::npos);
+        ++n;
+    }
+    EXPECT_EQ(n, 2u);
+    fs::remove(path);
+    // An unopenable path throws at construction, not at emit time.
+    EXPECT_THROW(file_sink("/nonexistent-dir-tfd/x.jsonl"),
+                 std::system_error);
+}
+
+TEST(ObsSink, StreamSinkWritesLines) {
+    std::ostringstream os;
+    stream_sink sink(os);
+    event_emitter em(&sink);
+    em.emit(0, event_data(backpressure_data{.blocked_pushes = 2}));
+    EXPECT_NE(os.str().find("\"type\":\"backpressure\""), std::string::npos);
+    EXPECT_EQ(os.str().back(), '\n');
+}

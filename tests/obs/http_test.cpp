@@ -1,0 +1,150 @@
+// The exposition endpoint: ephemeral-port bind, all four routes, error
+// statuses, and idempotent shutdown — exercised through a raw loopback
+// client, the same way curl and a Prometheus scraper hit it.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/alert.h"
+#include "obs/http.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+
+using namespace tfd::obs;
+
+namespace {
+
+// One request, one response, close — exactly the server's model.
+std::string http_request(std::uint16_t port, const std::string& raw) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return {};
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        return {};
+    }
+    std::size_t off = 0;
+    while (off < raw.size()) {
+        const ssize_t n = ::send(fd, raw.data() + off, raw.size() - off, 0);
+        if (n <= 0) break;
+        off += static_cast<std::size_t>(n);
+    }
+    std::string resp;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        resp.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return resp;
+}
+
+std::string get(std::uint16_t port, const std::string& path) {
+    return http_request(port, "GET " + path +
+                                  " HTTP/1.1\r\nHost: localhost\r\n"
+                                  "Connection: close\r\n\r\n");
+}
+
+struct endpoint_fixture {
+    metrics_registry registry;
+    alert_manager alerts;
+    ring_sink recent{8};
+
+    endpoint_fixture() {
+        registry.get_counter("tfd_demo_total", "demo counter").inc(42);
+        alerts.observe(5, 3, 4.0, 1.0);
+        event_emitter em(&recent);
+        em.emit(5, event_data(bin_closed_data{.records = 9}));
+    }
+
+    http_options options() {
+        http_options o;
+        o.port = 0;  // ephemeral
+        o.registry = &registry;
+        o.alerts = &alerts;
+        o.recent_events = &recent;
+        o.healthz = [] { return std::string("{\"status\":\"ok\",\"x\":1}"); };
+        return o;
+    }
+};
+
+}  // namespace
+
+TEST(ObsHttp, ServesAllRoutes) {
+    endpoint_fixture fx;
+    http_server server(fx.options());
+    ASSERT_GT(server.port(), 0);
+
+    const std::string metrics = get(server.port(), "/metrics");
+    EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+    EXPECT_NE(metrics.find("tfd_demo_total 42"), std::string::npos);
+
+    const std::string health = get(server.port(), "/healthz");
+    EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(health.find("application/json"), std::string::npos);
+    EXPECT_NE(health.find("{\"status\":\"ok\",\"x\":1}"), std::string::npos);
+
+    const std::string alerts = get(server.port(), "/alerts");
+    EXPECT_NE(alerts.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(alerts.find("\"alerts_total\":1"), std::string::npos);
+
+    const std::string events = get(server.port(), "/events/recent");
+    EXPECT_NE(events.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(events.find("\"type\":\"bin_closed\""), std::string::npos);
+    EXPECT_NE(events.find("\"records\":9"), std::string::npos);
+
+    EXPECT_EQ(server.requests_served(), 4u);
+}
+
+TEST(ObsHttp, DefaultHealthzAndMissingBackendsAre404) {
+    http_options o;  // no registry / alerts / ring, no healthz fn
+    o.port = 0;
+    http_server server(o);
+    EXPECT_NE(get(server.port(), "/healthz").find("{\"status\":\"ok\"}"),
+              std::string::npos);
+    EXPECT_NE(get(server.port(), "/metrics").find("HTTP/1.1 404"),
+              std::string::npos);
+    EXPECT_NE(get(server.port(), "/alerts").find("HTTP/1.1 404"),
+              std::string::npos);
+    EXPECT_NE(get(server.port(), "/events/recent").find("HTTP/1.1 404"),
+              std::string::npos);
+}
+
+TEST(ObsHttp, UnknownPathAndBadMethod) {
+    endpoint_fixture fx;
+    http_server server(fx.options());
+    EXPECT_NE(get(server.port(), "/nope").find("HTTP/1.1 404"),
+              std::string::npos);
+    const std::string post = http_request(
+        server.port(),
+        "POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+    EXPECT_NE(post.find("HTTP/1.1 405"), std::string::npos);
+}
+
+TEST(ObsHttp, StopIsIdempotentAndFreesThePort) {
+    endpoint_fixture fx;
+    auto opts = fx.options();
+    std::uint16_t port = 0;
+    {
+        http_server server(opts);
+        port = server.port();
+        EXPECT_FALSE(get(port, "/healthz").empty());
+        server.stop();
+        server.stop();  // second stop is a no-op
+    }                   // destructor stops again
+    // The port is released: a new server can bind it right away.
+    opts.port = port;
+    http_server again(opts);
+    EXPECT_EQ(again.port(), port);
+    EXPECT_NE(get(port, "/healthz").find("200 OK"), std::string::npos);
+}

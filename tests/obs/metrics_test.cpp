@@ -1,0 +1,176 @@
+// The metrics registry: counter monotonicity, histogram bucketing, the
+// Prometheus text rendering contract, and name/type validation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+using namespace tfd::obs;
+
+TEST(ObsCounter, SetToNeverMovesBackwards) {
+    counter c;
+    c.set_to(10);
+    EXPECT_EQ(c.value(), 10u);
+    c.set_to(5);  // stale snapshot arriving late
+    EXPECT_EQ(c.value(), 10u);
+    c.set_to(12);
+    EXPECT_EQ(c.value(), 12u);
+    c.inc(3);
+    EXPECT_EQ(c.value(), 15u);
+}
+
+TEST(ObsCounter, ConcurrentSetToStaysMonotone) {
+    counter c;
+    std::atomic<bool> go{false};
+    auto writer = [&](std::uint64_t base) {
+        while (!go.load()) {
+        }
+        for (std::uint64_t v = base; v < base + 2000; ++v) c.set_to(v);
+    };
+    std::thread a(writer, 1), b(writer, 500);
+    std::thread reader([&] {
+        while (!go.load()) {
+        }
+        std::uint64_t prev = 0;
+        for (int i = 0; i < 5000; ++i) {
+            const std::uint64_t v = c.value();
+            ASSERT_GE(v, prev);
+            prev = v;
+        }
+    });
+    go = true;
+    a.join();
+    b.join();
+    reader.join();
+    EXPECT_EQ(c.value(), 2499u);
+}
+
+TEST(ObsHistogram, BoundsAreInclusiveUpperEdges) {
+    latency_histogram h({0.001, 0.01, 0.1});
+    h.record_seconds(0.001);   // exactly on a bound -> that bucket
+    h.record_seconds(0.0005);  // below the first bound
+    h.record_seconds(0.05);
+    h.record_seconds(5.0);  // above every bound -> +Inf
+    EXPECT_EQ(h.bucket_count(0), 2u);  // le=0.001
+    EXPECT_EQ(h.bucket_count(1), 0u);  // le=0.01
+    EXPECT_EQ(h.bucket_count(2), 1u);  // le=0.1
+    EXPECT_EQ(h.bucket_count(3), 1u);  // +Inf
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_NEAR(h.sum_seconds(), 5.0515, 1e-9);
+}
+
+TEST(ObsHistogram, RejectsUnsortedBounds) {
+    EXPECT_THROW(latency_histogram({0.1, 0.01}), std::invalid_argument);
+    EXPECT_THROW(latency_histogram({0.1, 0.1}), std::invalid_argument);
+}
+
+TEST(ObsHistogram, NegativeAndNanClampToZero) {
+    latency_histogram h({1.0});
+    h.record_seconds(-3.0);
+    h.record_ns(500);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.bucket_count(0), 2u);
+    EXPECT_NEAR(h.sum_seconds(), 5e-7, 1e-12);
+}
+
+TEST(ObsRegistry, ReRegistrationReturnsSameInstance) {
+    metrics_registry reg;
+    counter& a = reg.get_counter("tfd_x_total", "x");
+    counter& b = reg.get_counter("tfd_x_total", "x");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(ObsRegistry, TypeConflictAndBadNamesThrow) {
+    metrics_registry reg;
+    reg.get_counter("tfd_x_total", "x");
+    EXPECT_THROW(reg.get_gauge("tfd_x_total", "x"), std::invalid_argument);
+    EXPECT_THROW(reg.get_histogram("tfd_x_total", "x"), std::invalid_argument);
+    EXPECT_THROW(reg.get_counter("", "x"), std::invalid_argument);
+    EXPECT_THROW(reg.get_counter("9starts_with_digit", "x"),
+                 std::invalid_argument);
+    EXPECT_THROW(reg.get_counter("has space", "x"), std::invalid_argument);
+}
+
+TEST(ObsRegistry, PrometheusRenderingContract) {
+    metrics_registry reg;
+    reg.get_counter("tfd_b_total", "counts b").inc(7);
+    reg.get_gauge("tfd_a_rate", "rate a").set(1.5);
+    latency_histogram& h =
+        reg.get_histogram("tfd_c_seconds", "timing c", {0.01, 0.1});
+    h.record_seconds(0.005);
+    h.record_seconds(0.05);
+    h.record_seconds(0.5);
+
+    const std::string out = reg.render_prometheus();
+    // Sorted by name: gauge a, counter b, histogram c.
+    const auto pa = out.find("tfd_a_rate");
+    const auto pb = out.find("tfd_b_total");
+    const auto pc = out.find("tfd_c_seconds");
+    ASSERT_NE(pa, std::string::npos);
+    ASSERT_NE(pb, std::string::npos);
+    ASSERT_NE(pc, std::string::npos);
+    EXPECT_LT(pa, pb);
+    EXPECT_LT(pb, pc);
+
+    EXPECT_NE(out.find("# HELP tfd_b_total counts b\n"), std::string::npos);
+    EXPECT_NE(out.find("# TYPE tfd_b_total counter\n"), std::string::npos);
+    EXPECT_NE(out.find("tfd_b_total 7\n"), std::string::npos);
+    EXPECT_NE(out.find("# TYPE tfd_a_rate gauge\n"), std::string::npos);
+    EXPECT_NE(out.find("tfd_a_rate 1.5\n"), std::string::npos);
+    EXPECT_NE(out.find("# TYPE tfd_c_seconds histogram\n"), std::string::npos);
+    // Buckets are cumulative and end with +Inf == _count.
+    EXPECT_NE(out.find("tfd_c_seconds_bucket{le=\"0.01\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("tfd_c_seconds_bucket{le=\"0.1\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("tfd_c_seconds_bucket{le=\"+Inf\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("tfd_c_seconds_count 3\n"), std::string::npos);
+    EXPECT_NE(out.find("tfd_c_seconds_sum 0.555\n"), std::string::npos);
+}
+
+TEST(ObsTrace, SpanRecordsOnceAndNullIsNoop) {
+    latency_histogram h({10.0});
+    {
+        stage_span span(&h);
+        span.stop();
+        span.stop();  // idempotent: a second stop records nothing
+    }                 // destructor after stop() records nothing either
+    EXPECT_EQ(h.count(), 1u);
+    { stage_span span(nullptr); }  // null histogram: no crash, no record
+    {
+        stage_span span(&h);
+    }  // destructor-only path records
+    EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(ObsRegistry, StageTimersRegisterCanonicalNames) {
+    metrics_registry reg;
+    const stage_timers t = register_stage_timers(reg);
+    ASSERT_NE(t.decode, nullptr);
+    ASSERT_NE(t.accumulate, nullptr);
+    ASSERT_NE(t.bin_close, nullptr);
+    ASSERT_NE(t.refit, nullptr);
+    ASSERT_NE(t.checkpoint_write, nullptr);
+    EXPECT_EQ(reg.size(), 5u);
+    t.decode->record_ns(1000);
+    const std::string out = reg.render_prometheus();
+    for (const char* name :
+         {"tfd_stage_decode_seconds", "tfd_stage_accumulate_seconds",
+          "tfd_stage_bin_close_seconds", "tfd_stage_refit_seconds",
+          "tfd_stage_checkpoint_write_seconds"})
+        EXPECT_NE(out.find(name), std::string::npos) << name;
+    EXPECT_NE(out.find("tfd_stage_decode_seconds_count 1\n"),
+              std::string::npos);
+    // Idempotent: a second call hands back the same histograms.
+    const stage_timers t2 = register_stage_timers(reg);
+    EXPECT_EQ(t2.decode, t.decode);
+    EXPECT_EQ(reg.size(), 5u);
+}
