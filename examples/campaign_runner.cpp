@@ -1,0 +1,158 @@
+// campaign_runner — run a declarative scenario campaign end to end.
+//
+// Usage: campaign_runner SCENARIO.scn [--variant=NAME]
+//          [--enforce-variant=NAME --min-detection=R] [--max-drift-fa=R]
+//
+// Loads and validates the scenario file (a config_error names the
+// offending line), sweeps every variant (or just --variant) through
+// the streaming pipeline, prints the machine-readable results packet
+// as one JSON line on stdout, and a human-readable score table on
+// stderr.
+//
+// Enforcement (the CI gate): with --enforce-variant=NAME, the named
+// variant's detection_rate must be >= --min-detection and its
+// drift_false_alarm_rate <= --max-drift-fa, else exit 1. Exit 2 is a
+// usage or scenario-file error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "scenario/runner.h"
+
+using namespace tfd;
+
+namespace {
+
+[[noreturn]] void usage_error(const std::string& detail) {
+    std::fprintf(stderr,
+                 "campaign_runner: %s\n"
+                 "usage: campaign_runner SCENARIO.scn [--variant=NAME]\n"
+                 "  [--enforce-variant=NAME] [--min-detection=R]\n"
+                 "  [--max-drift-fa=R]\n",
+                 detail.c_str());
+    std::exit(2);
+}
+
+bool parse_rate(const char* v, double& out) {
+    char* end = nullptr;
+    out = std::strtod(v, &end);
+    return end != v && *end == '\0' && out >= 0.0 && out <= 1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string path, only_variant, enforce_variant;
+    double min_detection = -1.0, max_drift_fa = -1.0;
+    const auto value_of = [](const std::string& arg, const char* flag,
+                             const char** out) {
+        const std::size_t n = std::strlen(flag);
+        if (arg.compare(0, n, flag) != 0) return false;
+        *out = arg.c_str() + n;
+        return true;
+    };
+    for (int a = 1; a < argc; ++a) {
+        const std::string arg = argv[a];
+        const char* v = nullptr;
+        if (value_of(arg, "--variant=", &v)) {
+            only_variant = v;
+        } else if (value_of(arg, "--enforce-variant=", &v)) {
+            enforce_variant = v;
+        } else if (value_of(arg, "--min-detection=", &v)) {
+            if (!parse_rate(v, min_detection))
+                usage_error("--min-detection expects a rate in [0,1]");
+        } else if (value_of(arg, "--max-drift-fa=", &v)) {
+            if (!parse_rate(v, max_drift_fa))
+                usage_error("--max-drift-fa expects a rate in [0,1]");
+        } else if (arg.rfind("--", 0) == 0) {
+            usage_error("unrecognized argument '" + arg + "'");
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            usage_error("more than one scenario file given");
+        }
+    }
+    if (path.empty()) usage_error("missing scenario file");
+    if ((min_detection >= 0.0 || max_drift_fa >= 0.0) &&
+        enforce_variant.empty())
+        usage_error("--min-detection/--max-drift-fa require "
+                    "--enforce-variant=NAME");
+
+    scenario::scenario_model model;
+    try {
+        model = scenario::load_scenario(path);
+    } catch (const scenario::config_error& e) {
+        std::fprintf(stderr, "campaign_runner: %s: %s\n", path.c_str(),
+                     e.what());
+        return 2;
+    }
+    if (!only_variant.empty()) {
+        std::vector<scenario::variant_spec> keep;
+        for (const auto& v : model.variants)
+            if (v.name == only_variant) keep.push_back(v);
+        if (keep.empty()) usage_error("unknown variant '" + only_variant + "'");
+        model.variants = std::move(keep);
+    }
+
+    scenario::experiment_runner runner(std::move(model));
+    std::fprintf(stderr,
+                 "campaign %s: %s, %zu bins, %zu variant(s), drift phase "
+                 "from bin %zu\n",
+                 runner.model().name.c_str(), runner.model().topology.c_str(),
+                 runner.model().bins, runner.model().variants.size(),
+                 runner.model().drift_phase_start());
+    const scenario::campaign_result result = runner.run();
+
+    for (const auto& v : result.variants)
+        std::fprintf(
+            stderr,
+            "  %-10s drift=%-3s detect %2llu/%-2llu (%.2f)  fa %llu/%llu "
+            "(%.3f)  drift-fa %llu/%llu (%.3f)  shifts %llu  recal %llu  "
+            "t-recal %llu\n",
+            v.variant.c_str(), v.drift_enabled ? "on" : "off",
+            static_cast<unsigned long long>(v.true_detections),
+            static_cast<unsigned long long>(v.anomaly_bins),
+            v.detection_rate(),
+            static_cast<unsigned long long>(v.false_alarms),
+            static_cast<unsigned long long>(v.clean_bins),
+            v.false_alarm_rate(),
+            static_cast<unsigned long long>(v.drift_false_alarms),
+            static_cast<unsigned long long>(v.drift_clean_bins),
+            v.drift_false_alarm_rate(),
+            static_cast<unsigned long long>(v.drift_events),
+            static_cast<unsigned long long>(v.recalibrations),
+            static_cast<unsigned long long>(v.time_to_recalibrate_bins));
+
+    // The packet is the machine contract: exactly one JSON line on
+    // stdout, nothing else.
+    std::printf("%s\n", scenario::experiment_runner::to_json(result).c_str());
+
+    if (!enforce_variant.empty()) {
+        const scenario::variant_score* found = nullptr;
+        for (const auto& v : result.variants)
+            if (v.variant == enforce_variant) found = &v;
+        if (!found) usage_error("unknown variant '" + enforce_variant + "'");
+        bool ok = true;
+        if (min_detection >= 0.0 && found->detection_rate() < min_detection) {
+            std::fprintf(stderr,
+                         "ENFORCE FAILED: %s detection_rate %.3f < %.3f\n",
+                         enforce_variant.c_str(), found->detection_rate(),
+                         min_detection);
+            ok = false;
+        }
+        if (max_drift_fa >= 0.0 &&
+            found->drift_false_alarm_rate() > max_drift_fa) {
+            std::fprintf(
+                stderr,
+                "ENFORCE FAILED: %s drift_false_alarm_rate %.3f > %.3f\n",
+                enforce_variant.c_str(), found->drift_false_alarm_rate(),
+                max_drift_fa);
+            ok = false;
+        }
+        if (!ok) return 1;
+        std::fprintf(stderr, "enforce: %s within bounds\n",
+                     enforce_variant.c_str());
+    }
+    return 0;
+}

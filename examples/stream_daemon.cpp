@@ -11,18 +11,25 @@
 //
 // Usage: stream_daemon [bins] [packets_per_pop_per_bin] [shards]
 //          [--checkpoint-dir=DIR] [--checkpoint-every-bins=N]
-//          [--checkpoint-keep=N] [--resume]
+//          [--checkpoint-keep=N] [--checkpoint-keep-hours=H] [--resume]
 //          [--on-corrupt=fail-fast|quarantine]
 //          [--fault-seed=S] [--fault-spool-bit-rate=R]
 //          [--fault-ckpt-fail-rate=R]
 //          [--supervise] [--max-restarts=N] [--watchdog-secs=N]
-//          [--crash-after-bins=N]
-//          [--events=FILE] [--metrics-port=N] [--serve-secs=N]
+//          [--crash-after-bins=N] [--drift-relearn-bins=N]
+//          [--events=FILE] [--events-tcp=HOST:PORT]
+//          [--metrics-port=N] [--serve-secs=N]
 //
 // Observability (tfd::obs): every bin close, anomaly, checkpoint save/
 // restore, quarantine fold, time-base reset and backpressure stall is
 // a typed event. --events=FILE appends them as schema-versioned JSONL;
-// the most recent 256 are always retained in memory. --metrics-port=N
+// --events-tcp=HOST:PORT streams the same lines to a TCP peer (peer
+// loss is survived: lines are dropped-and-counted and the connection
+// retried on a bin-paced cooldown). The most recent 256 are always
+// retained in memory. --drift-relearn-bins=N arms the detector's drift
+// monitor: a confirmed distribution shift triggers an N-bin degraded
+// re-learn window, then an exact refit + threshold re-estimation
+// (drift/recalibrated events, tfd_detector_state). --metrics-port=N
 // serves, on 127.0.0.1 only: /metrics (Prometheus text: adopted
 // pipeline counters, derived gauges, per-stage latency histograms),
 // /healthz, /alerts (severity-graded, per-OD deduped anomaly state)
@@ -102,6 +109,7 @@ struct daemon_config {
     std::string checkpoint_dir;
     std::size_t checkpoint_every = 8;
     std::size_t checkpoint_keep = 0;
+    double checkpoint_keep_hours = 0.0;
     bool resume = false;
     stream::corrupt_policy on_corrupt = stream::corrupt_policy::fail_fast;
     std::uint64_t fault_seed = 0;
@@ -112,6 +120,8 @@ struct daemon_config {
     std::size_t watchdog_secs = 30;
     std::size_t crash_after_bins = 0;
     std::string events_path;   ///< JSONL event file (empty = none)
+    std::string events_tcp;    ///< HOST:PORT event peer (empty = none)
+    std::size_t drift_relearn_bins = 0;  ///< 0 = drift monitor off
     int metrics_port = -1;     ///< -1 disabled, 0 ephemeral, else fixed
     std::size_t serve_secs = 0;  ///< keep the endpoint up after the drain
 };
@@ -230,6 +240,20 @@ int run_worker(const daemon_config& cfg, std::size_t attempt) {
         }
         event_tee.add(&*event_file);
     }
+    std::optional<obs::tcp_sink> event_tcp;
+    if (!cfg.events_tcp.empty()) {
+        const std::size_t colon = cfg.events_tcp.rfind(':');
+        const std::string host = cfg.events_tcp.substr(0, colon);
+        const int port = std::atoi(cfg.events_tcp.c_str() + colon + 1);
+        try {
+            event_tcp.emplace(host, static_cast<std::uint16_t>(port));
+        } catch (const std::system_error& e) {
+            std::fprintf(stderr, "stream_daemon: --events-tcp: %s\n",
+                         e.what());
+            return 2;
+        }
+        event_tee.add(&*event_tcp);
+    }
 
     // --- stream the spool through the pipeline --------------------------
     stream::pipeline_options popts;
@@ -241,6 +265,14 @@ int run_worker(const daemon_config& cfg, std::size_t attempt) {
     popts.online.refit_interval = 4;
     popts.online.subspace.normal_dims = 2;
     popts.online.refit_timer = timers.refit;
+    if (cfg.drift_relearn_bins > 0) {
+        popts.online.recalibration.enabled = true;
+        popts.online.recalibration.relearn_bins = cfg.drift_relearn_bins;
+        // The re-learn window refits from the newest relearn_bins rows,
+        // so the detector window must hold at least that many.
+        if (popts.online.window < cfg.drift_relearn_bins)
+            popts.online.window = cfg.drift_relearn_bins;
+    }
     popts.timers = &timers;
     stream::stream_pipeline pipeline(topo, popts);
 
@@ -263,6 +295,7 @@ int run_worker(const daemon_config& cfg, std::size_t attempt) {
         copts.jitter_seed = cfg.fault_seed;
         if (cfg.fault_ckpt_fail_rate > 0.0) copts.faults = &ckpt_faults;
         copts.save_timer = timers.checkpoint_write;
+        copts.keep_hours = cfg.checkpoint_keep_hours;
         checkpointer.emplace(pipeline, cfg.checkpoint_dir,
                              cfg.checkpoint_every, cfg.checkpoint_keep,
                              copts);
@@ -463,6 +496,18 @@ int run_worker(const daemon_config& cfg, std::size_t attempt) {
                 alerts.suppressed_total(),
                 cfg.events_path.empty() ? "" : " -> ",
                 cfg.events_path.c_str());
+    if (event_tcp)
+        std::printf("  events tcp peer        : %" PRIu64 " dropped, %" PRIu64
+                    " reconnects%s\n",
+                    event_tcp->dropped(), event_tcp->reconnects(),
+                    event_tcp->connected() ? "" : " (disconnected)");
+    if (cfg.drift_relearn_bins > 0) {
+        const auto& det = pipeline.detector();
+        std::printf("  detector state         : %s\n",
+                    det.state() == core::detector_state::degraded
+                        ? "degraded (re-learning)"
+                        : "normal");
+    }
 
     if (http && cfg.serve_secs > 0) {
         std::printf("\nmetrics: endpoint stays up %zus for scrapers "
@@ -577,13 +622,14 @@ bool parse_rate(const char* v, double& out) {
         "stream_daemon: %s\n"
         "usage: stream_daemon [bins] [packets_per_pop_per_bin] [shards]\n"
         "  [--checkpoint-dir=DIR] [--checkpoint-every-bins=N]\n"
-        "  [--checkpoint-keep=N] [--resume]\n"
+        "  [--checkpoint-keep=N] [--checkpoint-keep-hours=H] [--resume]\n"
         "  [--on-corrupt=fail-fast|quarantine]\n"
         "  [--fault-seed=S] [--fault-spool-bit-rate=R]\n"
         "  [--fault-ckpt-fail-rate=R]\n"
         "  [--supervise] [--max-restarts=N] [--watchdog-secs=N]\n"
-        "  [--crash-after-bins=N]\n"
-        "  [--events=FILE] [--metrics-port=N] [--serve-secs=N]\n",
+        "  [--crash-after-bins=N] [--drift-relearn-bins=N]\n"
+        "  [--events=FILE] [--events-tcp=HOST:PORT]\n"
+        "  [--metrics-port=N] [--serve-secs=N]\n",
         detail.c_str());
     std::exit(2);
 }
@@ -613,6 +659,11 @@ int main(int argc, char** argv) {
         } else if (value_of(arg, "--checkpoint-keep=", &v)) {
             if (!parse_size(v, cfg.checkpoint_keep))
                 usage_error("--checkpoint-keep expects a number");
+        } else if (value_of(arg, "--checkpoint-keep-hours=", &v)) {
+            char* end = nullptr;
+            cfg.checkpoint_keep_hours = std::strtod(v, &end);
+            if (end == v || *end != '\0' || cfg.checkpoint_keep_hours < 0.0)
+                usage_error("--checkpoint-keep-hours expects hours >= 0");
         } else if (arg == "--resume") {
             cfg.resume = true;
         } else if (value_of(arg, "--on-corrupt=", &v)) {
@@ -647,6 +698,15 @@ int main(int argc, char** argv) {
         } else if (value_of(arg, "--events=", &v)) {
             if (*v == '\0') usage_error("--events expects a file path");
             cfg.events_path = v;
+        } else if (value_of(arg, "--events-tcp=", &v)) {
+            const char* colon = std::strrchr(v, ':');
+            if (colon == nullptr || colon == v || *(colon + 1) == '\0')
+                usage_error("--events-tcp expects HOST:PORT");
+            cfg.events_tcp = v;
+        } else if (value_of(arg, "--drift-relearn-bins=", &v)) {
+            if (!parse_size(v, cfg.drift_relearn_bins) ||
+                cfg.drift_relearn_bins < 2)
+                usage_error("--drift-relearn-bins expects a count >= 2");
         } else if (value_of(arg, "--metrics-port=", &v)) {
             std::size_t port;
             if (!parse_size(v, port) || port > 65535)

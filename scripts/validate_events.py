@@ -4,18 +4,25 @@
 The executable form of the schema table in src/obs/README.md: every
 line must be a self-contained JSON object carrying the envelope
 (v/seq/ts_ms/type/bin) plus the required fields of its type. Additive
-fields are allowed without complaint (the schema's compatibility rule);
-a missing or mistyped required field, an unknown type, a bad schema
-version, or a non-monotone sequence number fails the run.
+fields are allowed without complaint (the schema's compatibility rule),
+and so are *unknown event types* — a v1 consumer must tolerate types a
+newer producer emits, so those lines are counted (under "?<type>") and
+only their envelope is checked. A missing or mistyped required field,
+a bad schema version, or a non-monotone sequence number fails the run.
+
+Optional fields that ARE known (e.g. anomaly.confidence, added
+additively at v1) are type-checked when present.
 
 Usage:
   scripts/validate_events.py events.jsonl [more.jsonl ...]
   some-daemon | scripts/validate_events.py -
+  scripts/validate_events.py --self-test
 
 Exit status: 0 when every line validates, 1 otherwise. A summary of
 event counts per type is printed either way.
 """
 
+import io
 import json
 import sys
 
@@ -54,6 +61,13 @@ REQUIRED = {
     },
     "time_base_reset": {"from_bin": U64, "to_bin": U64},
     "backpressure": {"blocked_pushes": U64, "queue_high_watermark": U64},
+    "drift": {"ph": NUM, "alarm_rate": NUM, "relearn_bins": U64},
+    "recalibrated": {"threshold": NUM, "bins_degraded": U64},
+}
+
+# Known additive fields: absent is fine, present must type-check.
+OPTIONAL = {
+    "anomaly": {"confidence": NUM},
 }
 
 SEVERITIES = {"warning", "major", "critical"}
@@ -90,12 +104,18 @@ def validate_line(obj):
     etype = obj["type"]
     required = REQUIRED.get(etype)
     if required is None:
-        problems.append(f"unknown event type {etype!r}")
+        # Forward compatibility: a newer producer may emit types this
+        # validator predates. The envelope already checked out; accept.
         return problems
     for field, expected in required.items():
         err = check_field(obj, field, expected)
         if err:
             problems.append(err)
+    for field, expected in OPTIONAL.get(etype, {}).items():
+        if field in obj:
+            err = check_field(obj, field, expected)
+            if err:
+                problems.append(err)
 
     if etype == "anomaly" and not problems:
         if obj["severity"] not in SEVERITIES:
@@ -104,6 +124,9 @@ def validate_line(obj):
         if len(obj["h_tilde"]) != 4:
             problems.append(f"h_tilde must have 4 entries, has "
                             f"{len(obj['h_tilde'])}")
+        if "confidence" in obj and not 0.0 <= obj["confidence"] <= 1.0:
+            problems.append(f"confidence {obj['confidence']!r} outside "
+                            f"[0,1]")
         for i, flow in enumerate(obj["flows"]):
             if not isinstance(flow, dict):
                 problems.append(f"flows[{i}] is not an object")
@@ -137,7 +160,9 @@ def validate_stream(lines, source):
             print(f"{source}:{lineno}: {p}", file=sys.stderr)
         errors += len(problems)
         if not problems:
-            counts[obj["type"]] = counts.get(obj["type"], 0) + 1
+            etype = obj["type"]
+            key = etype if etype in REQUIRED else "?" + etype
+            counts[key] = counts.get(key, 0) + 1
             if prev_seq is not None and obj["seq"] <= prev_seq:
                 print(f"{source}:{lineno}: seq {obj['seq']} not greater "
                       f"than previous {prev_seq}", file=sys.stderr)
@@ -146,8 +171,59 @@ def validate_stream(lines, source):
     return errors, counts
 
 
+def self_test():
+    """Exercise the validator against known-good and known-bad lines."""
+    env = '"v":1,"seq":%d,"ts_ms":10,"bin":%d'
+
+    good = "\n".join([
+        '{%s,"type":"bin_closed","records":5,"empty":false,"scored":true,'
+        '"anomalous":false,"close_ns":12}' % (env % (1, 0)),
+        '{%s,"type":"anomaly","od":3,"spe":2.5,"threshold":1.0,'
+        '"ratio":2.5,"severity":"major","suppressed":false,'
+        '"confidence":0.25,"h_tilde":[0.1,0.2,0.3,0.4],'
+        '"flows":[{"od":3,"magnitude":9.0,"spe_after":0.5}]}' % (env % (2, 1)),
+        '{%s,"type":"drift","ph":7.5,"alarm_rate":0.6,"relearn_bins":24}'
+        % (env % (3, 2)),
+        '{%s,"type":"recalibrated","threshold":0.8,"bins_degraded":24}'
+        % (env % (4, 3)),
+        # Unknown type from a future producer: envelope-only check.
+        '{%s,"type":"frobnicated","whatever":1}' % (env % (5, 4)),
+    ])
+    errors, counts = validate_stream(io.StringIO(good), "<good>")
+    assert errors == 0, f"good stream produced {errors} error(s)"
+    assert counts.get("drift") == 1 and counts.get("recalibrated") == 1
+    assert counts.get("?frobnicated") == 1, counts
+
+    bad = "\n".join([
+        '{%s,"type":"drift","ph":7.5,"alarm_rate":"high",'
+        '"relearn_bins":24}' % (env % (1, 0)),            # mistyped field
+        '{%s,"type":"recalibrated","threshold":0.8}' % (env % (2, 1)),
+                                                          # missing field
+        '{%s,"type":"anomaly","od":3,"spe":2.5,"threshold":1.0,'
+        '"ratio":2.5,"severity":"major","suppressed":false,'
+        '"confidence":1.5,"h_tilde":[0.1,0.2,0.3,0.4],"flows":[]}'
+        % (env % (3, 2)),                                 # confidence > 1
+        '{%s,"type":"drift","ph":1.0,"alarm_rate":0.1,"relearn_bins":8}'
+        % (env % (4, 3)),                                 # clean: seq anchor
+        '{%s,"type":"drift","ph":1.0,"alarm_rate":0.1,"relearn_bins":8}'
+        % (env % (4, 4)),                                 # seq not monotone
+    ])
+    sink = io.StringIO()
+    stderr, sys.stderr = sys.stderr, sink
+    try:
+        errors, _ = validate_stream(io.StringIO(bad), "<bad>")
+    finally:
+        sys.stderr = stderr
+    assert errors == 4, f"bad stream produced {errors} error(s) (want 4):\n" \
+                        + sink.getvalue()
+    print("self-test OK")
+    return 0
+
+
 def main():
     paths = sys.argv[1:]
+    if paths == ["--self-test"]:
+        return self_test()
     if not paths:
         raise SystemExit(__doc__)
     total_errors = 0

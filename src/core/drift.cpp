@@ -1,0 +1,119 @@
+#include "core/drift.h"
+
+#include <stdexcept>
+
+namespace tfd::core {
+
+drift_monitor::drift_monitor(const drift_options& opts) : opts_(opts) {
+    if (opts.ph_lambda <= 0.0)
+        throw std::invalid_argument("drift_monitor: ph_lambda must be > 0");
+    if (opts.ph_delta < 0.0)
+        throw std::invalid_argument("drift_monitor: ph_delta must be >= 0");
+    if (opts.watchdog_window == 0)
+        throw std::invalid_argument(
+            "drift_monitor: watchdog_window must be > 0");
+    if (opts.storm_rate <= 0.0 || opts.storm_rate > 1.0)
+        throw std::invalid_argument(
+            "drift_monitor: storm_rate must be in (0, 1]");
+    if (opts.min_shift_bins == 0)
+        throw std::invalid_argument(
+            "drift_monitor: min_shift_bins must be > 0");
+    ring_.assign(opts.watchdog_window, 0);
+}
+
+void drift_monitor::reset() {
+    mean_ = 0.0;
+    ph_m_ = 0.0;
+    ph_min_ = 0.0;
+    excursion_bins_ = 0;
+    observed_ = 0;
+    std::fill(ring_.begin(), ring_.end(), std::uint8_t{0});
+    ring_pos_ = 0;
+    ring_fill_ = 0;
+    ring_alarms_ = 0;
+}
+
+double drift_monitor::alarm_rate() const noexcept {
+    return ring_fill_ == 0 ? 0.0
+                           : static_cast<double>(ring_alarms_) /
+                                 static_cast<double>(ring_fill_);
+}
+
+drift_signal drift_monitor::observe(double spe, double threshold,
+                                    bool anomalous) {
+    // Standardize against the live threshold so the statistic is
+    // comparable across refits: x ~ "how close to alarming was this
+    // bin". A degenerate threshold (no model variance) contributes a
+    // neutral observation rather than an infinity.
+    const double x = threshold > 0.0 ? spe / threshold : 0.0;
+
+    // Watchdog ring first: replace the slot's old flag.
+    const std::uint8_t flag = anomalous ? 1 : 0;
+    if (ring_fill_ < ring_.size()) {
+        ++ring_fill_;
+    } else {
+        ring_alarms_ -= ring_[ring_pos_];
+    }
+    ring_alarms_ += flag;
+    ring_[ring_pos_] = flag;
+    ring_pos_ = (ring_pos_ + 1) % ring_.size();
+
+    // Page–Hinkley with a running mean: the first observation defines
+    // the baseline (its deviation is zero by construction).
+    ++observed_;
+    mean_ += (x - mean_) / static_cast<double>(observed_);
+    ph_m_ += x - mean_ - opts_.ph_delta;
+    if (ph_m_ < ph_min_) {
+        ph_min_ = ph_m_;
+        excursion_bins_ = 0;
+    } else {
+        ++excursion_bins_;
+    }
+
+    // The storm detector needs a full window before its rate means
+    // anything; once it fires, the classification is unambiguous.
+    if (ring_fill_ == ring_.size() && alarm_rate() >= opts_.storm_rate)
+        return drift_signal::shift;
+
+    if (ph() > opts_.ph_lambda) {
+        if (excursion_bins_ >= opts_.min_shift_bins)
+            return drift_signal::shift;
+        // A violent spike drove the statistic over lambda in only a few
+        // bins: an anomaly, not a moved distribution. Restart the test
+        // so the burst's tail cannot accumulate into a false shift.
+        ph_m_ = 0.0;
+        ph_min_ = 0.0;
+        excursion_bins_ = 0;
+        return drift_signal::burst;
+    }
+    return drift_signal::none;
+}
+
+void drift_monitor::save(io::wire_writer& w) const {
+    w.f64(mean_);
+    w.f64(ph_m_);
+    w.f64(ph_min_);
+    w.varint(excursion_bins_);
+    w.varint(observed_);
+    w.varint(ring_pos_);
+    w.varint(ring_fill_);
+    w.varint(ring_alarms_);
+    for (const std::uint8_t b : ring_) w.u8(b);
+}
+
+void drift_monitor::load(io::wire_reader& r) {
+    mean_ = r.f64();
+    ph_m_ = r.f64();
+    ph_min_ = r.f64();
+    excursion_bins_ = static_cast<std::size_t>(r.varint());
+    observed_ = r.varint();
+    ring_pos_ = static_cast<std::size_t>(r.varint());
+    ring_fill_ = static_cast<std::size_t>(r.varint());
+    ring_alarms_ = static_cast<std::size_t>(r.varint());
+    if (ring_pos_ >= ring_.size() || ring_fill_ > ring_.size() ||
+        ring_alarms_ > ring_fill_)
+        r.fail("drift_monitor: ring state out of range");
+    for (std::uint8_t& b : ring_) b = r.u8();
+}
+
+}  // namespace tfd::core

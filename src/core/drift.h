@@ -1,0 +1,127 @@
+// tfd::core — online drift detection over the detector's own residual
+// stream.
+//
+// The subspace method assumes the normal subspace is stationary: the
+// Q-statistic threshold is estimated once per refit window and every
+// bin is judged against it. Under concept drift — a routing shift, a
+// sampling-rate change, a diurnal regime the window has not seen — the
+// residual distribution moves wholesale and the detector either goes
+// blind (threshold too high) or alarm-storms (threshold too low).
+// Neither failure is an anomaly in the paper's taxonomy; both are a
+// *calibration* problem.
+//
+// This monitor watches the standardized residual x_t = SPE_t /
+// threshold_t of every scored bin and raises a typed signal when the
+// stream stops looking stationary, using two complementary detectors:
+//
+//   * A one-sided Page–Hinkley test on x_t: m_t accumulates
+//     (x_t - mean_t - delta), and the excursion m_t - min(m) crossing
+//     lambda means the residual mean has risen in a sustained way —
+//     this catches slow drifts that never cross the alarm threshold.
+//   * A sliding alarm-rate watchdog: the fraction of anomalous verdicts
+//     over the last `watchdog_window` scored bins. A genuine anomaly
+//     (even a violent DDoS) alarms a handful of bins; a moved
+//     distribution alarms nearly all of them.
+//
+// Classification: the watchdog firing is always a distribution shift
+// (no Table-1 anomaly storms for a whole window). A Page–Hinkley alarm
+// is a shift only when its rising excursion is sustained
+// (>= min_shift_bins); a shorter excursion is an anomaly burst — the
+// statistic is reset and detection continues uninterrupted, because
+// recalibrating on a burst would teach the model that the attack is
+// normal.
+//
+// The monitor is deterministic, allocation-free after construction, and
+// serializes with the detector (save/load) so a restored daemon resumes
+// the same drift trajectory bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "io/wire.h"
+
+namespace tfd::core {
+
+/// Tuning for the drift monitor. Defaults suit standardized residuals
+/// (x = spe/threshold, typically ~0.2-0.6 under stationarity).
+struct drift_options {
+    /// Page–Hinkley tolerance: mean excursions below this never
+    /// accumulate (magnitude-of-change we agree to ignore).
+    double ph_delta = 0.05;
+    /// Page–Hinkley alarm threshold on the excursion m_t - min(m).
+    double ph_lambda = 6.0;
+    /// A Page–Hinkley excursion must have been rising for at least this
+    /// many scored bins to classify as a shift; shorter ones are bursts.
+    std::size_t min_shift_bins = 8;
+    /// Sliding window (scored bins) of the alarm-rate watchdog.
+    std::size_t watchdog_window = 24;
+    /// Alarm fraction over a full watchdog window that confirms a
+    /// shift regardless of Page–Hinkley (the alarm-storm detector).
+    double storm_rate = 0.5;
+};
+
+/// What one observed bin did to the monitor's view of the stream.
+enum class drift_signal : int {
+    none = 0,   ///< stream still looks stationary
+    burst = 1,  ///< short residual spike: an anomaly, not drift
+    shift = 2,  ///< sustained move: the normal model is stale
+};
+
+/// Online drift monitor; feed one scored verdict per bin via observe().
+class drift_monitor {
+public:
+    /// Throws std::invalid_argument on degenerate options.
+    explicit drift_monitor(const drift_options& opts = {});
+
+    /// Observe one scored bin's residual. Returns the signal for this
+    /// bin; `shift` means the caller should recalibrate (the monitor
+    /// keeps its state until reset() so the confirming statistics stay
+    /// readable for event emission).
+    drift_signal observe(double spe, double threshold, bool anomalous);
+
+    /// Forget everything (call after recalibration: the re-learned
+    /// model defines a new stationarity baseline).
+    void reset();
+
+    const drift_options& options() const noexcept { return opts_; }
+
+    /// Current Page–Hinkley excursion m_t - min(m).
+    double ph() const noexcept { return ph_m_ - ph_min_; }
+
+    /// Scored bins the current Page–Hinkley excursion has been rising.
+    std::size_t excursion_bins() const noexcept { return excursion_bins_; }
+
+    /// Alarm fraction over the (possibly not yet full) watchdog window;
+    /// 0 while no bin has been observed.
+    double alarm_rate() const noexcept;
+
+    /// Scored bins observed since construction/reset.
+    std::uint64_t observed() const noexcept { return observed_; }
+
+    /// Serialize the full monitor state (options excluded — they belong
+    /// to the constructor, like the detector's).
+    void save(io::wire_writer& w) const;
+
+    /// Restore save() output; the monitor must have been constructed
+    /// with the same options. Throws io::wire_error on bad payloads.
+    void load(io::wire_reader& r);
+
+private:
+    drift_options opts_;
+    // Page–Hinkley over x_t = spe / threshold.
+    double mean_ = 0.0;        ///< running mean of x_t
+    double ph_m_ = 0.0;        ///< cumulative sum of (x - mean - delta)
+    double ph_min_ = 0.0;      ///< running min of ph_m_
+    std::size_t excursion_bins_ = 0;  ///< bins since ph_m_ last hit ph_min_
+    std::uint64_t observed_ = 0;
+    // Alarm-rate watchdog: ring of the last watchdog_window anomalous
+    // flags (0/1 bytes; the window is tens of bins, not worth a bitset).
+    std::vector<std::uint8_t> ring_;
+    std::size_t ring_pos_ = 0;
+    std::size_t ring_fill_ = 0;
+    std::size_t ring_alarms_ = 0;
+};
+
+}  // namespace tfd::core

@@ -30,6 +30,16 @@ online_detector::online_detector(std::size_t flows, const online_options& opts)
     if (opts.rematerialize_every == 0)
         throw std::invalid_argument(
             "online_detector: rematerialize_every must be > 0");
+    if (opts.recalibration.enabled) {
+        const recalibration_options& rc = opts.recalibration;
+        if (rc.relearn_bins < 2 || rc.relearn_bins > opts.window)
+            throw std::invalid_argument(
+                "online_detector: relearn_bins must be in [2, window]");
+        if (rc.degraded_confidence < 0.0 || rc.degraded_confidence > 1.0)
+            throw std::invalid_argument(
+                "online_detector: degraded_confidence must be in [0, 1]");
+        monitor_.emplace(rc.monitor);  // validates the monitor options
+    }
     layout_.flows = flows;
     // layout_.h stays empty; only column() arithmetic is used.
     layout_.h.resize(0, flow::feature_count * flows);
@@ -132,6 +142,24 @@ void online_detector::refit() {
     layout_.submatrix_norm = norms_;
 }
 
+void online_detector::recalibrate() {
+    // The re-learn window is over: the pre-drift history is the stale
+    // part, so drop everything but the newest relearn_bins rows (all
+    // post-confirmation), rebuild the moments exactly from them, and
+    // refit + re-estimate the threshold. The resulting model state is
+    // bit-identical to a fresh detector (warmup == relearn_bins) fed
+    // exactly those rows: the truncated window matches its window, and
+    // rematerialize() accumulates rows oldest-first — the same rank-1
+    // sequence the fresh detector's per-push accumulate() performed.
+    const std::size_t keep = opts_.recalibration.relearn_bins;
+    while (window_.size() > keep) window_.pop_front();
+    rematerialize();
+    refit();
+    state_ = detector_state::normal;
+    relearn_progress_ = 0;
+    monitor_->reset();
+}
+
 void online_detector::save(io::wire_writer& w) const {
     const std::size_t d = flow::feature_count * flows_;
     w.varint(bins_seen_);
@@ -151,6 +179,15 @@ void online_detector::save(io::wire_writer& w) const {
         for (double v : row) w.f64(v);
     w.u8(model_.has_value() ? 1 : 0);
     if (model_) model_->save(w);
+    // Recalibration block (detector section v2). Written even when
+    // disabled — the flag byte keeps the payload self-describing, and
+    // the checkpoint fingerprint already pins the enabled option.
+    w.u8(monitor_.has_value() ? 1 : 0);
+    if (monitor_) {
+        w.u8(static_cast<std::uint8_t>(state_));
+        w.varint(relearn_progress_);
+        monitor_->save(w);
+    }
 }
 
 void online_detector::load(io::wire_reader& r) {
@@ -183,6 +220,15 @@ void online_detector::load(io::wire_reader& r) {
     } else {
         model_.reset();
     }
+    if ((r.u8() != 0) != monitor_.has_value())
+        r.fail("online_detector: recalibration state presence mismatch");
+    if (monitor_) {
+        const std::uint8_t s = r.u8();
+        if (s > 1) r.fail("online_detector: bad detector state");
+        state_ = static_cast<detector_state>(s);
+        relearn_progress_ = static_cast<std::size_t>(r.varint());
+        monitor_->load(r);
+    }
     // Keep the layout's norms in sync for flow_residual consumers,
     // exactly as refit() leaves them.
     layout_.submatrix_norm = norms_;
@@ -203,8 +249,27 @@ online_verdict online_detector::push(const entropy_snapshot& snapshot) {
         window_.pop_front();
     }
 
+    // Degraded bookkeeping before the refit decision: the re-learn
+    // window completing on this bin means this bin is scored under the
+    // re-learned model, exactly as the fresh-fit reference would score
+    // it on its first post-warmup bin.
+    bool recalibrated_now = false;
+    if (state_ == detector_state::degraded &&
+        ++relearn_progress_ >= opts_.recalibration.relearn_bins) {
+        recalibrate();
+        recalibrated_now = true;
+        v.recalibrated = true;
+    }
+
+    // While degraded the scheduled refit is suppressed: a cadence refit
+    // would blend pre- and post-drift rows into one covariance, which is
+    // exactly the miscalibration being escaped. (With recalibration
+    // disabled, state_ is permanently normal and this is the legacy
+    // expression.)
     const bool due = !model_ || since_refit_ >= opts_.refit_interval;
-    if (window_.size() >= opts_.warmup && due) refit();
+    if (state_ != detector_state::degraded && !recalibrated_now &&
+        window_.size() >= opts_.warmup && due)
+        refit();
     ++since_refit_;
 
     if (!model_) return v;  // still warming up
@@ -222,6 +287,27 @@ online_verdict online_detector::push(const entropy_snapshot& snapshot) {
     v.spe = model_->spe(obs, spe_scratch_);
     v.threshold = threshold_;
     v.anomalous = v.spe > threshold_;
+
+    if (opts_.recalibration.enabled) {
+        if (state_ == detector_state::degraded) {
+            // Re-learning: keep scoring (and detecting) against the
+            // stale model, but say so — detections are marked
+            // low-confidence, never dropped.
+            v.degraded = true;
+            v.confidence = opts_.recalibration.degraded_confidence;
+        } else {
+            const drift_signal sig =
+                monitor_->observe(v.spe, v.threshold, v.anomalous);
+            if (sig == drift_signal::shift) {
+                state_ = detector_state::degraded;
+                relearn_progress_ = 0;
+                v.drift_detected = true;
+                v.degraded = true;
+                v.confidence = opts_.recalibration.degraded_confidence;
+            }
+        }
+    }
+
     if (!v.anomalous) return v;
 
     const auto ident =

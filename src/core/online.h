@@ -31,6 +31,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/drift.h"
 #include "core/identify.h"
 #include "core/multiway.h"
 #include "core/subspace.h"
@@ -52,6 +53,33 @@ struct entropy_snapshot {
     std::size_t flows() const noexcept;
 };
 
+/// Where the detector is in its calibration lifecycle.
+enum class detector_state : int {
+    normal = 0,    ///< model trusted, full-confidence verdicts
+    degraded = 1,  ///< drift confirmed, re-learning; low-confidence verdicts
+};
+
+/// Drift-aware self-calibration policy (off by default: with
+/// enabled == false every verdict and every model state is bit-identical
+/// to a detector that predates this option).
+struct recalibration_options {
+    bool enabled = false;
+    /// Drift confirmation policy (Page–Hinkley + alarm-rate watchdog).
+    drift_options monitor{};
+    /// Bins of post-drift history to re-learn from: once a shift is
+    /// confirmed, the detector stays degraded for exactly this many more
+    /// bins, then truncates its window to those bins, rebuilds the
+    /// moments exactly, refits, and re-estimates the threshold. The
+    /// re-learned state is bit-identical to a fresh detector (with
+    /// warmup == relearn_bins) fed only the post-drift rows — the
+    /// fresh-fit parity contract pinned by tests/core/drift_test.cpp.
+    /// Must be in [2, window].
+    std::size_t relearn_bins = 32;
+    /// Confidence stamped on verdicts while degraded (normal bins carry
+    /// 1.0). Detections are never dropped, only marked.
+    double degraded_confidence = 0.25;
+};
+
 /// Options for the streaming detector.
 struct online_options {
     std::size_t window = 576;        ///< sliding history length (bins)
@@ -68,6 +96,8 @@ struct online_options {
     /// Observability-only — excluded from the checkpoint fingerprint,
     /// never changes behaviour.
     obs::latency_histogram* refit_timer = nullptr;
+    /// Drift-aware self-calibration (core/drift.h); disabled by default.
+    recalibration_options recalibration{};
 };
 
 /// Verdict for one scored bin.
@@ -82,6 +112,16 @@ struct online_verdict {
     std::vector<identified_flow> flows;
     int top_od = -1;
     std::array<double, flow::feature_count> h_tilde{};
+    /// How much to trust this verdict: 1.0 normally,
+    /// recalibration_options::degraded_confidence while re-learning.
+    double confidence = 1.0;
+    /// True while the detector is in the degraded (re-learn) state.
+    bool degraded = false;
+    /// True on exactly the bin where a distribution shift was confirmed.
+    bool drift_detected = false;
+    /// True on exactly the bin where recalibration completed (this bin
+    /// is already scored under the re-learned model and threshold).
+    bool recalibrated = false;
 };
 
 /// Sliding-window multiway subspace detector.
@@ -109,6 +149,15 @@ public:
 
     const online_options& options() const noexcept { return opts_; }
 
+    /// Calibration lifecycle state (always `normal` when recalibration
+    /// is disabled).
+    detector_state state() const noexcept { return state_; }
+
+    /// The drift monitor, or nullptr when recalibration is disabled.
+    const drift_monitor* drift() const noexcept {
+        return monitor_ ? &*monitor_ : nullptr;
+    }
+
     /// Snapshot hook: serialize the complete streaming state — window
     /// contents, the incrementally maintained Gram + column sums
     /// bit-exactly (so the drift trajectory of future rank-1 updates is
@@ -128,6 +177,7 @@ public:
 
 private:
     void refit();
+    void recalibrate();
     std::vector<double> flatten(const entropy_snapshot& s) const;
     void accumulate(const std::vector<double>& row, double sign);
     void rematerialize();
@@ -150,6 +200,13 @@ private:
     std::size_t refits_since_exact_ = 0;
     std::vector<double> obs_buf_;      ///< scoring scratch (normalized obs)
     std::vector<double> spe_scratch_;  ///< scoring scratch (centered obs)
+
+    /// Drift-aware recalibration (engaged only when
+    /// opts_.recalibration.enabled; otherwise state_ stays normal and
+    /// monitor_ is empty, and push() takes the legacy path untouched).
+    std::optional<drift_monitor> monitor_;
+    detector_state state_ = detector_state::normal;
+    std::size_t relearn_progress_ = 0;  ///< bins observed while degraded
 };
 
 }  // namespace tfd::core

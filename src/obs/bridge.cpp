@@ -61,6 +61,15 @@ pipeline_bridge::pipeline_bridge(stream::stream_pipeline& pipeline,
         m_.checkpoint_retries = &reg->get_counter(
             "tfd_checkpoint_retries_total",
             "Extra checkpoint save attempts beyond the first");
+        m_.drift_events = &reg->get_counter(
+            "tfd_drift_events_total",
+            "Distribution shifts confirmed by the drift monitor");
+        m_.recalibrations = &reg->get_counter(
+            "tfd_recalibrations_total",
+            "Detector recalibrations completed after a drift");
+        m_.detector_state = &reg->get_gauge(
+            "tfd_detector_state",
+            "Detector calibration state: 0=normal, 1=degraded (re-learning)");
         m_.records_per_second = &reg->get_gauge(
             "tfd_ingest_records_per_second",
             "Throughput over time spent inside the pipeline "
@@ -98,15 +107,49 @@ void pipeline_bridge::observe_bin(const stream::bin_result& r) {
     last_bin_close_ns_ = pm.bin_close_ns;
     emitter_.emit(r.stats.bin, event_data(bc));
 
+    if (r.verdict.degraded) ++degraded_bins_;
+
+    if (r.verdict.drift_detected) {
+        // The detector keeps the monitor's confirming statistics until
+        // the recalibration bin, so they are still readable here.
+        drift_data dd;
+        if (const core::drift_monitor* mon = pipeline_->detector().drift()) {
+            dd.ph = mon->ph();
+            dd.alarm_rate = mon->alarm_rate();
+        }
+        dd.relearn_bins =
+            pipeline_->detector().options().recalibration.relearn_bins;
+        if (m_.drift_events) m_.drift_events->inc();
+        emitter_.emit(r.stats.bin, event_data(dd));
+    }
+
+    if (r.verdict.recalibrated) {
+        recalibrated_data rd;
+        rd.threshold = r.verdict.threshold;
+        rd.bins_degraded = degraded_bins_;
+        degraded_bins_ = 0;
+        if (m_.recalibrations) m_.recalibrations->inc();
+        emitter_.emit(r.stats.bin, event_data(rd));
+    }
+
     if (r.verdict.anomalous) {
         anomaly_data an;
         an.od = r.verdict.top_od;
         an.spe = r.verdict.spe;
         an.threshold = r.verdict.threshold;
         an.h_tilde = r.verdict.h_tilde;
+        an.confidence = r.verdict.confidence;
         fill_od_names(an.od, an.origin, an.dest);
         alert_decision d;
-        if (opts_.alerts) {
+        if (r.verdict.degraded) {
+            // Re-learn window: the alarm storm that triggered the drift
+            // must not flood the alert manager (or burn its per-OD
+            // cooldowns). The detection is still delivered as an event,
+            // marked suppressed + low-confidence.
+            d.ratio = an.threshold > 0.0 ? an.spe / an.threshold : 0.0;
+            d.sev = severity::warning;
+            d.suppressed = true;
+        } else if (opts_.alerts) {
             d = opts_.alerts->observe(r.stats.bin, an.od, an.spe,
                                       an.threshold);
         } else {
@@ -150,6 +193,9 @@ void pipeline_bridge::sync_metrics() {
     m_.frames_reused->set_to(pm.frames_reused);
     m_.records_per_second->set(pm.records_per_second());
     m_.bin_close_mean_seconds->set(pm.mean_bin_close_ms() * 1e-3);
+    m_.detector_state->set(
+        pipeline_->detector().state() == core::detector_state::degraded ? 1.0
+                                                                        : 0.0);
     if (opts_.alerts) {
         m_.alerts_total->set_to(opts_.alerts->alerts_total());
         m_.alerts_suppressed->set_to(opts_.alerts->suppressed_total());
@@ -239,6 +285,14 @@ std::string pipeline_bridge::healthz_json() const {
         w.value(m_.anomalies->value());
         w.key("events_emitted");
         w.value(m_.events_emitted->value());
+        // Mirrors the tfd_detector_state gauge (registry atomic, not
+        // the detector itself — this runs on the HTTP thread).
+        w.key("detector_state");
+        w.value(m_.detector_state->value() >= 1.0 ? "degraded" : "normal");
+        w.key("drift_events");
+        w.value(m_.drift_events->value());
+        w.key("recalibrations");
+        w.value(m_.recalibrations->value());
     }
     if (opts_.alerts) {
         w.key("alerts_total");

@@ -112,6 +112,11 @@ private:
     std::uint64_t last_records_accumulated_ = 0;
     std::uint64_t last_bin_ = 0;
 
+    // Bins spent degraded since the last drift event; counted per
+    // observed bin (not bin-number arithmetic) so time-base resets
+    // inside a re-learn window cannot corrupt the recalibrated event.
+    std::uint64_t degraded_bins_ = 0;
+
     // Adopted registry metrics (null when no registry was given).
     struct adopted {
         counter* records_in = nullptr;
@@ -134,8 +139,11 @@ private:
         counter* alerts_suppressed = nullptr;
         counter* checkpoints_written = nullptr;
         counter* checkpoint_retries = nullptr;
+        counter* drift_events = nullptr;
+        counter* recalibrations = nullptr;
         gauge* records_per_second = nullptr;
         gauge* bin_close_mean_seconds = nullptr;
+        gauge* detector_state = nullptr;
     } m_;
 };
 

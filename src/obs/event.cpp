@@ -35,6 +35,8 @@ struct payload_writer {
         w.value(d.severity);
         w.key("suppressed");
         w.value(d.suppressed);
+        w.key("confidence");
+        w.value(d.confidence);
         w.key("h_tilde");
         write_feature_array(w, d.h_tilde);
         w.key("flows");
@@ -119,6 +121,22 @@ struct payload_writer {
         w.key("queue_high_watermark");
         w.value(d.queue_high_watermark);
     }
+
+    void operator()(const drift_data& d) {
+        w.key("ph");
+        w.value(d.ph);
+        w.key("alarm_rate");
+        w.value(d.alarm_rate);
+        w.key("relearn_bins");
+        w.value(d.relearn_bins);
+    }
+
+    void operator()(const recalibrated_data& d) {
+        w.key("threshold");
+        w.value(d.threshold);
+        w.key("bins_degraded");
+        w.value(d.bins_degraded);
+    }
 };
 
 }  // namespace
@@ -132,6 +150,8 @@ const char* event_type_name(event_type t) noexcept {
         case event_type::quarantine: return "quarantine";
         case event_type::time_base_reset: return "time_base_reset";
         case event_type::backpressure: return "backpressure";
+        case event_type::drift: return "drift";
+        case event_type::recalibrated: return "recalibrated";
     }
     return "unknown";
 }

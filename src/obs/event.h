@@ -44,6 +44,8 @@ enum class event_type : int {
     quarantine = 4,
     time_base_reset = 5,
     backpressure = 6,
+    drift = 7,
+    recalibrated = 8,
 };
 
 /// Wire name of an event type ("anomaly", "bin_closed", ...).
@@ -70,6 +72,11 @@ struct anomaly_data {
     double ratio = 0.0;        ///< spe / threshold (alert severity input)
     std::string severity;      ///< "warning" | "major" | "critical"
     bool suppressed = false;   ///< alert deduped by per-OD cooldown
+    /// Verdict confidence (additive field, schema stays v1): 1.0
+    /// normally, the detector's degraded_confidence while re-learning
+    /// after a drift — low-confidence detections are delivered, not
+    /// dropped.
+    double confidence = 1.0;
     std::array<double, flow::feature_count> h_tilde{};
     std::vector<anomaly_flow> flows;
 };
@@ -118,10 +125,26 @@ struct backpressure_data {
     std::uint64_t queue_high_watermark = 0;
 };
 
+/// A confirmed distribution shift (core/drift.h): the detector entered
+/// its degraded re-learn state at this bin. New event type at v1.
+struct drift_data {
+    double ph = 0.0;                 ///< Page–Hinkley excursion at confirmation
+    double alarm_rate = 0.0;         ///< watchdog alarm fraction at confirmation
+    std::uint64_t relearn_bins = 0;  ///< length of the re-learn window starting now
+};
+
+/// Recalibration completed: the detector refit from the post-drift
+/// window, re-estimated its threshold, and returned to normal.
+struct recalibrated_data {
+    double threshold = 0.0;           ///< the re-estimated Q-statistic threshold
+    std::uint64_t bins_degraded = 0;  ///< bins spent in the degraded state
+};
+
 using event_data =
     std::variant<anomaly_data, bin_closed_data, checkpoint_saved_data,
                  checkpoint_restored_data, quarantine_data,
-                 time_base_reset_data, backpressure_data>;
+                 time_base_reset_data, backpressure_data, drift_data,
+                 recalibrated_data>;
 
 /// One event. `seq` is assigned by the emitter (1-based, strictly
 /// increasing per process); `bin` is the pipeline bin the event

@@ -20,6 +20,10 @@ static_assert(std::is_same_v<std::variant_alternative_t<0, event_data>,
                              anomaly_data>);
 static_assert(std::is_same_v<std::variant_alternative_t<6, event_data>,
                              backpressure_data>);
+static_assert(std::is_same_v<std::variant_alternative_t<7, event_data>,
+                             drift_data>);
+static_assert(std::is_same_v<std::variant_alternative_t<8, event_data>,
+                             recalibrated_data>);
 
 void memory_sink::emit(const event& e, std::string_view jsonl_line) {
     std::lock_guard lock(mu_);
@@ -88,17 +92,20 @@ std::uint64_t ring_sink::total_emitted() const {
     return total_;
 }
 
-tcp_sink::tcp_sink(const std::string& host, std::uint16_t port) {
+tcp_sink::tcp_sink(const std::string& host, std::uint16_t port,
+                   std::uint64_t reconnect_cooldown_emits)
+    : host_(host),
+      service_(std::to_string(port)),
+      cooldown_(reconnect_cooldown_emits == 0 ? 1 : reconnect_cooldown_emits) {
     addrinfo hints{};
     hints.ai_family = AF_UNSPEC;
     hints.ai_socktype = SOCK_STREAM;
     addrinfo* res = nullptr;
-    const std::string service = std::to_string(port);
-    const int rc = getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+    const int rc = getaddrinfo(host_.c_str(), service_.c_str(), &hints, &res);
     if (rc != 0)
         throw std::system_error(
             std::make_error_code(std::errc::host_unreachable),
-            "tcp_sink: cannot resolve " + host + ": " + gai_strerror(rc));
+            "tcp_sink: cannot resolve " + host_ + ": " + gai_strerror(rc));
     int fd = -1;
     int err = ECONNREFUSED;
     for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
@@ -115,8 +122,8 @@ tcp_sink::tcp_sink(const std::string& host, std::uint16_t port) {
     freeaddrinfo(res);
     if (fd < 0)
         throw std::system_error(err, std::generic_category(),
-                                "tcp_sink: cannot connect to " + host + ":" +
-                                    service);
+                                "tcp_sink: cannot connect to " + host_ + ":" +
+                                    service_);
     fd_ = fd;
 }
 
@@ -124,10 +131,39 @@ tcp_sink::~tcp_sink() {
     if (fd_ >= 0) close(fd_);
 }
 
+int tcp_sink::try_connect() noexcept {
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    if (getaddrinfo(host_.c_str(), service_.c_str(), &hints, &res) != 0)
+        return -1;
+    int fd = -1;
+    for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+        fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) continue;
+        if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+        close(fd);
+        fd = -1;
+    }
+    freeaddrinfo(res);
+    return fd;
+}
+
 void tcp_sink::emit(const event&, std::string_view jsonl_line) {
     if (fd_ < 0) {
-        ++dropped_;
-        return;
+        // Disconnected: retry at most once per cooldown window. The
+        // line that triggers a successful retry is delivered; every
+        // line before it is counted lost.
+        if (++emits_since_loss_ >= cooldown_) {
+            emits_since_loss_ = 0;
+            fd_ = try_connect();
+            if (fd_ >= 0) ++reconnects_;
+        }
+        if (fd_ < 0) {
+            ++dropped_;
+            return;
+        }
     }
     std::string line(jsonl_line);
     line += '\n';
@@ -137,9 +173,10 @@ void tcp_sink::emit(const event&, std::string_view jsonl_line) {
                                MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR) continue;
-            // Peer gone: drop this and every later line, visibly.
+            // Peer gone: drop this line, go into reconnect cooldown.
             close(fd_);
             fd_ = -1;
+            emits_since_loss_ = 0;
             ++dropped_;
             return;
         }

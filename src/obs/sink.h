@@ -122,20 +122,38 @@ private:
 
 /// Connects to a TCP peer and writes lines. Connection failure at
 /// construction throws std::system_error; a peer that goes away later
-/// turns the sink into a counting no-op (`dropped()`), never a daemon
-/// crash — SIGPIPE is suppressed per send.
+/// is survived, never a daemon crash — SIGPIPE is suppressed per send.
+///
+/// Reconnect policy: after losing the peer the sink counts each lost
+/// line in `dropped()` and retries the connection at most once every
+/// `reconnect_cooldown_emits` emit() calls (events are bin-paced, so
+/// the cooldown is a bin count, not a wall-clock timer — deterministic
+/// under test). A successful retry bumps `reconnects()` and resumes
+/// delivery from the next line; lines dropped while disconnected are
+/// gone (telemetry, not ground truth).
 class tcp_sink : public event_sink {
 public:
-    tcp_sink(const std::string& host, std::uint16_t port);
+    tcp_sink(const std::string& host, std::uint16_t port,
+             std::uint64_t reconnect_cooldown_emits = 16);
     ~tcp_sink() override;
 
     void emit(const event& e, std::string_view jsonl_line) override;
 
     std::uint64_t dropped() const noexcept { return dropped_; }
+    std::uint64_t reconnects() const noexcept { return reconnects_; }
+    bool connected() const noexcept { return fd_ >= 0; }
 
 private:
+    /// One resolve+connect attempt; returns the fd or -1 (never throws).
+    int try_connect() noexcept;
+
+    std::string host_;
+    std::string service_;
+    std::uint64_t cooldown_;
+    std::uint64_t emits_since_loss_ = 0;
     int fd_ = -1;
     std::uint64_t dropped_ = 0;
+    std::uint64_t reconnects_ = 0;
 };
 
 /// Assigns sequence numbers and wall-clock timestamps, serializes once,

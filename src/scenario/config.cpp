@@ -1,0 +1,154 @@
+#include "scenario/config.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace tfd::scenario {
+
+namespace {
+
+std::string trim(const std::string& s) {
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
+}
+
+}  // namespace
+
+const config_entry* config_section::find(const std::string& key) const {
+    const config_entry* found = nullptr;
+    for (const config_entry& e : entries)
+        if (e.key == key) found = &e;
+    return found;
+}
+
+std::string config_section::get_string(const std::string& key,
+                                       const std::string& fallback) const {
+    const config_entry* e = find(key);
+    return e ? e->value : fallback;
+}
+
+double config_section::get_number(const std::string& key,
+                                  double fallback) const {
+    const config_entry* e = find(key);
+    if (!e) return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(e->value.c_str(), &end);
+    if (end == e->value.c_str() || *end != '\0')
+        throw config_error(e->line, "'" + key + "' expects a number, got '" +
+                                        e->value + "'");
+    return v;
+}
+
+std::uint64_t config_section::get_count(const std::string& key,
+                                        std::uint64_t fallback) const {
+    const config_entry* e = find(key);
+    if (!e) return fallback;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(e->value.c_str(), &end, 10);
+    if (end == e->value.c_str() || *end != '\0' || e->value[0] == '-')
+        throw config_error(e->line, "'" + key + "' expects a non-negative "
+                                        "integer, got '" + e->value + "'");
+    return v;
+}
+
+std::int64_t config_section::get_int(const std::string& key,
+                                     std::int64_t fallback) const {
+    const config_entry* e = find(key);
+    if (!e) return fallback;
+    char* end = nullptr;
+    const long long v = std::strtoll(e->value.c_str(), &end, 10);
+    if (end == e->value.c_str() || *end != '\0')
+        throw config_error(e->line, "'" + key + "' expects an integer, got '" +
+                                        e->value + "'");
+    return v;
+}
+
+bool config_section::get_bool(const std::string& key, bool fallback) const {
+    const config_entry* e = find(key);
+    if (!e) return fallback;
+    const std::string& v = e->value;
+    if (v == "on" || v == "true" || v == "yes" || v == "1") return true;
+    if (v == "off" || v == "false" || v == "no" || v == "0") return false;
+    throw config_error(e->line, "'" + key + "' expects on/off, got '" + v +
+                                    "'");
+}
+
+void config_section::require_keys(const char* const* allowed) const {
+    for (const config_entry& e : entries) {
+        bool ok = false;
+        for (const char* const* k = allowed; *k != nullptr; ++k)
+            if (e.key == *k) {
+                ok = true;
+                break;
+            }
+        if (!ok)
+            throw config_error(e.line, "unknown key '" + e.key +
+                                           "' in section [" + name + "]");
+    }
+}
+
+const config_section* config_file::first(const std::string& name) const {
+    for (const config_section& s : sections)
+        if (s.name == name) return &s;
+    return nullptr;
+}
+
+std::vector<const config_section*> config_file::all(
+    const std::string& name) const {
+    std::vector<const config_section*> out;
+    for (const config_section& s : sections)
+        if (s.name == name) out.push_back(&s);
+    return out;
+}
+
+config_file parse_config(std::istream& in) {
+    config_file file;
+    std::string raw;
+    std::size_t lineno = 0;
+    while (std::getline(in, raw)) {
+        ++lineno;
+        const std::string line = trim(raw);
+        if (line.empty() || line[0] == '#' || line[0] == ';') continue;
+        if (line[0] == '[') {
+            if (line.back() != ']')
+                throw config_error(lineno, "unterminated section header");
+            const std::string name = trim(line.substr(1, line.size() - 2));
+            if (name.empty())
+                throw config_error(lineno, "empty section name");
+            config_section s;
+            s.name = name;
+            s.line = lineno;
+            file.sections.push_back(std::move(s));
+            continue;
+        }
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            throw config_error(lineno, "expected 'key = value' or [section]");
+        config_entry e;
+        e.key = trim(line.substr(0, eq));
+        e.value = trim(line.substr(eq + 1));
+        e.line = lineno;
+        if (e.key.empty()) throw config_error(lineno, "empty key");
+        if (file.sections.empty())
+            throw config_error(lineno, "entry before any [section]");
+        file.sections.back().entries.push_back(std::move(e));
+    }
+    return file;
+}
+
+config_file parse_config_string(const std::string& text) {
+    std::istringstream in(text);
+    return parse_config(in);
+}
+
+config_file load_config(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw config_error(0, "cannot open " + path);
+    return parse_config(in);
+}
+
+}  // namespace tfd::scenario

@@ -1,0 +1,106 @@
+// tfd::scenario — plain-text config parsing for declarative scenarios.
+//
+// The scenario engine is driven by config files, not C++ edits: a
+// campaign is a `.scn` file an operator writes, and everything the
+// runner does is derived from it. The format is deliberately small —
+// INI-style sections with `key = value` entries:
+//
+//   # comment (';' also works)
+//   [scenario]
+//   name = drift_step
+//   bins = 96
+//
+//   [regime]            <- section names repeat; order is preserved
+//   kind = step_drift
+//
+// No quoting, no escapes, no line continuations: values run from the
+// first non-space after '=' to the end of line (inline comments are
+// NOT stripped from values — a '#' after '=' is data). Keys within a
+// section may repeat at the syntax level; the model layer decides
+// (and rejects duplicates where they are ambiguous).
+//
+// Every entry carries its 1-based line number so validation errors in
+// the model layer point at the offending line of the file, not at a
+// C++ call site.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tfd::scenario {
+
+/// Parse or validation failure; `line` is 1-based (0 = whole file).
+class config_error : public std::runtime_error {
+public:
+    config_error(std::size_t line, const std::string& msg)
+        : std::runtime_error(line > 0 ? "line " + std::to_string(line) +
+                                            ": " + msg
+                                      : msg),
+          line_(line) {}
+
+    std::size_t line() const noexcept { return line_; }
+
+private:
+    std::size_t line_;
+};
+
+struct config_entry {
+    std::string key;
+    std::string value;
+    std::size_t line = 0;  ///< 1-based source line
+};
+
+struct config_section {
+    std::string name;
+    std::size_t line = 0;  ///< 1-based line of the [header]
+    std::vector<config_entry> entries;  ///< in file order
+
+    /// Last value for `key`, or nullptr when absent.
+    const config_entry* find(const std::string& key) const;
+    bool has(const std::string& key) const { return find(key) != nullptr; }
+
+    /// Typed getters: return `fallback` when the key is absent; throw
+    /// config_error (pointing at the entry's line) when the value does
+    /// not parse as the requested type.
+    std::string get_string(const std::string& key,
+                           const std::string& fallback = "") const;
+    double get_number(const std::string& key, double fallback) const;
+    std::uint64_t get_count(const std::string& key,
+                            std::uint64_t fallback) const;
+    std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+    bool get_bool(const std::string& key, bool fallback) const;  // on/off,
+                                                                 // true/false,
+                                                                 // yes/no, 1/0
+
+    /// Throw config_error if any entry's key is not in `allowed`
+    /// (nullptr-terminated array) — the "validated" in validated
+    /// scenario model: a typo'd knob fails the load, it does not
+    /// silently fall back to a default.
+    void require_keys(const char* const* allowed) const;
+};
+
+struct config_file {
+    std::vector<config_section> sections;  ///< in file order
+
+    /// First section named `name`, or nullptr.
+    const config_section* first(const std::string& name) const;
+    /// Every section named `name`, in file order.
+    std::vector<const config_section*> all(const std::string& name) const;
+};
+
+/// Parse a config stream. Throws config_error on malformed lines
+/// (entries before any [section], missing '=', empty key, unterminated
+/// header).
+config_file parse_config(std::istream& in);
+
+/// Convenience: parse from a string (tests, embedded campaigns).
+config_file parse_config_string(const std::string& text);
+
+/// Convenience: open and parse a file; throws config_error (line 0)
+/// when the file cannot be read.
+config_file load_config(const std::string& path);
+
+}  // namespace tfd::scenario

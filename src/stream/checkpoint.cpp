@@ -218,13 +218,26 @@ void periodic_checkpointer::on_bin_emitted() {
     since_last_ = 0;
     ++written_;
 
-    if (keep_last_ > 0) {
-        const auto all = list_checkpoints(dir_);
-        if (all.size() > keep_last_)
-            for (std::size_t i = keep_last_; i < all.size(); ++i) {
+    if (keep_last_ > 0 || opts_.keep_hours > 0.0) {
+        const auto all = list_checkpoints(dir_);  // newest first
+        const auto now = fs::file_time_type::clock::now();
+        const auto max_age =
+            std::chrono::duration_cast<fs::file_time_type::duration>(
+                std::chrono::duration<double, std::ratio<3600>>(
+                    opts_.keep_hours));
+        for (std::size_t i = 0; i < all.size(); ++i) {
+            if (all[i].path == path) continue;  // never the one just written
+            bool expire = keep_last_ > 0 && i >= keep_last_;
+            if (!expire && opts_.keep_hours > 0.0) {
+                std::error_code ec;
+                const auto mtime = fs::last_write_time(all[i].path, ec);
+                expire = !ec && now - mtime > max_age;
+            }
+            if (expire) {
                 std::error_code ec;
                 fs::remove(all[i].path, ec);  // best-effort
             }
+        }
     }
 
     if (on_checkpoint_) {

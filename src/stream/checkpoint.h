@@ -69,6 +69,13 @@ struct checkpoint_options {
     /// distribution) records its duration here when non-null.
     /// Observability-only, never changes behaviour.
     obs::latency_histogram* save_timer = nullptr;
+    /// Age-based retention for periodic_checkpointer, alongside
+    /// keep_last: after each successful write, checkpoint files whose
+    /// mtime is older than this many hours are deleted (best-effort),
+    /// regardless of how few files that leaves — except the snapshot
+    /// just written, which is never deleted. 0 disables. Both policies
+    /// apply when both are set (a file is deleted when either says so).
+    double keep_hours = 0.0;
 };
 
 /// What the retrying saver did (cumulative across calls when reused).
@@ -136,10 +143,12 @@ restore_report restore_latest_checkpoint(stream_pipeline& pipeline,
 /// those would double-count them. Skip exactly records_in and both
 /// modes resume bit-identically.
 ///
-/// `keep_last` > 0 enables retention: after each successful write,
-/// older checkpoint files beyond the newest keep_last are deleted
-/// oldest-first (the legacy unnumbered file counts as oldest). 0 keeps
-/// everything.
+/// `keep_last` > 0 enables count-based retention: after each successful
+/// write, older checkpoint files beyond the newest keep_last are
+/// deleted oldest-first (the legacy unnumbered file counts as oldest).
+/// opts.keep_hours > 0 adds age-based retention on top (delete anything
+/// older than that many hours by mtime, never the file just written).
+/// 0 for both keeps everything.
 /// What one successful periodic checkpoint write produced (for the
 /// on_checkpoint observer).
 struct checkpoint_written {

@@ -24,14 +24,15 @@ std::uint64_t now_ns() {
 // little-endian fourccs) and their payload versions. PIPE/SHRD moved
 // to v2 when the single held reorder bin became a ring of up to
 // reorder_window_bins held bins (and PIPE grew the quarantine
-// counters); v1 snapshots are rejected as unsupported_version rather
-// than guessed at.
+// counters); DETC moved to v2 when the detector grew the drift
+// monitor / recalibration state block. Older versions are rejected as
+// unsupported_version rather than guessed at.
 constexpr std::uint32_t kTagPipeline = 0x45504950u;
 constexpr std::uint32_t kTagShards = 0x44524853u;
 constexpr std::uint32_t kTagDetector = 0x43544544u;
 constexpr std::uint16_t kVersionPipeline = 2;
 constexpr std::uint16_t kVersionShards = 2;
-constexpr std::uint16_t kVersionDetector = 1;
+constexpr std::uint16_t kVersionDetector = 2;
 
 /// Hard cap on the reorder ring: W held bins cost W open accumulators
 /// of memory and W bins of verdict latency; anything past this is a
@@ -448,6 +449,20 @@ std::uint64_t stream_pipeline::config_fingerprint() const {
     w.u8(o.subspace.center ? 1 : 0);
     w.u8(o.subspace.partial_fit ? 1 : 0);
     w.f64(o.alpha);
+    // Recalibration policy: every knob changes the trajectory of a
+    // drift-aware detector, so a snapshot must not restore across a
+    // policy change. (Disabled policies all serialize identically.)
+    const core::recalibration_options& rc = o.recalibration;
+    w.u8(rc.enabled ? 1 : 0);
+    if (rc.enabled) {
+        w.varint(rc.relearn_bins);
+        w.f64(rc.degraded_confidence);
+        w.f64(rc.monitor.ph_delta);
+        w.f64(rc.monitor.ph_lambda);
+        w.varint(rc.monitor.min_shift_bins);
+        w.varint(rc.monitor.watchdog_window);
+        w.f64(rc.monitor.storm_rate);
+    }
     return io::fnv1a64(w.data());
 }
 

@@ -1,0 +1,220 @@
+// drift_monitor unit tests: burst-vs-shift classification on the
+// Page–Hinkley path, the alarm-rate watchdog, reset semantics, and the
+// save/load round trip that keeps a restored daemon on the same drift
+// trajectory.
+#include "core/drift.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include <cmath>
+
+#include "core/online.h"
+#include "io/wire.h"
+
+using namespace tfd::core;
+namespace io = tfd::io;
+
+namespace {
+
+// Feed n stationary bins (x = spe/threshold modest, no alarms) and
+// assert none of them signals.
+void feed_quiet(drift_monitor& m, int n, double x = 0.4) {
+    for (int i = 0; i < n; ++i)
+        ASSERT_EQ(m.observe(x, 1.0, false), drift_signal::none) << i;
+}
+
+}  // namespace
+
+TEST(DriftMonitorTest, RejectsDegenerateOptions) {
+    drift_options o;
+    o.ph_lambda = 0.0;
+    EXPECT_THROW(drift_monitor{o}, std::invalid_argument);
+    o = {};
+    o.ph_delta = -0.1;
+    EXPECT_THROW(drift_monitor{o}, std::invalid_argument);
+    o = {};
+    o.watchdog_window = 0;
+    EXPECT_THROW(drift_monitor{o}, std::invalid_argument);
+    o = {};
+    o.storm_rate = 0.0;
+    EXPECT_THROW(drift_monitor{o}, std::invalid_argument);
+    o = {};
+    o.storm_rate = 1.5;
+    EXPECT_THROW(drift_monitor{o}, std::invalid_argument);
+    o = {};
+    o.min_shift_bins = 0;
+    EXPECT_THROW(drift_monitor{o}, std::invalid_argument);
+    EXPECT_NO_THROW(drift_monitor{drift_options{}});
+}
+
+TEST(DriftMonitorTest, StationaryStreamStaysQuiet) {
+    drift_monitor m;
+    feed_quiet(m, 200);
+    EXPECT_EQ(m.observed(), 200u);
+    EXPECT_EQ(m.alarm_rate(), 0.0);
+    EXPECT_LE(m.ph(), m.options().ph_lambda);
+}
+
+TEST(DriftMonitorTest, ViolentSpikeIsABurstAndDetectionContinues) {
+    drift_monitor m;
+    feed_quiet(m, 50);
+    // A DDoS-grade spike: x jumps to 12 for three bins. Each bin drives
+    // Page–Hinkley over lambda in far fewer than min_shift_bins rising
+    // bins, so each classifies as a burst and resets the statistic —
+    // never a shift, because three alarming bins cannot fill the
+    // watchdog either.
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(m.observe(12.0, 1.0, true), drift_signal::burst) << i;
+    // Back to baseline: the burst's tail does not accumulate.
+    for (int i = 0; i < 50; ++i)
+        EXPECT_NE(m.observe(0.4, 1.0, false), drift_signal::shift) << i;
+}
+
+TEST(DriftMonitorTest, SustainedRiseClassifiesAsShift) {
+    drift_options o;
+    o.min_shift_bins = 8;
+    drift_monitor m(o);
+    feed_quiet(m, 60);
+    // The residual mean creeps up without ever alarming — the failure
+    // mode a threshold test alone cannot see. Page–Hinkley must call it
+    // a shift with a sustained excursion, never a burst.
+    drift_signal last = drift_signal::none;
+    int shift_at = -1;
+    for (int i = 0; i < 120 && shift_at < 0; ++i) {
+        const double x = 0.4 + 0.02 * static_cast<double>(i);
+        last = m.observe(x, 1.0, false);
+        ASSERT_NE(last, drift_signal::burst) << i;
+        if (last == drift_signal::shift) shift_at = i;
+    }
+    ASSERT_GE(shift_at, 0) << "ramp never confirmed as a shift";
+    EXPECT_GE(m.excursion_bins(), o.min_shift_bins);
+    EXPECT_GT(m.ph(), o.ph_lambda);
+}
+
+TEST(DriftMonitorTest, AlarmStormConfirmsShiftViaWatchdog) {
+    drift_options o;
+    o.ph_lambda = 1e9;  // isolate the watchdog path
+    o.watchdog_window = 10;
+    o.storm_rate = 0.5;
+    drift_monitor m(o);
+    feed_quiet(m, 20, 0.9);
+    // Barely-over-threshold alarms, every bin: Page–Hinkley (disabled
+    // here) would take ages, but no Table-1 anomaly alarms a whole
+    // window. The storm fires only once the ring holds a full window.
+    int shift_at = -1;
+    for (int i = 0; i < 10 && shift_at < 0; ++i)
+        if (m.observe(1.05, 1.0, true) == drift_signal::shift) shift_at = i;
+    ASSERT_GE(shift_at, 0);
+    EXPECT_EQ(shift_at, 4);  // 5 alarms of 10 = storm_rate exactly
+    EXPECT_GE(m.alarm_rate(), o.storm_rate);
+}
+
+TEST(DriftMonitorTest, ResetForgetsEverything) {
+    drift_monitor m;
+    for (int i = 0; i < 30; ++i) m.observe(2.0, 1.0, true);
+    m.reset();
+    EXPECT_EQ(m.observed(), 0u);
+    EXPECT_EQ(m.ph(), 0.0);
+    EXPECT_EQ(m.excursion_bins(), 0u);
+    EXPECT_EQ(m.alarm_rate(), 0.0);
+    feed_quiet(m, 50);
+}
+
+TEST(DriftMonitorTest, SaveLoadResumesTrajectoryBitForBit) {
+    drift_options o;
+    o.watchdog_window = 8;
+    drift_monitor a(o);
+    // A mixed prefix: quiet, a burst, more quiet.
+    for (int i = 0; i < 25; ++i) a.observe(0.5, 1.0, false);
+    a.observe(11.0, 1.0, true);
+    for (int i = 0; i < 5; ++i) a.observe(0.5, 1.0, false);
+
+    io::wire_writer w;
+    a.save(w);
+    drift_monitor b(o);
+    io::wire_reader r(w.data());
+    b.load(r);
+    EXPECT_TRUE(r.done());
+
+    EXPECT_EQ(a.observed(), b.observed());
+    EXPECT_EQ(a.ph(), b.ph());
+    EXPECT_EQ(a.alarm_rate(), b.alarm_rate());
+    // Identical continuations yield identical signals and statistics.
+    for (int i = 0; i < 40; ++i) {
+        const double x = 0.5 + 0.03 * static_cast<double>(i);
+        const bool anom = i > 25;
+        ASSERT_EQ(a.observe(x, 1.0, anom), b.observe(x, 1.0, anom)) << i;
+        ASSERT_EQ(a.ph(), b.ph()) << i;
+        ASSERT_EQ(a.alarm_rate(), b.alarm_rate()) << i;
+        ASSERT_EQ(a.excursion_bins(), b.excursion_bins()) << i;
+    }
+}
+
+TEST(DriftMonitorTest, LoadRejectsCorruptRingState) {
+    drift_options o;
+    o.watchdog_window = 8;
+    drift_monitor a(o);
+    for (int i = 0; i < 5; ++i) a.observe(0.5, 1.0, true);
+    io::wire_writer w;
+    a.save(w);
+    const auto view = w.data();
+    std::vector<std::uint8_t> bytes(view.begin(), view.end());
+    // ring_alarms_ > ring_fill_ is impossible; the loader must refuse.
+    // Field order: mean, ph_m, ph_min (8 bytes each), then varints
+    // excursion/observed/ring_pos/ring_fill/ring_alarms. All varints
+    // here are single-byte (< 128), so ring_alarms_ is byte 28.
+    bytes[28] = 100;
+    drift_monitor b(o);
+    io::wire_reader r(bytes);
+    EXPECT_THROW(b.load(r), io::wire_error);
+}
+
+// With recalibration disabled (the default), the drift machinery must
+// be fully inert: monitor knobs cannot influence a single verdict bit,
+// and the new verdict fields hold their fixed defaults — this is the
+// "byte-identical to the stock detector" gate.
+TEST(DriftMonitorTest, DisabledRecalibrationIsInert) {
+    const std::size_t p = 6;
+    online_options plain;
+    plain.window = 8;
+    plain.warmup = 4;
+    plain.refit_interval = 2;
+    plain.subspace.normal_dims = 2;
+    ASSERT_FALSE(plain.recalibration.enabled);
+
+    online_options tweaked = plain;  // still disabled, wild knobs
+    tweaked.recalibration.relearn_bins = 5;
+    tweaked.recalibration.degraded_confidence = 0.0;
+    tweaked.recalibration.monitor.ph_lambda = 1e-6;
+    tweaked.recalibration.monitor.min_shift_bins = 1;
+    tweaked.recalibration.monitor.watchdog_window = 1;
+
+    online_detector a(p, plain), b(p, tweaked);
+    entropy_snapshot snap;
+    for (auto& e : snap.entropies) e.resize(p);
+    for (int t = 0; t < 40; ++t) {
+        for (int f = 0; f < tfd::flow::feature_count; ++f)
+            for (std::size_t od = 0; od < p; ++od) {
+                double v = 1.0 + 0.1 * std::sin(0.7 * t + f + double(od));
+                if (t >= 20) v += 0.5;  // a step the monitor would flag
+                snap.entropies[f][od] = v;
+            }
+        const online_verdict va = a.push(snap);
+        const online_verdict vb = b.push(snap);
+        ASSERT_EQ(va.scored, vb.scored) << t;
+        ASSERT_EQ(va.spe, vb.spe) << t;
+        ASSERT_EQ(va.threshold, vb.threshold) << t;
+        ASSERT_EQ(va.anomalous, vb.anomalous) << t;
+        for (const online_verdict* v : {&va, &vb}) {
+            ASSERT_EQ(v->confidence, 1.0) << t;
+            ASSERT_FALSE(v->degraded) << t;
+            ASSERT_FALSE(v->drift_detected) << t;
+            ASSERT_FALSE(v->recalibrated) << t;
+        }
+    }
+    EXPECT_EQ(a.state(), detector_state::normal);
+    EXPECT_EQ(b.state(), detector_state::normal);
+}

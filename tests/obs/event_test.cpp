@@ -212,3 +212,43 @@ TEST(ObsSink, StreamSinkWritesLines) {
     EXPECT_NE(os.str().find("\"type\":\"backpressure\""), std::string::npos);
     EXPECT_EQ(os.str().back(), '\n');
 }
+
+TEST(ObsEvent, DriftAndRecalibratedJsonlShape) {
+    event e;
+    e.seq = 3;
+    e.ts_unix_ms = 500;
+    e.bin = 64;
+    e.data = drift_data{.ph = 7.25, .alarm_rate = 0.5, .relearn_bins = 24};
+    EXPECT_EQ(type_of(e), event_type::drift);
+    EXPECT_EQ(to_jsonl(e),
+              "{\"v\":1,\"seq\":3,\"ts_ms\":500,\"type\":\"drift\","
+              "\"bin\":64,\"ph\":7.25,\"alarm_rate\":0.5,"
+              "\"relearn_bins\":24}");
+
+    e.seq = 4;
+    e.bin = 88;
+    e.data = recalibrated_data{.threshold = 0.125, .bins_degraded = 24};
+    EXPECT_EQ(type_of(e), event_type::recalibrated);
+    EXPECT_EQ(to_jsonl(e),
+              "{\"v\":1,\"seq\":4,\"ts_ms\":500,\"type\":\"recalibrated\","
+              "\"bin\":88,\"threshold\":0.125,\"bins_degraded\":24}");
+    EXPECT_STREQ(event_type_name(event_type::drift), "drift");
+    EXPECT_STREQ(event_type_name(event_type::recalibrated), "recalibrated");
+}
+
+TEST(ObsEvent, AnomalyConfidenceIsAdditiveAtV1) {
+    // confidence rides along inside schema v1: same version byte, new
+    // field after the ones v1 consumers already know.
+    anomaly_data an;
+    an.severity = "warning";
+    an.confidence = 0.25;
+    event e;
+    e.seq = 1;
+    e.ts_unix_ms = 1;
+    e.bin = 2;
+    e.data = an;
+    const std::string line = to_jsonl(e);
+    EXPECT_NE(line.find("\"v\":1,"), std::string::npos);
+    EXPECT_NE(line.find("\"suppressed\":false,\"confidence\":0.25"),
+              std::string::npos);
+}

@@ -1,0 +1,108 @@
+// The tentpole's pinned campaign: scenarios/drift_step.scn run end to
+// end through the real streaming pipeline, twice over.
+//
+//   * The stock variant (recalibration off) false-alarm-storms for the
+//     whole drift phase — the calibration failure the paper's
+//     stationarity assumption hides;
+//   * the adaptive variant confirms the shift, re-learns within a
+//     bounded number of bins, and its drift-phase false-alarm rate
+//     recovers to (near) zero while detection of the planted anomalies
+//     survives;
+//   * the whole campaign is deterministic: same file, same packet.
+#include "scenario/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/model.h"
+
+using namespace tfd::scenario;
+
+namespace {
+
+const char* kScenarioPath = TFD_SOURCE_DIR "/scenarios/drift_step.scn";
+
+const variant_score* find(const campaign_result& r, const std::string& name) {
+    for (const auto& v : r.variants)
+        if (v.variant == name) return &v;
+    return nullptr;
+}
+
+}  // namespace
+
+TEST(CampaignTest, DriftStepPinsStockStormAndAdaptiveRecovery) {
+    const scenario_model model = load_scenario(kScenarioPath);
+    ASSERT_EQ(model.name, "drift_step");
+    ASSERT_EQ(model.variants.size(), 2u);
+    const std::size_t drift_start = model.drift_phase_start();
+    ASSERT_LT(drift_start, model.bins);
+
+    experiment_runner runner(model);
+    const campaign_result result = runner.run();
+    const variant_score* stock = find(result, "stock");
+    const variant_score* adaptive = find(result, "adaptive");
+    ASSERT_NE(stock, nullptr);
+    ASSERT_NE(adaptive, nullptr);
+
+    // Stock: the stale calibration turns the entire drift phase into an
+    // alarm storm, and nothing ever recalibrates.
+    EXPECT_FALSE(stock->drift_enabled);
+    EXPECT_GE(stock->drift_false_alarm_rate(), 0.9);
+    EXPECT_EQ(stock->drift_events, 0u);
+    EXPECT_EQ(stock->recalibrations, 0u);
+    EXPECT_EQ(stock->degraded_bins, 0u);
+
+    // Adaptive: one confirmed shift, one completed re-learn, recovery
+    // within a bounded number of bins of the drift onset — and a
+    // drift-phase false-alarm rate back under control.
+    EXPECT_TRUE(adaptive->drift_enabled);
+    EXPECT_EQ(adaptive->drift_events, 1u);
+    EXPECT_EQ(adaptive->recalibrations, 1u);
+    EXPECT_GT(adaptive->time_to_recalibrate_bins, 0u);
+    EXPECT_LE(adaptive->time_to_recalibrate_bins, 40u);
+    EXPECT_LE(adaptive->drift_false_alarm_rate(), 0.1);
+    EXPECT_EQ(adaptive->degraded_bins, model.drift.relearn_bins);
+    // Degraded-window verdicts were low-confidence, not operator pages.
+    EXPECT_GE(adaptive->low_confidence_alarms, 1u);
+
+    // Both variants score the same planted ground truth; the adaptive
+    // one must still catch the anomalies (including the burst planted
+    // after recalibration).
+    EXPECT_EQ(stock->anomaly_bins, adaptive->anomaly_bins);
+    EXPECT_GE(adaptive->detection_rate(), 0.8);
+
+    // Before the drift the two variants are the same detector: the
+    // monitor observes but must not perturb a single verdict.
+    EXPECT_EQ(stock->bins_scored, adaptive->bins_scored);
+    EXPECT_EQ(stock->false_alarms - stock->drift_false_alarms,
+              adaptive->false_alarms - adaptive->drift_false_alarms);
+}
+
+TEST(CampaignTest, CampaignIsDeterministicAndPacketIsStable) {
+    const scenario_model model = load_scenario(kScenarioPath);
+    experiment_runner a(model), b(model);
+    const std::string pa = experiment_runner::to_json(a.run());
+    const std::string pb = experiment_runner::to_json(b.run());
+    EXPECT_EQ(pa, pb);
+    // The packet is a single self-identifying JSON line.
+    EXPECT_EQ(pa.find('\n'), std::string::npos);
+    EXPECT_NE(pa.find("\"packet\":\"campaign_result\""), std::string::npos);
+    EXPECT_NE(pa.find("\"v\":1"), std::string::npos);
+    EXPECT_NE(pa.find("\"name\":\"adaptive\""), std::string::npos);
+}
+
+TEST(CampaignTest, RunVariantMatchesFullSweep) {
+    const scenario_model model = load_scenario(kScenarioPath);
+    experiment_runner full(model), single(model);
+    const campaign_result all = full.run();
+    const variant_score one = single.run_variant("adaptive");
+    const variant_score* in_sweep = find(all, "adaptive");
+    ASSERT_NE(in_sweep, nullptr);
+    EXPECT_EQ(one.true_detections, in_sweep->true_detections);
+    EXPECT_EQ(one.false_alarms, in_sweep->false_alarms);
+    EXPECT_EQ(one.drift_false_alarms, in_sweep->drift_false_alarms);
+    EXPECT_EQ(one.recalibrations, in_sweep->recalibrations);
+    EXPECT_EQ(one.time_to_recalibrate_bins, in_sweep->time_to_recalibrate_bins);
+    EXPECT_THROW(single.run_variant("nope"), std::invalid_argument);
+}

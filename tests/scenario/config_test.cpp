@@ -1,0 +1,189 @@
+// Scenario config layer: the INI parser's syntax contract and the
+// model layer's load-whole-or-not-at-all validation.
+#include "scenario/config.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/model.h"
+
+using namespace tfd::scenario;
+
+namespace {
+
+scenario_model parse(const std::string& text) {
+    return parse_scenario(parse_config_string(text));
+}
+
+// The smallest valid scenario; extend with extra sections per test.
+const char* kMinimal = "[scenario]\nname = t\nbins = 10\n";
+
+std::size_t error_line(const std::string& text) {
+    try {
+        parse(text);
+    } catch (const config_error& e) {
+        return e.line();
+    }
+    ADD_FAILURE() << "expected config_error for:\n" << text;
+    return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+TEST(ScenarioConfigTest, ParsesSectionsEntriesAndLineNumbers) {
+    const config_file f = parse_config_string(
+        "# comment\n"
+        "[scenario]\n"
+        "name = drift  demo\n"
+        "; also a comment\n"
+        "bins = 48\n"
+        "\n"
+        "[regime]\n"
+        "kind = step_drift\n"
+        "[regime]\n"
+        "kind = diurnal\n");
+    ASSERT_EQ(f.sections.size(), 3u);
+    const config_section* sc = f.first("scenario");
+    ASSERT_NE(sc, nullptr);
+    EXPECT_EQ(sc->line, 2u);
+    // Values run to end of line, interior spaces preserved.
+    EXPECT_EQ(sc->get_string("name"), "drift  demo");
+    ASSERT_NE(sc->find("bins"), nullptr);
+    EXPECT_EQ(sc->find("bins")->line, 5u);
+    const auto regimes = f.all("regime");
+    ASSERT_EQ(regimes.size(), 2u);
+    EXPECT_EQ(regimes[0]->get_string("kind"), "step_drift");
+    EXPECT_EQ(regimes[1]->get_string("kind"), "diurnal");
+}
+
+TEST(ScenarioConfigTest, LastValueWinsAndTypedGetters) {
+    const config_file f = parse_config_string(
+        "[s]\n"
+        "k = 1\n"
+        "k = 2\n"
+        "rate = 0.5\n"
+        "flag = on\n"
+        "neg = -3\n");
+    const config_section* s = f.first("s");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->get_count("k", 0), 2u);
+    EXPECT_EQ(s->get_number("rate", 0.0), 0.5);
+    EXPECT_TRUE(s->get_bool("flag", false));
+    EXPECT_EQ(s->get_int("neg", 0), -3);
+    // Fallbacks for absent keys.
+    EXPECT_EQ(s->get_count("missing", 7), 7u);
+    EXPECT_FALSE(s->get_bool("missing", false));
+    // Type errors point at the entry's line.
+    try {
+        s->get_count("rate", 0);
+        FAIL() << "0.5 is not a count";
+    } catch (const config_error& e) {
+        EXPECT_EQ(e.line(), 4u);
+    }
+    EXPECT_THROW(s->get_bool("neg", false), config_error);
+}
+
+TEST(ScenarioConfigTest, SyntaxErrorsCarryLines) {
+    EXPECT_THROW(parse_config_string("key = 1\n"), config_error);   // no section
+    EXPECT_THROW(parse_config_string("[s]\njust words\n"), config_error);
+    EXPECT_THROW(parse_config_string("[unterminated\n"), config_error);
+    EXPECT_THROW(parse_config_string("[s]\n= value\n"), config_error);
+    try {
+        parse_config_string("[s]\nok = 1\nbroken line\n");
+    } catch (const config_error& e) {
+        EXPECT_EQ(e.line(), 3u);
+    }
+}
+
+TEST(ScenarioModelTest, MinimalScenarioGetsDefaults) {
+    const scenario_model m = parse(kMinimal);
+    EXPECT_EQ(m.name, "t");
+    EXPECT_EQ(m.topology, "abilene");
+    EXPECT_EQ(m.bins, 10u);
+    EXPECT_EQ(m.od_count(), 121);
+    EXPECT_EQ(m.pop_count(), 11);
+    // No drift regime: the drift phase never starts.
+    EXPECT_EQ(m.drift_phase_start(), m.bins);
+    // An implicit all-defaults variant so the runner always has one.
+    ASSERT_EQ(m.variants.size(), 1u);
+    EXPECT_EQ(m.variants[0].name, "default");
+    EXPECT_FALSE(m.variants[0].drift_enabled);
+}
+
+TEST(ScenarioModelTest, UnknownSectionsAndKeysAreRejected) {
+    EXPECT_NE(error_line(std::string(kMinimal) + "[frobnicator]\nx = 1\n"),
+              static_cast<std::size_t>(-1));
+    // A typo'd knob fails the load instead of silently defaulting.
+    EXPECT_EQ(error_line("[scenario]\nname = t\nbinz = 10\n"), 3u);
+    EXPECT_EQ(error_line(std::string(kMinimal) +
+                         "[detector]\nwindoww = 8\n"), 5u);
+}
+
+TEST(ScenarioModelTest, RangeValidationPointsAtTheOffendingLine) {
+    EXPECT_EQ(error_line("[scenario]\nname = t\nbins = 0\n"), 3u);
+    EXPECT_EQ(error_line("[scenario]\nname = t\nbins = 10\n"
+                         "topology = arpanet\n"), 4u);
+    // warmup > window
+    EXPECT_NE(error_line(std::string(kMinimal) +
+                         "[detector]\nwindow = 8\nwarmup = 9\n"),
+              static_cast<std::size_t>(-1));
+    // od out of range for abilene (0..120)
+    EXPECT_NE(error_line(std::string(kMinimal) +
+                         "[anomaly]\ntype = ddos\nod = 121\n"),
+              static_cast<std::size_t>(-1));
+    // a gradual drift needs a ramp length
+    EXPECT_NE(error_line(std::string(kMinimal) +
+                         "[regime]\nkind = gradual_drift\n"),
+              static_cast<std::size_t>(-1));
+    // anomaly beyond the scenario horizon
+    EXPECT_NE(error_line(std::string(kMinimal) +
+                         "[anomaly]\ntype = dos\nstart_bin = 10\n"),
+              static_cast<std::size_t>(-1));
+}
+
+TEST(ScenarioModelTest, VariantRulesAreEnforced) {
+    // drift=on requires a [drift] section to take its policy from.
+    EXPECT_NE(error_line(std::string(kMinimal) +
+                         "[variant]\nname = v\ndrift = on\n"),
+              static_cast<std::size_t>(-1));
+    EXPECT_NE(error_line(std::string(kMinimal) +
+                         "[variant]\nname = v\n[variant]\nname = v\n"),
+              static_cast<std::size_t>(-1));
+    const scenario_model m = parse(std::string(kMinimal) +
+                                   "[drift]\nrelearn_bins = 8\n"
+                                   "[variant]\nname = stock\ndrift = off\n"
+                                   "[variant]\nname = adaptive\n"
+                                   "[variant]\nname = reseeded\nseed = 99\n");
+    ASSERT_EQ(m.variants.size(), 3u);
+    EXPECT_FALSE(m.variants[0].drift_enabled);
+    // A [drift] section turns recalibration on; variants opt *out*.
+    EXPECT_TRUE(m.variants[1].drift_enabled);
+    EXPECT_EQ(m.variants[2].seed, 99u);
+    EXPECT_EQ(m.drift.relearn_bins, 8u);
+}
+
+TEST(ScenarioModelTest, AnomalyLabelsAcceptBothSpellings) {
+    // The scenario schema's snake_case and the paper's Table-1 labels
+    // both parse to the same taxonomy.
+    const scenario_model a = parse(std::string(kMinimal) +
+                                   "[anomaly]\ntype = flash_crowd\n");
+    const scenario_model b = parse(std::string(kMinimal) +
+                                   "[anomaly]\ntype = Flash Crowd\n");
+    ASSERT_EQ(a.anomalies.size(), 1u);
+    ASSERT_EQ(b.anomalies.size(), 1u);
+    EXPECT_EQ(a.anomalies[0].type, b.anomalies[0].type);
+    EXPECT_NE(error_line(std::string(kMinimal) +
+                         "[anomaly]\ntype = gremlins\n"),
+              static_cast<std::size_t>(-1));
+}
+
+TEST(ScenarioModelTest, DriftPhaseStartIsTheEarliestDriftRegime) {
+    const scenario_model m = parse(std::string(kMinimal) +
+                                   "[regime]\nkind = diurnal\n"
+                                   "[regime]\nkind = gradual_drift\n"
+                                   "start_bin = 6\nduration_bins = 3\n"
+                                   "[regime]\nkind = step_drift\n"
+                                   "start_bin = 4\n");
+    EXPECT_EQ(m.drift_phase_start(), 4u);
+}

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -266,4 +267,60 @@ TEST(CheckpointHardeningTest, RetentionKeepsNewestNAndSequencesContinue) {
     p.finish();
     EXPECT_EQ(ckpt.checkpoints_written(), 1u);
     EXPECT_EQ(ckpt.path(), (dir.path / "checkpoint-000004.tfss").string());
+}
+
+TEST(CheckpointHardeningTest, AgeBasedRetentionExpiresOldCheckpoints) {
+    const auto topo = net::topology::abilene();
+    const traffic::background_model bg(topo);
+    const auto opts = make_opts(1);
+    const temp_dir dir("age");
+
+    stream_pipeline p(topo, opts);
+    checkpoint_options copts;
+    copts.keep_hours = 1.0;  // count-based retention off: age decides
+    periodic_checkpointer ckpt(p, dir.path.string(), 2, /*keep_last=*/0,
+                               copts);
+    p.on_bin([&](const bin_result&) { ckpt.on_bin_emitted(); });
+
+    auto push_bin = [&](std::size_t bin) {
+        std::vector<flow::flow_record> records;
+        for (int od = 0; od < topo.od_count(); ++od) {
+            const auto cell = bg.generate(bin, od);
+            records.insert(records.end(), cell.begin(), cell.end());
+        }
+        p.push(records);
+    };
+
+    // Bins 0..6 emit 6 bins: checkpoints 0, 1, 2 land.
+    for (std::size_t bin = 0; bin < 7; ++bin) push_bin(bin);
+    ASSERT_EQ(ckpt.checkpoints_written(), 3u);
+    ASSERT_EQ(checkpoint_files(dir.path).size(), 3u);
+
+    // The two oldest checkpoints cross the age horizon; the third stays
+    // fresh. Nothing is deleted until the next successful write runs a
+    // retention pass.
+    const auto aged =
+        fs::file_time_type::clock::now() - std::chrono::hours(2);
+    fs::last_write_time(dir.path / "checkpoint-000000.tfss", aged);
+    fs::last_write_time(dir.path / "checkpoint-000001.tfss", aged);
+    ASSERT_EQ(checkpoint_files(dir.path).size(), 3u);
+
+    // Bins 7, 8 emit through bin 7: checkpoint 3 lands and its
+    // retention pass expires the aged files — but neither the fresh
+    // survivor nor the snapshot just written.
+    push_bin(7);
+    push_bin(8);
+    p.finish();
+    EXPECT_EQ(ckpt.checkpoints_written(), 4u);
+    EXPECT_EQ(checkpoint_files(dir.path),
+              (std::vector<std::string>{"checkpoint-000002.tfss",
+                                        "checkpoint-000003.tfss"}));
+
+    // The surviving newest checkpoint restores cleanly.
+    stream_pipeline fresh(topo, opts);
+    const restore_report report =
+        restore_latest_checkpoint(fresh, dir.path.string());
+    EXPECT_EQ(report.restored_path,
+              (dir.path / "checkpoint-000003.tfss").string());
+    EXPECT_EQ(fresh.metrics().bins_emitted, 8u);
 }
