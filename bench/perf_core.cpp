@@ -7,6 +7,7 @@
 #include "core/detector.h"
 #include "core/histogram.h"
 #include "linalg/pca.h"
+#include "linalg/simd.h"
 #include "linalg/symmetric_eigen.h"
 #include "net/topology.h"
 #include "traffic/background.h"
@@ -85,7 +86,7 @@ void bm_symmetric_topk(benchmark::State& state) {
         benchmark::DoNotOptimize(e.values.data());
     }
 }
-BENCHMARK(bm_symmetric_topk)->Arg(128)->Arg(484)
+BENCHMARK(bm_symmetric_topk)->Arg(128)->Arg(484)->Arg(1024)->Arg(2048)
     ->Unit(benchmark::kMillisecond);
 
 void bm_pca_fit(benchmark::State& state) {
@@ -126,6 +127,26 @@ void bm_multiway_fit_and_detect(benchmark::State& state) {
 }
 BENCHMARK(bm_multiway_fit_and_detect)->Unit(benchmark::kMillisecond);
 
+void bm_multiway_fit_and_detect_large(benchmark::State& state) {
+    // ISP-scale variant: a 64-PoP synthetic backbone unfolds to
+    // 4 * 64^2 = 16384 columns — the n >= 1024 regime ROADMAP item 2
+    // targets, where fit cost is dominated by the Gram-trick
+    // projections and the blocked kernels. Dataset construction is
+    // lazy so other benchmark filters never pay for it.
+    static const net::topology topo = net::topology::synthetic(64);
+    static const traffic::background_model bg(topo);
+    static const core::od_dataset d = core::build_od_dataset(
+        96, topo.od_count(),
+        [](std::size_t b, int od) { return bg.generate(b, od); });
+    static const auto m = core::unfold(d);
+    for (auto _ : state) {
+        auto det = core::detect_entropy_anomalies(
+            m, {.normal_dims = 10, .center = true}, 0.999);
+        benchmark::DoNotOptimize(det.rows.spe.data());
+    }
+}
+BENCHMARK(bm_multiway_fit_and_detect_large)->Unit(benchmark::kMillisecond);
+
 void bm_spe_single_observation(benchmark::State& state) {
     static const auto m = core::unfold(dataset());
     static const auto model =
@@ -158,4 +179,15 @@ BENCHMARK(bm_cell_generation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so every report carries the kernel ISA the
+// process actually dispatched to — without it, BENCH_core.json deltas
+// across machines/tiers are uninterpretable.
+int main(int argc, char** argv) {
+    benchmark::AddCustomContext(
+        "kernel_isa", linalg::kernel_isa_name(linalg::active_kernel_isa()));
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "flow/od_aggregator.h"
+#include "linalg/simd.h"
 #include "net/topology.h"
 #include "obs/alert.h"
 #include "obs/bridge.h"
@@ -226,4 +227,15 @@ BENCHMARK(bm_metrics_render)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Same expanded main as perf_core: stamp the dispatched kernel ISA into
+// the benchmark context for BENCH_core.json.
+int main(int argc, char** argv) {
+    benchmark::AddCustomContext(
+        "kernel_isa",
+        tfd::linalg::kernel_isa_name(tfd::linalg::active_kernel_isa()));
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -134,6 +134,10 @@ def main():
                 "num_cpus": raw.get("context", {}).get("num_cpus"),
                 "library_build_type": raw.get("context", {}).get(
                     "library_build_type"),
+                # Stamped by the bench binaries' custom main; trajectory
+                # comparisons are meaningless without knowing which
+                # kernel tier the run dispatched to.
+                "kernel_isa": raw.get("context", {}).get("kernel_isa"),
             }
         benchmarks.update(distill(raw))
     run = {

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
 
+#include "linalg/parallel.h"
 #include "linalg/simd.h"
 
 namespace tfd::linalg {
@@ -126,6 +128,186 @@ void tridiagonalize(matrix& z, std::vector<double>& d, std::vector<double>& e,
     }
 }
 
+// ---------------------------------------------------------------------
+// Blocked (panel) Householder reduction, LAPACK dsytrd/dlatrd lineage
+// mapped onto tred2's bottom-up row convention. The reflectors are the
+// same as the classic loop's (up to rounding) and land in the same
+// storage layout — row i of z holds the scaled u_i in columns [0, i) —
+// so the Householder back-transform is path-agnostic. What changes is
+// WHEN the rank-2 updates hit the matrix:
+//
+//   * classic: every step applies q_i u_i^T + u_i q_i^T to the whole
+//     trailing block immediately (one read-modify-write sweep per step).
+//   * blocked: inside a panel of kTridiagPanel steps the update is
+//     applied lazily — row i absorbs the panel's pending pairs right
+//     before its own reduction, and the symmetric matvec corrects
+//     against the pending pairs algebraically (p = A_stale u - U(Q^T u)
+//     - Q(U^T u)). The trailing rows [0, panel_lo) then absorb one
+//     rank-2·nb update per panel through the blocked GEMM micro-kernels
+//     on the shared thread pool.
+//
+// Net effect: half the O(n^3) work moves from axpy-bound sweeps (one
+// pass over the trailing matrix per step) to GEMM-level tiles (one pass
+// per panel), which is the classic memory-traffic fix for
+// tridiagonalization. Deterministic: panel boundaries depend only on n,
+// the per-row reduction order inside gemm_row_update is fixed, and
+// parallel rows write disjoint slices.
+
+// Panel width: the per-step panel overhead (catch-up rank-2 pairs plus
+// matvec correction dots) grows linearly with nb while the trailing
+// read-modify-write traffic shrinks as 1/nb; nb = 16 is the measured
+// sweet spot on 2 MB-L2 hardware at the n = 484..2048 widths the
+// unfolded OD matrices produce (swept 8..64).
+constexpr std::size_t kTridiagPanel = 16;
+// Trailing-update column tile: 64 doubles = one full zmm register block
+// of the avx512 GEMM kernel, and 2 * nb * 64 * 8 B = 16 KB of panel
+// slice, safely L1-resident.
+constexpr std::size_t kTrailTile = 64;
+constexpr std::size_t kTridiagBlockedMinN = 128;
+
+tridiag_path detect_tridiag_path() noexcept {
+    if (const char* env = std::getenv("TFD_NO_BLOCKED_TRED");
+        env && env[0] != '\0' && env[0] != '0')
+        return tridiag_path::classic;
+    return tridiag_path::automatic;
+}
+
+tridiag_path g_tridiag_path = detect_tridiag_path();
+
+bool use_blocked_tridiag(std::size_t n) noexcept {
+    switch (g_tridiag_path) {
+        case tridiag_path::classic: return false;
+        case tridiag_path::blocked: return true;
+        case tridiag_path::automatic: return n >= kTridiagBlockedMinN;
+    }
+    return false;
+}
+
+// Blocked counterpart of tridiagonalize(..., accumulate=false). On
+// exit: d diagonal, e subdiagonal (e[0] unused), rows i >= 2 of z hold
+// the scaled reflectors u_i in columns [0, i) for the back-transform.
+void tridiagonalize_blocked(matrix& z, std::vector<double>& d,
+                            std::vector<double>& e) {
+    const std::size_t n = z.rows();
+    d.assign(n, 0.0);
+    e.assign(n, 0.0);
+    if (n == 0) return;
+    if (n == 1) {
+        d[0] = z(0, 0);
+        return;
+    }
+
+    // Panel workspace: row t holds the reflector u_t / update vector
+    // q_t of the t-th step of the current panel (support [0, i_t)).
+    // wq is negated in place before the trailing update so the
+    // add-only GEMM micro-kernel can apply the subtraction directly.
+    matrix wu(kTridiagPanel, n), wq(kTridiagPanel, n);
+    std::vector<double> p(n, 0.0);
+
+    std::size_t hi = n - 1;
+    while (hi >= 1) {
+        const std::size_t plo = hi >= kTridiagPanel ? hi - kTridiagPanel + 1 : 1;
+        const std::size_t members = hi - plo + 1;
+        std::size_t t = 0;
+        for (std::size_t i = hi + 1; i-- > plo; ++t) {
+            const std::size_t l = i - 1;
+            double* zi = z.row(i).data();
+            // Catch row i up on the panel's pending rank-2 pairs
+            // (classic applies these eagerly; cols 0..i incl. diagonal).
+            for (std::size_t s = 0; s < t; ++s)
+                simd::axpy2_sub(zi, wu.row(s).data(), wq(s, i),
+                                wq.row(s).data(), wu(s, i), i + 1);
+            double* ut = wu.row(t).data();
+            double* qt = wq.row(t).data();
+            std::fill(ut, ut + i, 0.0);
+            std::fill(qt, qt + i, 0.0);
+            double h = 0.0;
+            if (i > 1) {
+                double sc = 0.0;
+                for (std::size_t k = 0; k <= l; ++k) sc += std::fabs(zi[k]);
+                if (sc == 0.0) {
+                    e[i] = zi[l];
+                } else {
+                    for (std::size_t k = 0; k <= l; ++k) {
+                        zi[k] /= sc;
+                        h += zi[k] * zi[k];
+                    }
+                    double f = zi[l];
+                    double g = (f >= 0.0) ? -std::sqrt(h) : std::sqrt(h);
+                    e[i] = sc * g;
+                    h -= f * g;
+                    zi[l] = f - g;
+
+                    // p = A_eff u / h over [0, i): the row-wise symmetric
+                    // matvec against the stale trailing block (each row
+                    // read ONCE via the fused axpy_dot kernel — this
+                    // stream is the reduction's irreducible memory
+                    // traffic), then the algebraic correction for this
+                    // panel's pending pairs.
+                    for (std::size_t j = 0; j <= l; ++j) p[j] = 0.0;
+                    for (std::size_t j = 0; j <= l; ++j) {
+                        const double* zj = z.row(j).data();
+                        const double zij = zi[j];
+                        p[j] += simd::axpy_dot(p.data(), zj, zij, zi, j) +
+                                zj[j] * zij;
+                    }
+                    for (std::size_t s = 0; s < t; ++s) {
+                        const double* us = wu.row(s).data();
+                        const double* qs = wq.row(s).data();
+                        const double alpha = simd::dot(qs, zi, i);
+                        const double beta = simd::dot(us, zi, i);
+                        simd::axpy2_sub(p.data(), us, alpha, qs, beta, i);
+                    }
+                    f = 0.0;
+                    for (std::size_t j = 0; j <= l; ++j) {
+                        p[j] /= h;
+                        f += p[j] * zi[j];
+                    }
+                    const double hh = f / (h + h);
+                    for (std::size_t j = 0; j <= l; ++j)
+                        qt[j] = p[j] - hh * zi[j];
+                    std::copy(zi, zi + i, ut);
+                }
+            } else {
+                e[i] = zi[l];
+            }
+            d[i] = h;
+        }
+
+        // Trailing rows [0, plo) absorb the whole panel at once:
+        // z(j, 0..j) -= sum_s q_s[j] u_s + u_s[j] q_s, evaluated with
+        // the add-only GEMM kernel against the negated q workspace.
+        for (std::size_t s = 0; s < members; ++s) {
+            double* qs = wq.row(s).data();
+            for (std::size_t k = 0; k < n; ++k) qs[k] = -qs[k];
+        }
+        // Column tiles of kTrailTile keep the panel slices the GEMM
+        // kernel streams (2 * members rows x tile doubles, ~16 KB at
+        // nb = 16) resident in L1 across every row of the tile, so the
+        // only L2-and-beyond traffic left is one read-modify-write of
+        // the trailing triangle per panel. Tile boundaries depend only
+        // on n, and each row still reduces t ascending: deterministic.
+        const double* ub = wu.row(0).data();
+        const double* qb = wq.row(0).data();
+        parallel_for_blocked(plo, 32, [&](std::size_t j0, std::size_t j1) {
+            for (std::size_t jt = 0; jt < j1; jt += kTrailTile) {
+                for (std::size_t j = std::max(jt, j0); j < j1; ++j) {
+                    double* zj = z.row(j).data() + jt;
+                    const std::size_t w = std::min(kTrailTile, j + 1 - jt);
+                    simd::gemm_row_update(zj, qb + j, n, ub + jt, n,
+                                          members, w);
+                    simd::gemm_row_update(zj, ub + j, n, qb + jt, n,
+                                          members, w);
+                }
+            }
+        });
+        hi = plo - 1;
+    }
+
+    for (std::size_t i = 0; i < n; ++i) d[i] = z(i, i);
+    e[0] = 0.0;
+}
+
 double hypot2(double a, double b) { return std::hypot(a, b); }
 
 // Implicit-shift QL on a tridiagonal matrix (d diagonal, e subdiagonal with
@@ -233,11 +415,18 @@ std::vector<double> symmetric_eigenvalues(const matrix& a, double symmetry_tol) 
     require_symmetric(a, symmetry_tol);
     matrix work = a;
     std::vector<double> d, e;
-    tridiagonalize(work, d, e, /*accumulate=*/false);
+    if (use_blocked_tridiag(a.rows()))
+        tridiagonalize_blocked(work, d, e);
+    else
+        tridiagonalize(work, d, e, /*accumulate=*/false);
     ql_implicit(d, e, work, /*accumulate=*/false);
     sort_descending(d, nullptr);
     return d;
 }
+
+void set_tridiag_path(tridiag_path p) noexcept { g_tridiag_path = p; }
+
+tridiag_path get_tridiag_path() noexcept { return g_tridiag_path; }
 
 // ---------------------------------------------------------------------
 // Partial spectrum: bisection + inverse iteration on the tridiagonal.
@@ -267,20 +456,36 @@ std::array<double, 3> tridiagonal_moments(const std::vector<double>& d,
 
 // Number of eigenvalues of T strictly below x (Sturm sequence sign
 // count; Barth–Martin–Wilkinson recurrence with a pivot floor).
-std::size_t sturm_count_below(const std::vector<double>& d,
-                              const std::vector<double>& e2, double x,
-                              double pivmin) {
+constexpr std::size_t kSturmBatch = 16;
+
+// Sturm counts for m <= kSturmBatch shifts in ONE sweep over the
+// tridiagonal. Each shift's recurrence q = d[i] - x - e2[i]/q is a
+// serial division chain (~20 cycles/element of pure latency); m
+// independent chains in flight turn the sweep throughput-bound, so a
+// batched pass costs barely more than a single-shift one. Per-shift
+// arithmetic is identical to the classic scalar loop — batching changes
+// which shifts share a sweep, never a count.
+void sturm_count_batch(const std::vector<double>& d,
+                       const std::vector<double>& e2, const double* x,
+                       std::size_t m, double pivmin, std::size_t* cnt) {
     const std::size_t n = d.size();
-    std::size_t cnt = 0;
-    double q = d[0] - x;
-    if (std::fabs(q) < pivmin) q = -pivmin;
-    if (q < 0.0) ++cnt;
-    for (std::size_t i = 1; i < n; ++i) {
-        q = d[i] - x - e2[i] / q;
-        if (std::fabs(q) < pivmin) q = -pivmin;
-        if (q < 0.0) ++cnt;
+    double q[kSturmBatch];
+    std::size_t c[kSturmBatch];
+    for (std::size_t j = 0; j < m; ++j) {
+        q[j] = d[0] - x[j];
+        if (std::fabs(q[j]) < pivmin) q[j] = -pivmin;
+        c[j] = q[j] < 0.0 ? 1 : 0;
     }
-    return cnt;
+    for (std::size_t i = 1; i < n; ++i) {
+        const double di = d[i];
+        const double e2i = e2[i];
+        for (std::size_t j = 0; j < m; ++j) {
+            q[j] = di - x[j] - e2i / q[j];
+            if (std::fabs(q[j]) < pivmin) q[j] = -pivmin;
+            c[j] += q[j] < 0.0 ? 1 : 0;
+        }
+    }
+    for (std::size_t j = 0; j < m; ++j) cnt[j] = c[j];
 }
 
 // The k largest eigenvalues of T, descending, by bisection to machine
@@ -309,27 +514,43 @@ std::vector<double> bisect_topk(const std::vector<double>& d,
     gl -= kEps * span;
     gu += kEps * span;
 
-    std::vector<double> w(k, 0.0);
-    double hi_cap = gu;
-    for (std::size_t j = 0; j < k; ++j) {
-        // Ascending 0-based index of the j-th largest eigenvalue.
-        const std::size_t idx = n - 1 - j;
-        double lo = gl, hi = hi_cap;
-        for (int it = 0; it < 128 && hi - lo > 2.0 * kEps * std::max(
-                                                      std::fabs(lo),
-                                                      std::fabs(hi)) +
-                                                  2.0 * pivmin;
-             ++it) {
-            const double mid = 0.5 * (lo + hi);
-            if (sturm_count_below(d, e2, mid, pivmin) > idx)
-                hi = mid;
-            else
-                lo = mid;
+    // All k intervals bisect in lockstep: every round narrows each
+    // unconverged interval with one batched Sturm sweep (grouped in
+    // kSturmBatch shifts), so the whole top-k search costs
+    // ~log2(span/tol) batched sweeps instead of k times that many
+    // serial ones. Each interval's narrowing sequence is independent
+    // of the others', so the per-eigenvalue trajectory — and the
+    // result — is deterministic regardless of how rounds group.
+    std::vector<double> lo(k, gl), hi(k, gu), w(k, 0.0);
+    std::vector<double> mid(k, 0.0);
+    std::vector<std::size_t> which(k, 0);
+    for (int it = 0; it < 128; ++it) {
+        std::size_t active = 0;
+        for (std::size_t j = 0; j < k; ++j) {
+            if (hi[j] - lo[j] >
+                2.0 * kEps * std::max(std::fabs(lo[j]), std::fabs(hi[j])) +
+                    2.0 * pivmin) {
+                mid[active] = 0.5 * (lo[j] + hi[j]);
+                which[active] = j;
+                ++active;
+            }
         }
-        w[j] = 0.5 * (lo + hi);
-        // Eigenvalues descend: later (smaller) ones cannot exceed hi.
-        hi_cap = hi;
+        if (active == 0) break;
+        std::size_t counts[kSturmBatch];
+        for (std::size_t g = 0; g < active; g += kSturmBatch) {
+            const std::size_t m = std::min(kSturmBatch, active - g);
+            sturm_count_batch(d, e2, mid.data() + g, m, pivmin, counts);
+            for (std::size_t t = 0; t < m; ++t) {
+                const std::size_t j = which[g + t];
+                // Ascending 0-based index of the j-th largest eigenvalue.
+                if (counts[t] > n - 1 - j)
+                    hi[j] = mid[g + t];
+                else
+                    lo[j] = mid[g + t];
+            }
+        }
     }
+    for (std::size_t j = 0; j < k; ++j) w[j] = 0.5 * (lo[j] + hi[j]);
     return w;
 }
 
@@ -558,7 +779,10 @@ partial_eigen_result symmetric_eigen_topk(const matrix& a, std::size_t k,
 
     matrix z = a;
     std::vector<double> d, e;
-    tridiagonalize(z, d, e, /*accumulate=*/false);
+    if (use_blocked_tridiag(n))
+        tridiagonalize_blocked(z, d, e);
+    else
+        tridiagonalize(z, d, e, /*accumulate=*/false);
 
     partial_eigen_result out;
     out.moments = tridiagonal_moments(d, e);

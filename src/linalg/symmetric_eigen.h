@@ -77,4 +77,30 @@ struct partial_eigen_result {
 partial_eigen_result symmetric_eigen_topk(const matrix& a, std::size_t k,
                                           double symmetry_tol = 1e-8);
 
+/// Which Householder tridiagonalization the non-accumulating paths
+/// (symmetric_eigen_topk, symmetric_eigenvalues) run.
+///
+///   automatic — blocked for n >= 128, classic below (the process
+///               default; TFD_NO_BLOCKED_TRED=1 pins classic instead)
+///   classic   — the historical unblocked tred2 loop, bit-identical to
+///               every pre-blocked release under a given kernel ISA
+///   blocked   — panel reduction: per-panel rank-2 updates stay Level-2,
+///               the trailing matrix absorbs one rank-2·nb update per
+///               panel through the blocked GEMM micro-kernels on the
+///               shared thread pool
+///
+/// Both paths produce the same reflector layout, so the Householder
+/// back-transform and every downstream consumer are path-agnostic.
+/// Parity between them is tolerance-level (same reflectors up to
+/// rounding; the blocked path regroups the rank-2 update sums), and
+/// each path is individually deterministic run-to-run. The accumulating
+/// full-QL path (symmetric_eigen) always runs classic.
+enum class tridiag_path { automatic, classic, blocked };
+
+/// Process-wide tridiagonalization selection; `automatic` on startup
+/// (forced to `classic` when TFD_NO_BLOCKED_TRED is set). Not
+/// thread-safe against concurrent eigensolves; call from setup only.
+void set_tridiag_path(tridiag_path p) noexcept;
+tridiag_path get_tridiag_path() noexcept;
+
 }  // namespace tfd::linalg

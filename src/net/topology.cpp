@@ -1,5 +1,6 @@
 #include "net/topology.h"
 
+#include <cstdio>
 #include <stdexcept>
 
 namespace tfd::net {
@@ -130,6 +131,68 @@ topology topology::geant() {
     };
     return topology("Geant", std::move(names), std::move(links),
                     /*base_octet=*/60);
+}
+
+topology topology::synthetic(int pops, std::uint64_t seed, int base_octet) {
+    if (pops < 2 || pops > 180)
+        throw std::invalid_argument("synthetic: pops must be in [2, 180]");
+
+    // splitmix64 — small, deterministic, and keeps net free of a
+    // dependency on the traffic-layer rng (traffic already depends on
+    // net for the topology type).
+    std::uint64_t state = seed ^ 0x9e3779b97f4a7c15ULL;
+    auto next = [&state]() {
+        state += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    };
+    auto uniform = [&next](std::uint64_t bound) {
+        return static_cast<int>(next() % bound);
+    };
+
+    std::vector<std::string> names(static_cast<std::size_t>(pops));
+    for (int i = 0; i < pops; ++i) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "P%03d", i);
+        names[static_cast<std::size_t>(i)] = buf;
+    }
+
+    // Spanning tree with preferential attachment: each new PoP homes to
+    // an endpoint drawn from all existing link endpoints (so high-degree
+    // PoPs attract more links — the hub structure real backbones show),
+    // guaranteeing connectivity. Then ~pops/2 shortcut links bring the
+    // mean degree to ~3, Abilene/Geant territory.
+    std::vector<link> links;
+    std::vector<int> endpoints{0};
+    for (int i = 1; i < pops; ++i) {
+        const int parent = endpoints[static_cast<std::size_t>(
+            uniform(endpoints.size()))];
+        links.push_back({parent, i});
+        endpoints.push_back(parent);
+        endpoints.push_back(i);
+    }
+    auto linked = [&links](int a, int b) {
+        for (const link& l : links)
+            if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) return true;
+        return false;
+    };
+    for (int extra = pops / 2; extra > 0;) {
+        const int a = uniform(static_cast<std::uint64_t>(pops));
+        const int b = uniform(static_cast<std::uint64_t>(pops));
+        if (a == b || linked(a, b)) {
+            --extra;  // bounded walk: skip without retrying forever
+            continue;
+        }
+        links.push_back({a, b});
+        endpoints.push_back(a);
+        endpoints.push_back(b);
+        --extra;
+    }
+
+    return topology("Synthetic-" + std::to_string(pops), std::move(names),
+                    std::move(links), base_octet);
 }
 
 }  // namespace tfd::net

@@ -49,6 +49,20 @@ public:
     /// The Geant European research backbone, ca. 2004: 22 PoPs.
     static topology geant();
 
+    /// A parameterized synthetic backbone for scale testing — the
+    /// 50–150 PoP band between Geant and a tier-1 ISP, where the
+    /// unfolded OD x feature width (4 * pops^2) reaches the n >= 1024
+    /// scales the blocked eigensolver targets. Structure is ISP-like:
+    /// a hub-biased random spanning tree (preferential attachment, so
+    /// a few PoPs grow Frankfurt/London-style degrees) plus ~pops/2
+    /// shortcut links. Fully deterministic in (pops, seed): the same
+    /// arguments always produce the same topology, and the graph is
+    /// connected by construction. `pops` must be in [2, 180] (the
+    /// band below 50 stays available so tests can pick widths like
+    /// 4 * 16^2 = 1024); base_octet + pops must stay <= 255.
+    static topology synthetic(int pops, std::uint64_t seed = 1,
+                              int base_octet = 70);
+
     const std::string& name() const noexcept { return name_; }
     int pop_count() const noexcept { return static_cast<int>(pops_.size()); }
     const std::vector<pop>& pops() const noexcept { return pops_; }

@@ -1,5 +1,6 @@
 #include "obs/bridge.h"
 
+#include "linalg/simd.h"
 #include "net/topology.h"
 #include "obs/json.h"
 
@@ -78,6 +79,14 @@ pipeline_bridge::pipeline_bridge(stream::stream_pipeline& pipeline,
             "tfd_bin_close_mean_seconds",
             "Mean harvest+detect latency per emitted bin, empty gap bins "
             "included (pipeline_metrics::mean_bin_close_ms)");
+        m_.kernel_isa = &reg->get_gauge(
+            "tfd_kernel_isa",
+            "SIMD tier the linalg kernels dispatched to: 0=scalar, "
+            "1=fma256, 2=avx512");
+        // Dispatch is decided once at process start; stamp it so a
+        // scrape shows which tier this daemon actually runs.
+        m_.kernel_isa->set(static_cast<double>(
+            static_cast<int>(linalg::active_kernel_isa())));
         emitter_.count_into(m_.events_emitted);
     }
     pipeline.on_lifecycle(
@@ -300,6 +309,10 @@ std::string pipeline_bridge::healthz_json() const {
         w.key("alerts_suppressed");
         w.value(opts_.alerts->suppressed_total());
     }
+    // Which SIMD tier this process dispatched to — set once at startup,
+    // so reading the global here is as safe as reading a constant.
+    w.key("kernel_isa");
+    w.value(linalg::kernel_isa_name(linalg::active_kernel_isa()));
     w.key("schema_version");
     w.value(static_cast<std::uint64_t>(event_schema_version));
     w.end_object();

@@ -144,6 +144,7 @@ private:
         gauge* records_per_second = nullptr;
         gauge* bin_close_mean_seconds = nullptr;
         gauge* detector_state = nullptr;
+        gauge* kernel_isa = nullptr;
     } m_;
 };
 

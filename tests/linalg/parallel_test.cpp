@@ -1,9 +1,10 @@
 // Tests for the thread pool, the deterministic blocked parallel-for, and
 // parity between the blocked/parallel dense kernels and their naive
-// single-threaded references under BOTH SIMD ISAs: bit-exact under the
-// scalar micro-kernels, tolerance-level under fma256 (fused multiply-adds
-// change rounding but not the reduction order), and bit-exact for
-// outer_gram under either (blocked and naive share dot()).
+// single-threaded references under ALL THREE SIMD ISAs: bit-exact under
+// the scalar micro-kernels, tolerance-level under fma256/avx512 (fused
+// multiply-adds change rounding but not the reduction order), and
+// bit-exact for outer_gram under every tier (blocked and naive share
+// dot()). The avx512 cases skip cleanly on hardware without avx512f.
 #include "linalg/parallel.h"
 
 #include <gtest/gtest.h>
@@ -40,7 +41,8 @@ double max_abs(const la::matrix& m) {
 // the process default afterwards. The naive references always run
 // scalar loops (their only FMA-sensitive piece, dot(), is shared with
 // the blocked kernels), so the allowed blocked-vs-naive gap depends on
-// the ISA: 0 for scalar, a small contraction tolerance for fma256.
+// the ISA: 0 for scalar, a small contraction tolerance for the two
+// fused-multiply-add tiers.
 class KernelIsaParityTest : public ::testing::TestWithParam<la::kernel_isa> {
 protected:
     void SetUp() override {
@@ -169,11 +171,66 @@ TEST_P(KernelIsaParityTest, GramAgreesWithExplicitTranspose) {
     EXPECT_LT(la::max_abs_diff(la::gram(a), ref), 1e-12);
 }
 
-INSTANTIATE_TEST_SUITE_P(BothIsas, KernelIsaParityTest,
+// The fused axpy_dot micro-kernel must match the axpy + dot composition
+// it replaces: exactly under scalar (the scalar body IS the
+// composition), within contraction tolerance under the vector tiers
+// (the fused sweep keeps a fixed reduction order but regroups the dot
+// into 4 accumulators). Odd lengths exercise every remainder path,
+// including the avx512 masked tail.
+TEST_P(KernelIsaParityTest, AxpyDotMatchesComposition) {
+    tfd::traffic::rng gen(321);
+    for (std::size_t n : {0u, 1u, 3u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 32u,
+                          33u, 63u, 64u, 65u, 127u, 257u, 484u}) {
+        std::vector<double> z(n), u(n), p1(n), p2(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            z[i] = gen.uniform(-2.0, 2.0);
+            u[i] = gen.uniform(-2.0, 2.0);
+            p1[i] = p2[i] = gen.uniform(-1.0, 1.0);
+        }
+        const double a = gen.uniform(-1.5, 1.5);
+        const double fused = la::simd::axpy_dot(p1.data(), z.data(), a,
+                                                u.data(), n);
+        la::simd::axpy(p2.data(), z.data(), a, n);
+        const double split = la::simd::dot(z.data(), u.data(), n);
+        const double t = tol(GetParam(), 4.0, std::max<std::size_t>(n, 1));
+        EXPECT_LE(std::fabs(fused - split), t) << "n=" << n;
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(p1[i], p2[i]) << "n=" << n << " i=" << i
+                                    << " (axpy side must be bit-identical)";
+        if (GetParam() == la::kernel_isa::scalar)
+            EXPECT_EQ(fused, split) << "n=" << n;
+    }
+}
+
+// Per-tier determinism for the raw micro-kernels: same inputs, same
+// bits, run to run, whatever the dispatched tier.
+TEST_P(KernelIsaParityTest, MicroKernelsAreDeterministic) {
+    tfd::traffic::rng gen(99);
+    const std::size_t n = 203;  // odd: remainder lanes in play
+    std::vector<double> x(n), y(n), d1(n), d2(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = gen.uniform(-2.0, 2.0);
+        y[i] = gen.uniform(-2.0, 2.0);
+        d1[i] = d2[i] = gen.uniform(-1.0, 1.0);
+    }
+    EXPECT_EQ(la::simd::dot(x.data(), y.data(), n),
+              la::simd::dot(x.data(), y.data(), n));
+    la::simd::axpy2_sub(d1.data(), x.data(), 0.3, y.data(), -0.7, n);
+    la::simd::axpy2_sub(d2.data(), x.data(), 0.3, y.data(), -0.7, n);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(d1[i], d2[i]);
+    std::vector<double> x2 = x, y2 = y, x3 = x, y3 = y;
+    la::simd::rot(x2.data(), y2.data(), 0.8, 0.6, n);
+    la::simd::rot(x3.data(), y3.data(), 0.8, 0.6, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(x2[i], x3[i]);
+        ASSERT_EQ(y2[i], y3[i]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, KernelIsaParityTest,
                          ::testing::Values(la::kernel_isa::scalar,
-                                           la::kernel_isa::fma256),
+                                           la::kernel_isa::fma256,
+                                           la::kernel_isa::avx512),
                          [](const auto& info) {
-                             return info.param == la::kernel_isa::scalar
-                                        ? "scalar"
-                                        : "fma256";
+                             return la::kernel_isa_name(info.param);
                          });

@@ -84,6 +84,47 @@ TEST(TopologyTest, ConstructorValidation) {
     EXPECT_THROW(topology("x", {"A", "B"}, {{0, 5}}), std::invalid_argument);
 }
 
+TEST(TopologyTest, SyntheticIsDeterministicInPopsAndSeed) {
+    const auto a = topology::synthetic(64, 7);
+    const auto b = topology::synthetic(64, 7);
+    EXPECT_EQ(a.name(), "Synthetic-64");
+    EXPECT_EQ(a.pop_count(), 64);
+    EXPECT_EQ(a.od_count(), 64 * 64);
+    ASSERT_EQ(a.links().size(), b.links().size());
+    for (std::size_t i = 0; i < a.links().size(); ++i) {
+        EXPECT_EQ(a.links()[i].a, b.links()[i].a);
+        EXPECT_EQ(a.links()[i].b, b.links()[i].b);
+    }
+    // A different seed rewires.
+    const auto c = topology::synthetic(64, 8);
+    bool same = a.links().size() == c.links().size();
+    for (std::size_t i = 0; same && i < a.links().size(); ++i)
+        same = a.links()[i].a == c.links()[i].a &&
+               a.links()[i].b == c.links()[i].b;
+    EXPECT_FALSE(same);
+}
+
+TEST(RouterTest, SyntheticIsConnectedAcrossTheBand) {
+    // The router constructor rejects disconnected topologies, so routing
+    // every generated backbone proves the spanning-tree guarantee.
+    for (int pops : {2, 16, 50, 100, 150, 180}) {
+        const auto t = topology::synthetic(pops, 3);
+        const router r(t);
+        EXPECT_GE(t.links().size(),
+                  static_cast<std::size_t>(pops) - 1);  // tree at minimum
+        EXPECT_EQ(r.distance(0, t.pop_count() - 1),
+                  r.distance(t.pop_count() - 1, 0));
+    }
+}
+
+TEST(TopologyTest, SyntheticValidation) {
+    EXPECT_THROW(topology::synthetic(1), std::invalid_argument);
+    EXPECT_THROW(topology::synthetic(181), std::invalid_argument);
+    // base_octet + pops must stay inside the /8 space (checked by the
+    // base constructor).
+    EXPECT_THROW(topology::synthetic(100, 1, 200), std::invalid_argument);
+}
+
 TEST(RouterTest, SelfPathIsSingleton) {
     const auto t = topology::abilene();
     const router r(t);
