@@ -1,0 +1,303 @@
+#include "dist/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "io/wire.h"
+
+namespace tfd::dist {
+
+const char* to_string(dist_errc c) noexcept {
+    switch (c) {
+        case dist_errc::version_mismatch: return "version mismatch";
+        case dist_errc::fingerprint_mismatch: return "fingerprint mismatch";
+        case dist_errc::session_mismatch: return "session mismatch";
+        case dist_errc::bad_sequence: return "bad sequence";
+        case dist_errc::malformed_message: return "malformed message";
+        case dist_errc::unknown_worker: return "unknown worker";
+        case dist_errc::worker_failed: return "worker failed";
+        case dist_errc::connection_lost: return "connection lost";
+        case dist_errc::timed_out: return "timed out";
+        case dist_errc::handshake_failed: return "handshake failed";
+    }
+    return "unknown";
+}
+
+dist_error::dist_error(dist_errc code, const std::string& detail)
+    : std::runtime_error(std::string("dist: ") + to_string(code) +
+                         (detail.empty() ? "" : ": " + detail)),
+      code_(code) {}
+
+namespace {
+
+// Payload caps: a checksum collision is ~1 in 2^64, but validation
+// should not depend on luck — every count and length is bounded
+// before any allocation sized from it.
+constexpr std::uint64_t max_ods_per_frame = 1u << 22;
+constexpr std::uint64_t max_nak_detail = 4096;
+
+struct payload_encoder {
+    io::wire_writer w;
+
+    std::vector<std::uint8_t> section(std::uint32_t tag) {
+        std::vector<std::uint8_t> out;
+        io::write_section(out, tag, protocol_version, w.data());
+        return out;
+    }
+
+    std::vector<std::uint8_t> operator()(const hello_message& m) {
+        w.u32(m.worker_id);
+        w.u32(m.worker_count);
+        w.u64(m.od_count);
+        w.u64(m.fingerprint);
+        w.u64(m.session);
+        w.u64(m.durable_seq);
+        w.u8(m.partial ? 1 : 0);
+        if (m.partial) {
+            w.u64(m.partial->ordinal);
+            w.varint(m.partial->bytes.size());
+            w.bytes(m.partial->bytes);
+        }
+        return section(tag_hello);
+    }
+
+    std::vector<std::uint8_t> operator()(const welcome_message& m) {
+        w.u64(m.session);
+        w.u64(m.resume_seq);
+        return section(tag_welcome);
+    }
+
+    std::vector<std::uint8_t> operator()(const nak_message& m) {
+        w.u16(static_cast<std::uint16_t>(m.code));
+        w.varint(m.detail.size());
+        w.bytes({reinterpret_cast<const std::uint8_t*>(m.detail.data()),
+                 m.detail.size()});
+        return section(tag_nak);
+    }
+
+    std::vector<std::uint8_t> operator()(const data_message& m) {
+        w.u64(m.seq);
+        w.varint(m.ods.size());
+        w.varint(m.codec.size());
+        w.bytes(m.codec);
+        for (const int od : m.ods) w.svarint(od);
+        return section(tag_data);
+    }
+
+    std::vector<std::uint8_t> operator()(const close_bin_message& m) {
+        w.u64(m.seq);
+        w.u64(m.ordinal);
+        return section(tag_close_bin);
+    }
+
+    std::vector<std::uint8_t> operator()(const partial_message& m) {
+        w.u64(m.ordinal);
+        w.u64(m.last_seq);
+        w.u64(m.durable_seq);
+        w.varint(m.partial.size());
+        w.bytes(m.partial);
+        return section(tag_partial);
+    }
+
+    std::vector<std::uint8_t> operator()(const ack_message& m) {
+        w.u64(m.durable_seq);
+        return section(tag_ack);
+    }
+
+    std::vector<std::uint8_t> operator()(const bye_message&) {
+        return section(tag_bye);
+    }
+};
+
+[[noreturn]] void malformed(const char* what) {
+    throw dist_error(dist_errc::malformed_message, what);
+}
+
+std::vector<std::uint8_t> read_blob(io::wire_reader& r, std::uint64_t cap,
+                                    const char* what) {
+    const std::uint64_t n = r.varint();
+    if (n > cap || n > r.remaining()) malformed(what);
+    const auto span = r.bytes(static_cast<std::size_t>(n));
+    return {span.begin(), span.end()};
+}
+
+message parse_hello(io::wire_reader& r) {
+    hello_message m;
+    m.worker_id = r.u32();
+    m.worker_count = r.u32();
+    m.od_count = r.u64();
+    m.fingerprint = r.u64();
+    m.session = r.u64();
+    m.durable_seq = r.u64();
+    const std::uint8_t has_partial = r.u8();
+    if (has_partial > 1) malformed("hello: bad partial flag");
+    if (has_partial) {
+        hello_message::stored_partial p;
+        p.ordinal = r.u64();
+        p.bytes = read_blob(r, max_message_bytes, "hello: partial too large");
+        m.partial = std::move(p);
+    }
+    if (m.worker_count == 0 || m.worker_id >= m.worker_count)
+        malformed("hello: worker id out of range");
+    return m;
+}
+
+message parse_welcome(io::wire_reader& r) {
+    welcome_message m;
+    m.session = r.u64();
+    m.resume_seq = r.u64();
+    return m;
+}
+
+message parse_nak(io::wire_reader& r) {
+    nak_message m;
+    const std::uint16_t code = r.u16();
+    if (code < static_cast<std::uint16_t>(dist_errc::version_mismatch) ||
+        code > static_cast<std::uint16_t>(dist_errc::handshake_failed))
+        malformed("nak: unknown code");
+    m.code = static_cast<dist_errc>(code);
+    const auto detail = read_blob(r, max_nak_detail, "nak: detail too long");
+    m.detail.assign(detail.begin(), detail.end());
+    return m;
+}
+
+message parse_data(io::wire_reader& r) {
+    data_message m;
+    m.seq = r.u64();
+    const std::uint64_t n = r.varint();
+    if (n == 0 || n > max_ods_per_frame) malformed("data: bad record count");
+    m.codec = read_blob(r, max_message_bytes, "data: codec blob too large");
+    m.ods.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::int64_t od = r.svarint();
+        if (od < 0 || od > INT32_MAX) malformed("data: od out of range");
+        m.ods.push_back(static_cast<int>(od));
+    }
+    return m;
+}
+
+message parse_close_bin(io::wire_reader& r) {
+    close_bin_message m;
+    m.seq = r.u64();
+    m.ordinal = r.u64();
+    return m;
+}
+
+message parse_partial(io::wire_reader& r) {
+    partial_message m;
+    m.ordinal = r.u64();
+    m.last_seq = r.u64();
+    m.durable_seq = r.u64();
+    m.partial = read_blob(r, max_message_bytes, "partial: blob too large");
+    return m;
+}
+
+message parse_ack(io::wire_reader& r) {
+    ack_message m;
+    m.durable_seq = r.u64();
+    return m;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_message(const message& m) {
+    return std::visit(payload_encoder{}, m);
+}
+
+message parse_message(std::span<const std::uint8_t> bytes) {
+    try {
+        io::wire_reader outer(bytes, "dist message");
+        const io::section_view s = io::read_section(outer);
+        outer.expect_end();  // transport hands in exactly one frame
+        if (s.version > protocol_version)
+            throw dist_error(dist_errc::version_mismatch,
+                             "message version " + std::to_string(s.version));
+        io::wire_reader r(s.payload, "dist payload");
+        message m;
+        switch (s.tag) {
+            case tag_hello: m = parse_hello(r); break;
+            case tag_welcome: m = parse_welcome(r); break;
+            case tag_nak: m = parse_nak(r); break;
+            case tag_data: m = parse_data(r); break;
+            case tag_close_bin: m = parse_close_bin(r); break;
+            case tag_partial: m = parse_partial(r); break;
+            case tag_ack: m = parse_ack(r); break;
+            case tag_bye: m = bye_message{}; break;
+            default: malformed("unknown tag");
+        }
+        r.expect_end();
+        return m;
+    } catch (const dist_error&) {
+        throw;
+    } catch (const io::wire_error& e) {
+        throw dist_error(dist_errc::malformed_message, e.what());
+    }
+}
+
+// ---- blocking socket transport ----
+
+void send_bytes(int fd, std::span<const std::uint8_t> bytes) {
+    const std::uint8_t* p = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+        const ssize_t n = send(fd, p, left, MSG_NOSIGNAL);
+        if (n > 0) {
+            p += n;
+            left -= static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            throw dist_error(dist_errc::timed_out, "send");
+        throw dist_error(dist_errc::connection_lost,
+                         std::string("send: ") + std::strerror(errno));
+    }
+}
+
+void send_message(int fd, const message& m) {
+    send_bytes(fd, encode_message(m));
+}
+
+namespace {
+
+void read_exact(int fd, std::uint8_t* dest, std::size_t n) {
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = recv(fd, dest + got, n - got, 0);
+        if (r > 0) {
+            got += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (r == 0)
+            throw dist_error(dist_errc::connection_lost, "peer closed");
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            throw dist_error(dist_errc::timed_out, "recv");
+        throw dist_error(dist_errc::connection_lost,
+                         std::string("recv: ") + std::strerror(errno));
+    }
+}
+
+}  // namespace
+
+message read_message(int fd, std::vector<std::uint8_t>& buf) {
+    buf.resize(io::section_header_bytes);
+    read_exact(fd, buf.data(), io::section_header_bytes);
+    // Peek payload_bytes (offset 8, little-endian u64) to size the read.
+    std::uint64_t payload_bytes = 0;
+    for (int i = 7; i >= 0; --i)
+        payload_bytes = (payload_bytes << 8) | buf[8 + static_cast<std::size_t>(i)];
+    if (payload_bytes > max_message_bytes - io::section_header_bytes)
+        throw dist_error(dist_errc::malformed_message,
+                         "frame length " + std::to_string(payload_bytes));
+    buf.resize(io::section_header_bytes + static_cast<std::size_t>(payload_bytes));
+    read_exact(fd, buf.data() + io::section_header_bytes,
+               static_cast<std::size_t>(payload_bytes));
+    return parse_message(buf);
+}
+
+}  // namespace tfd::dist

@@ -1,0 +1,223 @@
+// tfd::dist — the worker wire protocol.
+//
+// ROADMAP item 1 (multi-process OD sharding) splits the OD-residue
+// shard space across worker *processes* connected to the router over
+// loopback TCP. This header is the whole conversation between them:
+// eight message types, each one io/wire.h section (u32 tag | u16
+// version | u16 reserved | u64 len | u64 fnv1a64 | payload), so every
+// byte on the wire is length-framed and checksummed by the same
+// machinery the codec and checkpoint container already trust.
+//
+// Handshake (worker connects, router accepts):
+//
+//   worker → DHLO  worker_id/count, od_count, config fingerprint,
+//                  session id, durable_seq (last checkpointed seq),
+//                  and — when its checkpoint captured a bin-close
+//                  partial whose delivery may have been lost — that
+//                  partial's ordinal and bytes.
+//   router → DWEL  session id + resume_seq: the worker discards any
+//                  message numbered <= resume_seq it may see again.
+//          | DNAK  typed rejection (version/fingerprint/session
+//                  mismatch, ...) and the connection closes.
+//
+// Steady state (all router → worker, sequence-numbered per worker,
+// consecutive from resume_seq + 1):
+//
+//   DDAT  one routed batch: codec-encoded flow records plus their
+//         resolved OD indices (workers never re-resolve).
+//   DCLS  bin-close barrier: the worker serializes its open-bin
+//         od_shard_set state and answers with DPRT.
+//   DBYE  clean shutdown; the worker exits 0.
+//
+// Worker → router, any time after the handshake:
+//
+//   DACK  durable_seq advanced (a checkpoint hit disk) — lets the
+//         router shrink replay, never its retention (retention trims
+//         only at completed barriers, so a lost worker checkpoint
+//         can always be re-fed from the router's buffer).
+//   DPRT  the barrier reply: bin ordinal, last applied seq, durable
+//         seq, and the od_shard_set::save() partial bytes.
+//   DNAK  typed protocol failure (bad sequence, malformed payload);
+//         the worker exits and the router respawns it.
+//
+// Every parse validates its payload exhaustively and calls
+// expect_end() at both the payload and the message envelope, so a
+// one-byte length flip is a structural error, not a silent skew —
+// tests/dist/protocol_test.cpp sweeps every single-byte corruption of
+// every message type and requires "throws or decodes identically".
+//
+// The four-byte tags are pairwise >= 2 bytes apart in Hamming
+// distance, so no single byte flip can turn one valid tag into
+// another; a flipped tag is always an unknown-tag error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "flow/flow_record.h"
+
+namespace tfd::dist {
+
+/// Bumped when any message layout changes; carried in the section
+/// version field of every message. A peer speaking a newer version is
+/// rejected with dist_errc::version_mismatch.
+inline constexpr std::uint16_t protocol_version = 1;
+
+/// Upper bound on one framed message (header + payload). A corrupt or
+/// hostile length field can never make read_message() buffer more.
+inline constexpr std::size_t max_message_bytes = std::size_t{1} << 26;
+
+constexpr std::uint32_t fourcc(char a, char b, char c, char d) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24);
+}
+
+inline constexpr std::uint32_t tag_hello = fourcc('D', 'H', 'L', 'O');
+inline constexpr std::uint32_t tag_welcome = fourcc('D', 'W', 'E', 'L');
+inline constexpr std::uint32_t tag_nak = fourcc('D', 'N', 'A', 'K');
+inline constexpr std::uint32_t tag_data = fourcc('D', 'D', 'A', 'T');
+inline constexpr std::uint32_t tag_close_bin = fourcc('D', 'C', 'L', 'S');
+inline constexpr std::uint32_t tag_partial = fourcc('D', 'P', 'R', 'T');
+inline constexpr std::uint32_t tag_ack = fourcc('D', 'A', 'C', 'K');
+inline constexpr std::uint32_t tag_bye = fourcc('D', 'B', 'Y', 'E');
+
+/// Why a peer was rejected or a connection torn down (DNAK carries
+/// one; dist_error carries one; each is pinned by a test).
+enum class dist_errc : std::uint16_t {
+    version_mismatch = 1,      ///< peer speaks a newer protocol
+    fingerprint_mismatch = 2,  ///< worker built under a different config
+    session_mismatch = 3,      ///< stale checkpoint / welcome from old run
+    bad_sequence = 4,          ///< seq gap or replay below resume floor
+    malformed_message = 5,     ///< payload failed validation
+    unknown_worker = 6,        ///< hello from a worker id we did not spawn
+    worker_failed = 7,         ///< restarts exhausted; the bin cannot close
+    connection_lost = 8,       ///< peer EOF / reset / short read
+    timed_out = 9,             ///< blocking read exceeded its deadline
+    handshake_failed = 10,     ///< welcome never arrived / was a NAK
+};
+
+const char* to_string(dist_errc c) noexcept;
+
+/// Thrown by the transport and parse layers; what() includes
+/// to_string(code).
+class dist_error : public std::runtime_error {
+public:
+    dist_error(dist_errc code, const std::string& detail);
+    dist_errc code() const noexcept { return code_; }
+
+private:
+    dist_errc code_;
+};
+
+// ---- message structs ----
+
+/// Worker → router, first message on every connection.
+struct hello_message {
+    std::uint32_t worker_id = 0;
+    std::uint32_t worker_count = 0;
+    std::uint64_t od_count = 0;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t session = 0;
+    /// Last sequence number whose effects the worker's checkpoint
+    /// durably holds (0 when it has none).
+    std::uint64_t durable_seq = 0;
+    /// A bin-close partial captured in the checkpoint whose DPRT may
+    /// never have reached the router (crash between checkpoint and
+    /// send). The router consumes it if it is still waiting on this
+    /// ordinal, otherwise ignores it.
+    struct stored_partial {
+        std::uint64_t ordinal = 0;
+        std::vector<std::uint8_t> bytes;
+    };
+    std::optional<stored_partial> partial;
+};
+
+/// Router → worker, accepts the hello.
+struct welcome_message {
+    std::uint64_t session = 0;
+    /// The worker treats resume_seq as already applied; replayed
+    /// messages numbered <= resume_seq must not reach it (the router
+    /// never sends them), and the next expected seq is resume_seq + 1.
+    std::uint64_t resume_seq = 0;
+};
+
+/// Either direction: typed rejection. The sender closes after this.
+struct nak_message {
+    dist_errc code = dist_errc::malformed_message;
+    std::string detail;
+};
+
+/// Router → worker: one routed batch for the open bin.
+struct data_message {
+    std::uint64_t seq = 0;
+    /// Codec-framed flow records (stream/flow_codec encode_records).
+    std::vector<std::uint8_t> codec;
+    /// ods[i] is the resolved OD index of the i-th decoded record;
+    /// same length as the codec batch (validated by the worker).
+    std::vector<int> ods;
+};
+
+/// Router → worker: bin-close barrier for close `ordinal`.
+struct close_bin_message {
+    std::uint64_t seq = 0;
+    std::uint64_t ordinal = 0;
+};
+
+/// Worker → router: the barrier reply for close `ordinal`.
+struct partial_message {
+    std::uint64_t ordinal = 0;
+    std::uint64_t last_seq = 0;     ///< the DCLS seq the worker applied
+    std::uint64_t durable_seq = 0;  ///< 0 when checkpointing is off
+    std::vector<std::uint8_t> partial;  ///< od_shard_set::save() bytes
+};
+
+/// Worker → router: durable_seq advanced (checkpoint hit disk).
+struct ack_message {
+    std::uint64_t durable_seq = 0;
+};
+
+/// Router → worker: clean shutdown.
+struct bye_message {};
+
+using message = std::variant<hello_message, welcome_message, nak_message,
+                             data_message, close_bin_message, partial_message,
+                             ack_message, bye_message>;
+
+// ---- pure encode / parse (no sockets; the corruption sweep drives
+// ---- these directly) ----
+
+/// One framed message: a single io::write_section with the type's tag
+/// and version = protocol_version.
+std::vector<std::uint8_t> encode_message(const message& m);
+
+/// Parse exactly one framed message from `bytes`. Throws
+/// dist_error{malformed_message} on any framing, checksum, tag,
+/// version, length, or payload inconsistency — including trailing
+/// bytes after the section (the transport hands in exactly one frame).
+message parse_message(std::span<const std::uint8_t> bytes);
+
+// ---- blocking socket transport ----
+
+/// Write all of `bytes` to `fd`. Throws dist_error{connection_lost}
+/// on EPIPE/reset, dist_error{timed_out} when SO_SNDTIMEO expires.
+void send_bytes(int fd, std::span<const std::uint8_t> bytes);
+
+/// encode_message + send_bytes.
+void send_message(int fd, const message& m);
+
+/// Read one framed message: the 24-byte section header, then the
+/// payload (capped at max_message_bytes), then parse_message over the
+/// whole frame. `buf` is reused across calls. Throws
+/// dist_error{connection_lost} on EOF mid-frame or clean EOF,
+/// dist_error{timed_out} when SO_RCVTIMEO expires,
+/// dist_error{malformed_message} on parse failure.
+message read_message(int fd, std::vector<std::uint8_t>& buf);
+
+}  // namespace tfd::dist

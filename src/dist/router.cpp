@@ -1,0 +1,431 @@
+#include "dist/router.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <random>
+#include <stdexcept>
+#include <system_error>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "dist/worker.h"
+#include "io/wire.h"
+#include "stream/flow_codec.h"
+
+namespace tfd::dist {
+
+namespace {
+
+std::uint64_t mint_session() {
+    std::random_device rd;
+    std::uint64_t s = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    s ^= static_cast<std::uint64_t>(getpid()) << 16;
+    s ^= static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return s ? s : 1;
+}
+
+void set_socket_deadlines(int fd, std::uint32_t timeout_ms) {
+    if (timeout_ms > 0) {
+        timeval tv{};
+        tv.tv_sec = timeout_ms / 1000;
+        tv.tv_usec = static_cast<long>(timeout_ms % 1000) * 1000;
+        setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void try_send_nak(int fd, dist_errc code, const std::string& detail) {
+    try {
+        send_message(fd, nak_message{code, detail});
+    } catch (const dist_error&) {
+    }
+}
+
+}  // namespace
+
+shard_router::shard_router(int od_count, std::uint64_t config_fingerprint,
+                           router_options opts)
+    : od_count_(od_count),
+      fingerprint_(config_fingerprint),
+      opts_(std::move(opts)),
+      collector_(od_count, 1) {
+    if (opts_.workers == 0)
+        throw std::invalid_argument("dist: workers must be >= 1");
+
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        throw std::system_error(errno, std::generic_category(), "socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+        listen(listen_fd_, static_cast<int>(opts_.workers)) != 0) {
+        const int err = errno;
+        close(listen_fd_);
+        throw std::system_error(err, std::generic_category(), "bind/listen");
+    }
+    socklen_t len = sizeof(addr);
+    getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    session_ = mint_session();
+
+    slots_.resize(opts_.workers);
+    try {
+        for (std::uint32_t w = 0; w < opts_.workers; ++w) spawn(w);
+        for (std::uint32_t w = 0; w < opts_.workers; ++w)
+            accept_and_handshake();
+    } catch (...) {
+        for (auto& s : slots_) {
+            if (s.fd >= 0) close(s.fd);
+            if (s.pid > 0) {
+                kill(s.pid, SIGKILL);
+                waitpid(s.pid, nullptr, 0);
+            }
+        }
+        close(listen_fd_);
+        throw;
+    }
+    set_alive_gauge();
+}
+
+shard_router::~shard_router() {
+    for (auto& s : slots_) {
+        if (s.fd < 0) continue;
+        try {
+            send_message(s.fd, bye_message{});
+        } catch (const dist_error&) {
+        }
+        close(s.fd);
+        s.fd = -1;
+    }
+    for (auto& s : slots_) {
+        if (s.pid > 0) {
+            waitpid(s.pid, nullptr, 0);
+            s.pid = -1;
+        }
+    }
+    close(listen_fd_);
+    set_alive_gauge();
+}
+
+int shard_router::worker_pid(std::uint32_t w) const {
+    if (w >= slots_.size()) throw std::out_of_range("dist: worker index");
+    return static_cast<int>(slots_[w].pid);
+}
+
+void shard_router::spawn(std::uint32_t w) {
+    const pid_t pid = fork();
+    if (pid < 0)
+        throw std::system_error(errno, std::generic_category(), "fork");
+    if (pid == 0) {
+        // Child: drop every inherited router fd, run the worker, and
+        // _exit so the parent's destructors/atexit never run here.
+        close(listen_fd_);
+        for (const auto& s : slots_)
+            if (s.fd >= 0) close(s.fd);
+        worker_options o;
+        o.worker_id = w;
+        o.worker_count = static_cast<std::uint32_t>(slots_.size());
+        o.od_count = od_count_;
+        o.fingerprint = fingerprint_;
+        o.session = session_;
+        o.port = port_;
+        o.state_dir = opts_.state_dir;
+        o.checkpoint_every_frames = opts_.checkpoint_every_frames;
+        o.io_timeout_ms = 0;  // a worker just waits for its router
+        _exit(worker_main(o));
+    }
+    slots_[w].pid = pid;
+}
+
+std::uint32_t shard_router::accept_and_handshake() {
+    pollfd pl{listen_fd_, POLLIN, 0};
+    for (;;) {
+        const int rc = poll(&pl, 1, static_cast<int>(opts_.io_timeout_ms));
+        if (rc > 0) break;
+        if (rc == 0) throw dist_error(dist_errc::timed_out, "accept");
+        if (errno != EINTR)
+            throw std::system_error(errno, std::generic_category(), "poll");
+    }
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0)
+        throw dist_error(dist_errc::connection_lost, "accept failed");
+    set_socket_deadlines(fd, opts_.io_timeout_ms);
+    try {
+        const message m = read_message(fd, read_buf_);
+        const auto* h = std::get_if<hello_message>(&m);
+        const auto reject = [&](dist_errc code, const std::string& detail) {
+            try_send_nak(fd, code, detail);
+            throw dist_error(code, detail);
+        };
+        if (h == nullptr)
+            reject(dist_errc::handshake_failed, "expected hello");
+        if (h->worker_id >= slots_.size())
+            reject(dist_errc::unknown_worker,
+                   "worker " + std::to_string(h->worker_id));
+        slot& s = slots_[h->worker_id];
+        if (s.fd >= 0)
+            reject(dist_errc::unknown_worker, "already connected");
+        if (h->session != session_)
+            reject(dist_errc::session_mismatch, "stale session");
+        if (h->fingerprint != fingerprint_)
+            reject(dist_errc::fingerprint_mismatch, "config fingerprint");
+        if (h->worker_count != slots_.size() ||
+            h->od_count != static_cast<std::uint64_t>(od_count_))
+            reject(dist_errc::malformed_message, "topology mismatch");
+        if (h->durable_seq >= s.next_seq)
+            reject(dist_errc::bad_sequence, "durable ahead of stream");
+
+        // The worker's checkpoint is authoritative for what it holds;
+        // the barrier floor is authoritative for what must stay
+        // forgotten (that state was already merged).
+        s.durable = h->durable_seq;
+        const std::uint64_t resume = std::max(s.durable, s.barrier_floor);
+        send_message(fd, welcome_message{session_, resume});
+        if (h->partial) {
+            partial_message p;
+            p.ordinal = h->partial->ordinal;
+            p.last_seq = h->durable_seq;
+            p.durable_seq = h->durable_seq;
+            p.partial = h->partial->bytes;
+            s.stashed_partial = std::move(p);
+        } else {
+            s.stashed_partial.reset();
+        }
+        for (const auto& rm : s.retained) {
+            if (rm.seq <= resume) continue;
+            send_bytes(fd, rm.bytes);
+            ++counters_.frames_replayed;
+        }
+        s.fd = fd;
+        return h->worker_id;
+    } catch (...) {
+        close(fd);
+        throw;
+    }
+}
+
+void shard_router::recover(std::uint32_t w, const char* why) {
+    slot& s = slots_[w];
+    for (;;) {
+        if (s.fd >= 0) {
+            close(s.fd);
+            s.fd = -1;
+        }
+        if (s.pid > 0) {
+            kill(s.pid, SIGKILL);
+            waitpid(s.pid, nullptr, 0);
+            s.pid = -1;
+        }
+        set_alive_gauge();
+        if (++s.restarts > opts_.max_restarts_per_worker)
+            throw dist_error(dist_errc::worker_failed,
+                             "worker " + std::to_string(w) +
+                                 " exceeded restart budget (" + why + ")");
+        ++counters_.worker_restarts;
+        if (opts_.worker_restarts_total) opts_.worker_restarts_total->inc();
+        const std::uint64_t replayed_before = counters_.frames_replayed;
+        spawn(w);
+        try {
+            if (accept_and_handshake() != w) continue;
+        } catch (const dist_error&) {
+            continue;
+        }
+        set_alive_gauge();
+        if (opts_.on_worker_restart) {
+            worker_restart_info info;
+            info.worker_id = w;
+            info.restarts = s.restarts;
+            info.resume_seq = std::max(s.durable, s.barrier_floor);
+            info.replayed = counters_.frames_replayed - replayed_before;
+            opts_.on_worker_restart(info);
+        }
+        return;
+    }
+}
+
+void shard_router::send_retained(std::uint32_t w,
+                                 std::vector<std::uint8_t> bytes) {
+    slot& s = slots_[w];
+    s.retained.push_back({s.next_seq, std::move(bytes)});
+    ++s.next_seq;
+    try {
+        send_bytes(s.fd, s.retained.back().bytes);
+    } catch (const dist_error& e) {
+        // The message is already retained: recovery's replay delivers
+        // it along with everything else above the resume floor.
+        recover(w, e.what());
+    }
+}
+
+void shard_router::drain_acks(std::uint32_t w) {
+    slot& s = slots_[w];
+    for (;;) {
+        pollfd pl{s.fd, POLLIN, 0};
+        const int rc = poll(&pl, 1, 0);
+        if (rc < 0 && errno == EINTR) continue;
+        if (rc <= 0 || !(pl.revents & (POLLIN | POLLERR | POLLHUP))) return;
+        message m;
+        try {
+            m = read_message(s.fd, read_buf_);
+        } catch (const dist_error& e) {
+            recover(w, e.what());
+            return;
+        }
+        if (const auto* a = std::get_if<ack_message>(&m)) {
+            s.durable = std::max(s.durable, a->durable_seq);
+            continue;
+        }
+        if (std::holds_alternative<nak_message>(m)) {
+            ++counters_.naks_received;
+            recover(w, "worker nak");
+            return;
+        }
+        recover(w, "unexpected message between barriers");
+        return;
+    }
+}
+
+partial_message shard_router::await_partial(std::uint32_t w,
+                                            std::uint64_t ordinal) {
+    slot& s = slots_[w];
+    for (;;) {
+        if (s.stashed_partial) {
+            partial_message p = std::move(*s.stashed_partial);
+            s.stashed_partial.reset();
+            // A stash for an older ordinal answers a barrier that
+            // already completed — drop it and keep reading.
+            if (p.ordinal == ordinal) return p;
+        }
+        message m;
+        try {
+            m = read_message(s.fd, read_buf_);
+        } catch (const dist_error& e) {
+            recover(w, e.what());
+            continue;
+        }
+        if (const auto* a = std::get_if<ack_message>(&m)) {
+            s.durable = std::max(s.durable, a->durable_seq);
+            continue;
+        }
+        if (auto* p = std::get_if<partial_message>(&m)) {
+            if (p->ordinal == ordinal) return std::move(*p);
+            continue;  // duplicate from before a restart
+        }
+        if (std::holds_alternative<nak_message>(m)) {
+            ++counters_.naks_received;
+            recover(w, "worker nak at barrier");
+            continue;
+        }
+        recover(w, "unexpected message at barrier");
+    }
+}
+
+void shard_router::complete_barrier(std::uint32_t w,
+                                    const partial_message& p) {
+    slot& s = slots_[w];
+    s.durable = std::max(s.durable, p.durable_seq);
+    s.barrier_floor = s.close_seq;
+    while (!s.retained.empty() && s.retained.front().seq <= s.barrier_floor)
+        s.retained.pop_front();
+    s.routed_open = 0;
+    s.stashed_partial.reset();
+}
+
+void shard_router::set_alive_gauge() {
+    if (opts_.workers_alive == nullptr) return;
+    std::uint32_t alive = 0;
+    for (const auto& s : slots_)
+        if (s.fd >= 0) ++alive;
+    opts_.workers_alive->set(alive);
+}
+
+void shard_router::accumulate(std::span<const flow::flow_record> records,
+                              std::span<const int> ods) {
+    if (records.size() != ods.size())
+        throw std::invalid_argument("dist: records/ods size mismatch");
+    const std::uint32_t W = static_cast<std::uint32_t>(slots_.size());
+    for (auto& s : slots_) s.route.clear();
+    for (std::size_t i = 0; i < ods.size(); ++i) {
+        const int od = ods[i];
+        if (od < 0) continue;  // resolver drop, counted upstream
+        if (od >= od_count_) {
+            ++bad_od_;
+            continue;
+        }
+        slots_[static_cast<std::uint32_t>(od) % W].route.push_back(
+            static_cast<std::uint32_t>(i));
+    }
+    for (std::uint32_t w = 0; w < W; ++w) {
+        slot& s = slots_[w];
+        if (s.route.empty()) continue;
+        gather_records_.clear();
+        gather_ods_.clear();
+        for (const std::uint32_t i : s.route) {
+            gather_records_.push_back(records[i]);
+            gather_ods_.push_back(ods[i]);
+        }
+        data_message d;
+        d.seq = s.next_seq;
+        d.codec = stream::encode_records(gather_records_,
+                                         {opts_.records_per_frame});
+        d.ods = gather_ods_;
+        const std::uint64_t n = s.route.size();
+        send_retained(w, encode_message(message{std::move(d)}));
+        ++counters_.frames_routed;
+        s.routed_open += n;
+        pending_ += n;
+        // Opportunistically drain piled-up checkpoint acks so neither
+        // side can deadlock on full TCP buffers.
+        drain_acks(w);
+    }
+}
+
+void shard_router::harvest(stream::bin_statistics& out) {
+    if (pending_ == 0) {
+        // Gap bin: nothing was routed, so the barrier is free — the
+        // empty collector harvests the same zeros an idle in-process
+        // od_shard_set would.
+        collector_.harvest(out);
+        return;
+    }
+    ++close_ordinal_;
+    for (std::uint32_t w = 0; w < slots_.size(); ++w) {
+        slot& s = slots_[w];
+        if (s.routed_open == 0) continue;
+        close_bin_message c;
+        c.seq = s.next_seq;
+        c.ordinal = close_ordinal_;
+        s.close_seq = c.seq;
+        send_retained(w, encode_message(message{c}));
+    }
+    // Merge in worker order — deterministic, and exact regardless of
+    // order anyway: the slices are OD-disjoint, so every merge lands
+    // in an empty cell (a bit-exact copy, see od_shard_set::merge_saved).
+    for (std::uint32_t w = 0; w < slots_.size(); ++w) {
+        slot& s = slots_[w];
+        if (s.routed_open == 0) continue;
+        const partial_message p = await_partial(w, close_ordinal_);
+        io::wire_reader r(p.partial, "worker partial");
+        collector_.merge_saved(r);
+        complete_barrier(w, p);
+    }
+    collector_.harvest(out);
+    pending_ = 0;
+}
+
+}  // namespace tfd::dist

@@ -1,0 +1,192 @@
+// tfd::dist — the shard router: the in-process side of multi-process
+// OD sharding.
+//
+// A shard_router implements stream::dist_backend: the pipeline's
+// accumulate/harvest boundary stays exactly where it was, but behind
+// it the open bin lives in W forked worker processes, each owning the
+// OD-residue slice { od : od % W == w }. The router
+//
+//   * routes each resolved batch by od % W, preserving input order
+//     within every worker's stream (workers never re-resolve; the OD
+//     indices travel on the wire next to the codec-framed records);
+//   * numbers every message per worker and RETAINS the encoded bytes
+//     until the bin-close barrier that covers them completes — a
+//     worker acking a checkpoint shrinks how much is replayed after a
+//     crash, never how much the router can replay (a lost worker
+//     checkpoint must always be recoverable from the router's
+//     buffer);
+//   * at harvest, sends DCLS to every worker that got records this
+//     bin, collects their od_shard_set::save() partials, merges them
+//     in worker order into a local collector set (merge into empty
+//     cells is a bit-exact copy), and harvests that — so detections
+//     are bit-identical to the in-process path for any W (pinned by
+//     tests/dist/parity_test.cpp for W in {1,2,4});
+//   * respawns a crashed worker synchronously: SIGKILL leftovers,
+//     reap, fork, handshake, replay retained messages above the
+//     worker's resume floor (max of its durable checkpoint seq and
+//     the last completed barrier), consuming a checkpoint-stored
+//     partial offered in the hello when the barrier it answers is
+//     still pending. A bin never closes approximately: either every
+//     partial arrives (possibly after restarts) or harvest throws
+//     dist_error{worker_failed} once max_restarts_per_worker is
+//     exhausted.
+//
+// Bins with zero routed records skip the network entirely — the
+// collector harvests local zeros, bit-identical to an idle
+// od_shard_set.
+//
+// Threading: not thread-safe; drive it from the pipeline thread, like
+// the od_shard_set it replaces. The router forks its workers at
+// construction, so construct it BEFORE heavyweight state if you care
+// about child copy-on-write size, and always before the pipeline that
+// uses it (pipeline_options.dist is a non-owning pointer).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/protocol.h"
+#include "obs/metrics.h"
+#include "stream/pipeline.h"
+#include "stream/shard.h"
+
+namespace tfd::dist {
+
+/// Passed to router_options::on_worker_restart after every successful
+/// respawn + handshake.
+struct worker_restart_info {
+    std::uint32_t worker_id = 0;
+    std::uint64_t restarts = 0;    ///< lifetime restarts of this slot
+    std::uint64_t resume_seq = 0;  ///< replay floor granted in the welcome
+    std::uint64_t replayed = 0;    ///< retained messages re-sent
+};
+
+struct router_options {
+    /// Worker process count; OD od is owned by worker od % workers.
+    std::uint32_t workers = 2;
+    /// Worker checkpoint directory; "" disables worker checkpoints
+    /// (crash recovery then always replays from the last barrier).
+    std::string state_dir;
+    /// Worker checkpoint cadence in data frames (0 = bin close only).
+    std::uint32_t checkpoint_every_frames = 0;
+    /// Restarts tolerated per worker before harvest/accumulate throw
+    /// dist_error{worker_failed}.
+    std::uint32_t max_restarts_per_worker = 5;
+    /// Deadline for blocking router-side socket operations (accept,
+    /// partial wait, handshake).
+    std::uint32_t io_timeout_ms = 10000;
+    /// Codec frame size for forwarded batches.
+    std::size_t records_per_frame = 4096;
+    /// Observability hooks (all optional). workers_alive is set to the
+    /// number of connected workers; worker_restarts_total increments
+    /// per respawn.
+    obs::gauge* workers_alive = nullptr;
+    obs::counter* worker_restarts_total = nullptr;
+    std::function<void(const worker_restart_info&)> on_worker_restart;
+};
+
+/// Lifetime transport counters, for tests and bench reporting.
+struct router_counters {
+    std::uint64_t frames_routed = 0;    ///< DDAT messages sent (first send)
+    std::uint64_t frames_replayed = 0;  ///< retained messages re-sent
+    std::uint64_t worker_restarts = 0;
+    std::uint64_t naks_received = 0;
+};
+
+class shard_router final : public stream::dist_backend {
+public:
+    /// Binds a loopback listener, forks `opts.workers` workers and
+    /// completes every handshake before returning. Throws dist_error
+    /// or std::system_error when the fleet cannot be brought up.
+    shard_router(int od_count, std::uint64_t config_fingerprint,
+                 router_options opts = {});
+
+    /// Sends DBYE to every worker, closes the sockets and reaps the
+    /// children.
+    ~shard_router() override;
+
+    shard_router(const shard_router&) = delete;
+    shard_router& operator=(const shard_router&) = delete;
+
+    // stream::dist_backend
+    void accumulate(std::span<const flow::flow_record> records,
+                    std::span<const int> ods) override;
+    void harvest(stream::bin_statistics& out) override;
+    std::uint64_t pending_records() const override { return pending_; }
+    std::uint64_t records_dropped_bad_od() const override { return bad_od_; }
+
+    // Introspection (tests, chaos harness, bench).
+    std::uint32_t worker_count() const noexcept {
+        return static_cast<std::uint32_t>(slots_.size());
+    }
+    /// Live child pid of worker `w` (-1 between respawns). The chaos
+    /// test SIGKILLs this mid-bin.
+    int worker_pid(std::uint32_t w) const;
+    std::uint64_t session() const noexcept { return session_; }
+    const router_counters& counters() const noexcept { return counters_; }
+
+private:
+    struct retained_msg {
+        std::uint64_t seq = 0;
+        std::vector<std::uint8_t> bytes;
+    };
+    struct slot {
+        pid_t pid = -1;
+        int fd = -1;
+        std::uint64_t next_seq = 1;       ///< seq assigned to the next send
+        std::uint64_t barrier_floor = 0;  ///< seq of the last completed DCLS
+        std::uint64_t close_seq = 0;      ///< seq of the in-flight DCLS
+        std::uint64_t durable = 0;        ///< worker's acked checkpoint seq
+        std::uint64_t routed_open = 0;    ///< records routed this bin
+        std::uint64_t restarts = 0;
+        std::deque<retained_msg> retained;
+        /// A checkpoint-stored partial offered in the latest hello.
+        std::optional<partial_message> stashed_partial;
+        /// Batch-routing scratch: input indices owned by this worker.
+        std::vector<std::uint32_t> route;
+    };
+
+    void spawn(std::uint32_t w);
+    /// Accept one connection and complete its handshake; returns the
+    /// worker id it authenticated as. Throws dist_error on timeout or
+    /// a rejected hello (the connection is closed first).
+    std::uint32_t accept_and_handshake();
+    /// Tear down worker `w` and bring a replacement up (spawn +
+    /// handshake + replay), throwing worker_failed past the restart
+    /// budget.
+    void recover(std::uint32_t w, const char* why);
+    /// Append to the retained buffer and send; a send failure triggers
+    /// recover(), whose replay covers the new message.
+    void send_retained(std::uint32_t w, std::vector<std::uint8_t> bytes);
+    /// Drain DACKs that piled up in the socket buffer (prevents a
+    /// worker blocking on its send while we block on ours).
+    void drain_acks(std::uint32_t w);
+    /// Block until worker `w` delivers the partial for `ordinal`,
+    /// recovering through crashes.
+    partial_message await_partial(std::uint32_t w, std::uint64_t ordinal);
+    void complete_barrier(std::uint32_t w, const partial_message& p);
+    void set_alive_gauge();
+
+    int od_count_;
+    std::uint64_t fingerprint_;
+    router_options opts_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::uint64_t session_ = 0;
+    std::uint64_t pending_ = 0;
+    std::uint64_t bad_od_ = 0;
+    std::uint64_t close_ordinal_ = 0;
+    std::vector<slot> slots_;
+    stream::od_shard_set collector_;
+    router_counters counters_;
+    // Reused scratch buffers.
+    std::vector<flow::flow_record> gather_records_;
+    std::vector<int> gather_ods_;
+    std::vector<std::uint8_t> read_buf_;
+};
+
+}  // namespace tfd::dist

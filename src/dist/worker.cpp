@@ -1,0 +1,286 @@
+#include "dist/worker.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "dist/protocol.h"
+#include "io/snapshot.h"
+#include "io/wire.h"
+#include "stream/flow_codec.h"
+#include "stream/shard.h"
+
+namespace tfd::dist {
+
+namespace {
+
+constexpr std::uint32_t tag_worker_state = fourcc('D', 'W', 'S', 'T');
+constexpr std::uint16_t worker_state_version = 1;
+
+struct restored_state {
+    std::uint64_t applied_seq = 0;
+    std::optional<hello_message::stored_partial> partial;
+};
+
+/// Best-effort checkpoint restore: any failure (missing file, bad
+/// fingerprint, stale session, wire error) means "start fresh" — the
+/// router's replay buffer covers a worker with no durable state.
+restored_state try_restore(const worker_options& o,
+                           stream::od_shard_set& set) {
+    restored_state st;
+    if (o.state_dir.empty()) return st;
+    try {
+        auto snap = io::snapshot_reader::load_file(
+            worker_state_path(o.state_dir, o.worker_id), o.fingerprint);
+        if (snap.section_version(tag_worker_state) > worker_state_version)
+            return st;
+        io::wire_reader r = snap.section(tag_worker_state);
+        if (r.u64() != o.session) return st;      // a previous run's state
+        if (r.u32() != o.worker_id) return st;    // someone else's file
+        const std::uint64_t applied = r.u64();
+        std::optional<hello_message::stored_partial> partial;
+        if (r.u8()) {
+            hello_message::stored_partial p;
+            p.ordinal = r.u64();
+            const std::uint64_t n = r.varint();
+            if (n > r.remaining()) return st;
+            const auto span = r.bytes(static_cast<std::size_t>(n));
+            p.bytes.assign(span.begin(), span.end());
+            partial = std::move(p);
+        }
+        set.load(r);
+        r.expect_end();
+        st.applied_seq = applied;
+        st.partial = std::move(partial);
+    } catch (const std::exception&) {
+        stream::od_shard_set fresh(o.od_count, 1);
+        std::swap(set, fresh);
+        return {};
+    }
+    return st;
+}
+
+/// Atomic checkpoint write via io::snapshot (write .tmp + rename).
+/// Failures are swallowed: a missed checkpoint only widens replay.
+void try_checkpoint(const worker_options& o, std::uint64_t applied_seq,
+                    const std::optional<hello_message::stored_partial>& partial,
+                    const stream::od_shard_set& set) {
+    if (o.state_dir.empty()) return;
+    try {
+        io::wire_writer w;
+        w.u64(o.session);
+        w.u32(o.worker_id);
+        w.u64(applied_seq);
+        w.u8(partial ? 1 : 0);
+        if (partial) {
+            w.u64(partial->ordinal);
+            w.varint(partial->bytes.size());
+            w.bytes(partial->bytes);
+        }
+        set.save(w);
+        io::snapshot_writer snap(o.fingerprint);
+        snap.add_section(tag_worker_state, worker_state_version, w.take());
+        snap.save_file(worker_state_path(o.state_dir, o.worker_id));
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "tfd worker %u: checkpoint failed: %s\n",
+                     o.worker_id, e.what());
+    }
+}
+
+int connect_with_backoff(const worker_options& o) {
+    std::uint32_t backoff = o.connect_backoff_initial_ms;
+    for (std::uint32_t attempt = 0; attempt < o.connect_attempts; ++attempt) {
+        const int fd = socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) return -1;
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(o.port);
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        if (connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+            if (o.io_timeout_ms > 0) {
+                timeval tv{};
+                tv.tv_sec = o.io_timeout_ms / 1000;
+                tv.tv_usec = static_cast<long>(o.io_timeout_ms % 1000) * 1000;
+                setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+                setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+            }
+            const int one = 1;
+            setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+            return fd;
+        }
+        close(fd);
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+        backoff = std::min(backoff * 2, o.connect_backoff_max_ms);
+    }
+    return -1;
+}
+
+void send_nak(int fd, dist_errc code, const char* detail) {
+    try {
+        send_message(fd, nak_message{code, detail});
+    } catch (const dist_error&) {
+        // The router learns from the close either way.
+    }
+}
+
+}  // namespace
+
+std::string worker_state_path(const std::string& dir,
+                              std::uint32_t worker_id) {
+    return dir + "/worker-" + std::to_string(worker_id) + ".tfss";
+}
+
+int worker_main(const worker_options& o) {
+    try {
+        stream::od_shard_set set(o.od_count, 1);
+        restored_state st = try_restore(o, set);
+
+        const int fd = connect_with_backoff(o);
+        if (fd < 0) {
+            std::fprintf(stderr, "tfd worker %u: cannot reach router\n",
+                         o.worker_id);
+            return 3;
+        }
+
+        hello_message hello;
+        hello.worker_id = o.worker_id;
+        hello.worker_count = o.worker_count;
+        hello.od_count = static_cast<std::uint64_t>(o.od_count);
+        hello.fingerprint = o.fingerprint;
+        hello.session = o.session;
+        hello.durable_seq = st.applied_seq;
+        hello.partial = st.partial;
+        send_message(fd, hello);
+
+        std::vector<std::uint8_t> buf;
+        const message first = read_message(fd, buf);
+        if (const auto* nak = std::get_if<nak_message>(&first)) {
+            std::fprintf(stderr, "tfd worker %u: rejected: %s\n", o.worker_id,
+                         nak->detail.c_str());
+            close(fd);
+            return 2;
+        }
+        const auto* welcome = std::get_if<welcome_message>(&first);
+        if (welcome == nullptr || welcome->session != o.session) {
+            send_nak(fd, dist_errc::handshake_failed, "expected welcome");
+            close(fd);
+            return 2;
+        }
+        // resume_seq is the router's replay floor: everything up to it
+        // is already reflected in our restored state (or was part of a
+        // completed barrier and must stay forgotten).
+        std::uint64_t applied = welcome->resume_seq;
+        if (applied != st.applied_seq) {
+            // Our checkpoint is behind a completed barrier (it held a
+            // bin the router already merged) — drop the stale open bin.
+            set.clear();
+            st.partial.reset();
+        }
+
+        std::optional<hello_message::stored_partial> last_partial =
+            std::move(st.partial);
+        std::uint32_t frames_since_ckpt = 0;
+        std::vector<flow::flow_record> records;
+
+        for (;;) {
+            message m;
+            try {
+                m = read_message(fd, buf);
+            } catch (const dist_error& e) {
+                close(fd);
+                if (e.code() == dist_errc::malformed_message) return 4;
+                return 3;  // router gone; it respawns us if it still runs
+            }
+
+            if (std::holds_alternative<bye_message>(m)) {
+                close(fd);
+                return 0;
+            }
+
+            if (const auto* d = std::get_if<data_message>(&m)) {
+                if (d->seq != applied + 1) {
+                    send_nak(fd, dist_errc::bad_sequence, "data seq gap");
+                    close(fd);
+                    return 4;
+                }
+                try {
+                    records = stream::decode_records(d->codec);
+                } catch (const stream::codec_error&) {
+                    send_nak(fd, dist_errc::malformed_message, "codec");
+                    close(fd);
+                    return 4;
+                }
+                if (records.size() != d->ods.size()) {
+                    send_nak(fd, dist_errc::malformed_message,
+                             "record/od count skew");
+                    close(fd);
+                    return 4;
+                }
+                set.accumulate(records, d->ods);
+                applied = d->seq;
+                // Data for a new bin means the previous barrier
+                // completed — the stored partial can never be asked
+                // for again.
+                last_partial.reset();
+                if (o.checkpoint_every_frames > 0 &&
+                    ++frames_since_ckpt >= o.checkpoint_every_frames &&
+                    !o.state_dir.empty()) {
+                    frames_since_ckpt = 0;
+                    try_checkpoint(o, applied, last_partial, set);
+                    send_message(fd, ack_message{applied});
+                }
+                continue;
+            }
+
+            if (const auto* c = std::get_if<close_bin_message>(&m)) {
+                if (c->seq != applied + 1) {
+                    send_nak(fd, dist_errc::bad_sequence, "close seq gap");
+                    close(fd);
+                    return 4;
+                }
+                applied = c->seq;
+                io::wire_writer w;
+                set.save(w);
+                hello_message::stored_partial p;
+                p.ordinal = c->ordinal;
+                p.bytes = w.take();
+                set.clear();
+                last_partial = std::move(p);
+                frames_since_ckpt = 0;
+                // Checkpoint BEFORE the send: a crash in the gap is
+                // recovered by re-offering the stored partial in the
+                // next hello instead of replaying the whole bin.
+                try_checkpoint(o, applied, last_partial, set);
+                partial_message reply;
+                reply.ordinal = last_partial->ordinal;
+                reply.last_seq = applied;
+                reply.durable_seq = o.state_dir.empty() ? 0 : applied;
+                reply.partial = last_partial->bytes;
+                send_message(fd, reply);
+                continue;
+            }
+
+            send_nak(fd, dist_errc::malformed_message, "unexpected type");
+            close(fd);
+            return 4;
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "tfd worker %u: fatal: %s\n", o.worker_id,
+                     e.what());
+        return 4;
+    }
+}
+
+}  // namespace tfd::dist

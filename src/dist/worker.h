@@ -1,0 +1,75 @@
+// tfd::dist — the shard worker process.
+//
+// A worker owns the OD-residue slice { od : od % worker_count ==
+// worker_id } of one open bin. It is deliberately near-stateless:
+// its whole world is an od_shard_set for the current bin, rebuilt on
+// demand either from its own checkpoint or from the router's retained
+// replay buffer — which is what makes crash recovery bit-exact (see
+// src/dist/README.md for the replay contract).
+//
+// worker_main() is what a forked child runs: connect to the router's
+// loopback port with capped exponential backoff, restore the
+// checkpoint if one is valid, handshake (DHLO/DWEL), then apply
+// messages until DBYE or the connection dies. The accumulation path
+// is exactly od_shard_set::accumulate with shards = 1, so results are
+// bit-identical to in-process accumulation of the same record
+// sequence by construction.
+//
+// Checkpointing (optional, state_dir != ""): an io::snapshot with one
+// DWST section holding {session, worker_id, applied_seq, optional
+// bin-close partial, open-bin od_shard_set state}. Written atomically
+// every checkpoint_every_frames data frames (followed by a DACK so
+// the router can shrink replay) and at every bin close — there the
+// partial bytes are stored BEFORE the DPRT is sent, so a crash
+// between checkpoint and send is recovered by re-offering the stored
+// partial in the next DHLO.
+//
+// Fork safety: the parent constructs the router (and its threads)
+// first, but a 1-shard od_shard_set never touches the shared thread
+// pool (linalg::thread_pool::run() executes single-task work inline),
+// so the forked child never blocks on a mutex the fork snapshotted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tfd::dist {
+
+struct worker_options {
+    std::uint32_t worker_id = 0;
+    std::uint32_t worker_count = 1;
+    int od_count = 0;
+    /// Pipeline config fingerprint; must match the router's and gates
+    /// checkpoint restores.
+    std::uint64_t fingerprint = 0;
+    /// Run identity minted by the router; a checkpoint from another
+    /// session is discarded, a welcome from another session is fatal.
+    std::uint64_t session = 0;
+    /// Router's loopback TCP port.
+    std::uint16_t port = 0;
+    /// Checkpoint directory; "" disables checkpointing (recovery then
+    /// relies entirely on router replay — still bit-exact).
+    std::string state_dir;
+    /// Checkpoint cadence in applied data frames; 0 = only at bin
+    /// close.
+    std::uint32_t checkpoint_every_frames = 0;
+    /// Connect retry policy: capped exponential backoff.
+    std::uint32_t connect_attempts = 40;
+    std::uint32_t connect_backoff_initial_ms = 5;
+    std::uint32_t connect_backoff_max_ms = 250;
+    /// SO_RCVTIMEO/SO_SNDTIMEO on the established connection; 0 =
+    /// block forever (a worker with nothing to do just waits).
+    std::uint32_t io_timeout_ms = 0;
+};
+
+/// The worker's checkpoint path inside `dir`.
+std::string worker_state_path(const std::string& dir, std::uint32_t worker_id);
+
+/// Run one worker to completion. Exit codes (the router logs them):
+///   0  clean shutdown (DBYE)
+///   2  handshake rejected (version/fingerprint/session NAK)
+///   3  connection lost (router gone; the router respawns on its side)
+///   4  protocol violation (bad sequence, malformed payload)
+int worker_main(const worker_options& opts);
+
+}  // namespace tfd::dist

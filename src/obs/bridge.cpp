@@ -21,6 +21,9 @@ pipeline_bridge::pipeline_bridge(stream::stream_pipeline& pipeline,
         m_.records_reordered = &reg->get_counter(
             "tfd_records_reordered_total",
             "Stragglers accepted into a held reorder bin");
+        m_.records_dropped_bad_od = &reg->get_counter(
+            "tfd_records_dropped_bad_od_total",
+            "Records dropped: OD index out of range (broken producer)");
         m_.drops_unknown_ingress = &reg->get_counter(
             "tfd_resolver_drops_unknown_ingress_total",
             "Records dropped: source address outside every PoP");
@@ -190,6 +193,7 @@ void pipeline_bridge::sync_metrics() {
     m_.records_accumulated->set_to(pm.records_accumulated);
     m_.records_late->set_to(pm.late_records);
     m_.records_reordered->set_to(pm.records_reordered);
+    m_.records_dropped_bad_od->set_to(pm.records_dropped_bad_od);
     m_.drops_unknown_ingress->set_to(pm.resolver_drops.unknown_ingress);
     m_.drops_unresolvable_egress->set_to(pm.resolver_drops.unresolvable_egress);
     m_.bins_emitted->set_to(pm.bins_emitted);

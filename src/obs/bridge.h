@@ -123,6 +123,7 @@ private:
         counter* records_accumulated = nullptr;
         counter* records_late = nullptr;
         counter* records_reordered = nullptr;
+        counter* records_dropped_bad_od = nullptr;
         counter* drops_unknown_ingress = nullptr;
         counter* drops_unresolvable_egress = nullptr;
         counter* bins_emitted = nullptr;

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -45,10 +46,18 @@ void respond(int fd, int status, const char* reason,
 }  // namespace
 
 http_server::http_server(http_options opts) : opts_(std::move(opts)) {
-    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd_ < 0)
+    if (pipe(wake_fd_) != 0)
         throw std::system_error(errno, std::generic_category(),
+                                "http_server: pipe");
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        const int err = errno;
+        close(wake_fd_[0]);
+        close(wake_fd_[1]);
+        wake_fd_[0] = wake_fd_[1] = -1;
+        throw std::system_error(err, std::generic_category(),
                                 "http_server: socket");
+    }
     const int one = 1;
     setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 
@@ -62,6 +71,9 @@ http_server::http_server(http_options opts) : opts_(std::move(opts)) {
         const int err = errno;
         close(listen_fd_);
         listen_fd_ = -1;
+        close(wake_fd_[0]);
+        close(wake_fd_[1]);
+        wake_fd_[0] = wake_fd_[1] = -1;
         throw std::system_error(err, std::generic_category(),
                                 "http_server: cannot bind port " +
                                     std::to_string(opts_.port));
@@ -79,26 +91,49 @@ http_server::~http_server() { stop(); }
 void http_server::stop() {
     if (!thread_.joinable()) return;
     stopping_.store(true, std::memory_order_relaxed);
-    // Unblock accept(): shutdown is not enough for a listening socket
-    // on all kernels, so close the fd too — the accept loop treats the
-    // resulting error + stopping_ flag as a clean exit.
-    shutdown(listen_fd_, SHUT_RDWR);
+    // Wake the serve loop through the self-pipe instead of closing the
+    // listener out from under it: closing here would free the fd number
+    // while the thread may still be blocked on it, and a concurrently
+    // opened socket could be recycled into that number and accepted
+    // from. The fds are closed only after the thread has joined.
+    for (;;) {
+        const char byte = 0;
+        const ssize_t n = write(wake_fd_[1], &byte, 1);
+        if (n == 1 || (n < 0 && errno != EINTR)) break;
+    }
+    thread_.join();
     close(listen_fd_);
     listen_fd_ = -1;
-    thread_.join();
+    close(wake_fd_[0]);
+    close(wake_fd_[1]);
+    wake_fd_[0] = wake_fd_[1] = -1;
 }
 
 void http_server::serve() {
     for (;;) {
+        pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fd_[0], POLLIN, 0}};
+        const int ready = poll(fds, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR) continue;
+            return;
+        }
+        if (stopping_.load(std::memory_order_relaxed) ||
+            (fds[1].revents & (POLLIN | POLLERR | POLLHUP)))
+            return;
+        if (!(fds[0].revents & POLLIN)) continue;
         const int fd = accept(listen_fd_, nullptr, nullptr);
         if (fd < 0) {
             if (stopping_.load(std::memory_order_relaxed)) return;
-            if (errno == EINTR || errno == ECONNABORTED) continue;
+            if (errno == EINTR || errno == ECONNABORTED ||
+                errno == EAGAIN || errno == EWOULDBLOCK)
+                continue;
             return;  // listener is gone
         }
         // Bound how long a slow client can hold the single server
         // thread (this is a diagnostics endpoint, not a web server).
-        timeval tv{.tv_sec = 2, .tv_usec = 0};
+        timeval tv{};
+        tv.tv_sec = opts_.recv_timeout_ms / 1000;
+        tv.tv_usec = static_cast<long>(opts_.recv_timeout_ms % 1000) * 1000;
         setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
         setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
         handle_connection(fd);
@@ -115,6 +150,20 @@ void http_server::handle_connection(int fd) {
         const ssize_t n = recv(fd, buf, sizeof buf, 0);
         if (n <= 0) break;
         req.append(buf, static_cast<std::size_t>(n));
+    }
+    // Dispatch only on a complete header block. A partial buffer (the
+    // recv timeout fired mid-request, the client closed early, or the
+    // request overflowed kMaxRequestBytes) must not be parsed as a
+    // request line — a truncated path that happens to contain two
+    // spaces would be served as if it were what the client meant.
+    if (req.find("\r\n\r\n") == std::string::npos &&
+        req.find("\n\n") == std::string::npos) {
+        if (req.empty()) return;  // nothing sent; just close
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        respond(fd, 408, "Request Timeout", "text/plain",
+                "incomplete request\n");
+        return;
     }
     const std::size_t line_end = req.find_first_of("\r\n");
     if (line_end == std::string::npos) return;  // not HTTP; just close

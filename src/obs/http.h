@@ -40,6 +40,10 @@ struct http_options {
     /// /healthz body provider; must be safe to call from the server
     /// thread. Null serves a plain {"status":"ok"}.
     std::function<std::string()> healthz;
+    /// How long one connection may sit without delivering a complete
+    /// request header block before it is answered 408 and closed
+    /// (SO_RCVTIMEO on the accepted socket).
+    std::uint32_t recv_timeout_ms = 2000;
 };
 
 class http_server {
@@ -55,13 +59,22 @@ public:
     /// The bound port (the ephemeral one when opts.port was 0).
     std::uint16_t port() const noexcept { return port_; }
 
-    /// Requests answered so far (any status).
+    /// Requests answered so far (any status, including 408s).
     std::uint64_t requests_served() const noexcept {
         return requests_.load(std::memory_order_relaxed);
     }
 
+    /// Connections that sent some bytes but never a complete header
+    /// block (recv timeout, early close, or an oversized request) —
+    /// each was answered 408 and closed without dispatch.
+    std::uint64_t requests_timed_out() const noexcept {
+        return timeouts_.load(std::memory_order_relaxed);
+    }
+
     /// Stop accepting and join the server thread (idempotent; the
-    /// destructor calls it).
+    /// destructor calls it). The listener fd is closed only after the
+    /// thread joins — the serve loop is woken through a self-pipe, so
+    /// no concurrently recycled fd can ever be accepted from.
     void stop();
 
 private:
@@ -70,10 +83,12 @@ private:
 
     http_options opts_;
     int listen_fd_ = -1;
+    int wake_fd_[2] = {-1, -1};  ///< self-pipe: stop() -> serve() wakeup
     std::uint16_t port_ = 0;
     std::thread thread_;
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> timeouts_{0};
 };
 
 }  // namespace tfd::obs

@@ -25,12 +25,13 @@ std::uint64_t now_ns() {
 // to v2 when the single held reorder bin became a ring of up to
 // reorder_window_bins held bins (and PIPE grew the quarantine
 // counters); DETC moved to v2 when the detector grew the drift
-// monitor / recalibration state block. Older versions are rejected as
-// unsupported_version rather than guessed at.
+// monitor / recalibration state block; PIPE moved to v3 when the
+// metrics block grew records_dropped_bad_od. Older versions are
+// rejected as unsupported_version rather than guessed at.
 constexpr std::uint32_t kTagPipeline = 0x45504950u;
 constexpr std::uint32_t kTagShards = 0x44524853u;
 constexpr std::uint32_t kTagDetector = 0x43544544u;
-constexpr std::uint16_t kVersionPipeline = 2;
+constexpr std::uint16_t kVersionPipeline = 3;
 constexpr std::uint16_t kVersionShards = 2;
 constexpr std::uint16_t kVersionDetector = 2;
 
@@ -55,11 +56,22 @@ stream_pipeline::stream_pipeline(const net::topology& topo,
     if (opts.reorder_window_bins > opts.max_gap_bins)
         throw std::invalid_argument(
             "stream_pipeline: reorder_window_bins must be <= max_gap_bins");
+    if (opts.dist && opts.reorder_window_bins > 0)
+        throw std::invalid_argument(
+            "stream_pipeline: a dist backend cannot be combined with "
+            "reorder_window_bins (the held-bin ring is in-process state)");
 }
 
 void stream_pipeline::emit_bin(od_shard_set& shards, std::size_t bin) {
     const std::uint64_t t0 = now_ns();
-    shards.harvest(scratch_.stats);
+    // With a dist backend the open bin's cells live in the worker
+    // processes; the barrier merge fills bin_statistics with exactly
+    // the bits the local harvest would have. (Reorder is excluded with
+    // dist, so `shards` here is always the cursor's shards_.)
+    if (opts_.dist)
+        opts_.dist->harvest(scratch_.stats);
+    else
+        shards.harvest(scratch_.stats);
     scratch_.stats.bin = bin;
     if (scratch_.stats.records == 0) ++metrics_.empty_bins;
     scratch_.verdict = detector_.push(scratch_.stats.snapshot);
@@ -297,10 +309,25 @@ void stream_pipeline::push(std::span<const flow::flow_record> records) {
         }
         resolver_.resolve_batch(run, od_scratch_, &metrics_.resolver_drops);
         metrics_.records_in += run.size();
-        od_shard_set& target = straggler ? *straggler_set : shards_;
-        const std::size_t before = target.pending_records();
-        target.accumulate(run, od_scratch_);
-        const std::uint64_t got = target.pending_records() - before;
+        const std::span<const int> run_ods(od_scratch_.data(), run.size());
+        std::uint64_t got = 0;
+        if (opts_.dist && !straggler) {
+            dist_backend& d = *opts_.dist;
+            const std::uint64_t before = d.pending_records();
+            const std::uint64_t bad0 = d.records_dropped_bad_od();
+            d.accumulate(run, run_ods);
+            got = d.pending_records() - before;
+            metrics_.records_dropped_bad_od +=
+                d.records_dropped_bad_od() - bad0;
+        } else {
+            od_shard_set& target = straggler ? *straggler_set : shards_;
+            const std::uint64_t before = target.pending_records();
+            const std::uint64_t bad0 = target.records_dropped_bad_od();
+            target.accumulate(run, run_ods);
+            got = target.pending_records() - before;
+            metrics_.records_dropped_bad_od +=
+                target.records_dropped_bad_od() - bad0;
+        }
         metrics_.records_accumulated += got;
         if (straggler) metrics_.records_reordered += got;
         i = j;
@@ -467,6 +494,11 @@ std::uint64_t stream_pipeline::config_fingerprint() const {
 }
 
 void stream_pipeline::save_state(io::snapshot_writer& snap) const {
+    if (opts_.dist)
+        throw std::logic_error(
+            "stream_pipeline: save_state is not supported with a dist "
+            "backend — the open bin lives in the worker processes, "
+            "which checkpoint themselves (see src/dist/README.md)");
     {
         io::wire_writer w;
         w.varint(current_bin_);
@@ -480,6 +512,7 @@ void stream_pipeline::save_state(io::snapshot_writer& snap) const {
         w.varint(m.resolver_drops.unknown_ingress);
         w.varint(m.resolver_drops.unresolvable_egress);
         w.varint(m.late_records);
+        w.varint(m.records_dropped_bad_od);
         w.varint(m.records_reordered);
         w.varint(m.bins_emitted);
         w.varint(m.empty_bins);
@@ -512,6 +545,10 @@ void stream_pipeline::save_state(io::snapshot_writer& snap) const {
 }
 
 void stream_pipeline::restore_state(const io::snapshot_reader& snap) {
+    if (opts_.dist)
+        throw std::logic_error(
+            "stream_pipeline: restore_state is not supported with a "
+            "dist backend — the open bin lives in the worker processes");
     const auto expect_version = [&](std::uint32_t tag, std::uint16_t want,
                                     const char* name) {
         const std::uint16_t got = snap.section_version(tag);
@@ -540,6 +577,7 @@ void stream_pipeline::restore_state(const io::snapshot_reader& snap) {
         m.resolver_drops.unresolvable_egress =
             static_cast<std::size_t>(r.varint());
         m.late_records = r.varint();
+        m.records_dropped_bad_od = r.varint();
         m.records_reordered = r.varint();
         m.bins_emitted = r.varint();
         m.empty_bins = r.varint();

@@ -35,7 +35,15 @@ void od_shard_set::accumulate(std::span<const flow::flow_record> records,
     std::uint64_t routed = 0;
     for (std::size_t i = 0; i < records.size(); ++i) {
         const int od = ods[i];
-        if (od < 0 || od >= od_count_) continue;
+        if (od < 0) continue;  // resolver drop, counted upstream
+        if (od >= od_count_) {
+            // A positive out-of-range OD is not a resolve failure — the
+            // resolver only ever emits -1 or a valid index — so it must
+            // be counted here or the record vanishes from the
+            // records_in == accumulated + late + drops ledger.
+            ++dropped_bad_od_;
+            continue;
+        }
         shards_[shard_of(od)].batch.push_back(static_cast<std::uint32_t>(i));
         ++routed;
     }
@@ -119,6 +127,39 @@ void od_shard_set::load(io::wire_reader& r) {
             .load(r);
     }
     pending_records_ = pending;
+}
+
+void od_shard_set::clear() {
+    for (auto& s : shards_)
+        for (auto& cell : s.cells) cell.clear();
+    pending_records_ = 0;
+}
+
+void od_shard_set::merge_saved(io::wire_reader& r) {
+    if (r.varint() != static_cast<std::uint64_t>(od_count_))
+        r.fail("od_shard_set: od_count mismatch");
+    pending_records_ += r.varint();
+    const std::uint64_t nonempty = r.varint();
+    if (nonempty > static_cast<std::uint64_t>(od_count_))
+        r.fail("od_shard_set: implausible cell count");
+    std::int64_t prev_od = -1;
+    core::feature_histogram_set incoming;
+    for (std::uint64_t i = 0; i < nonempty; ++i) {
+        const auto od = static_cast<std::int64_t>(r.varint());
+        if (od <= prev_od || od >= od_count_)
+            r.fail("od_shard_set: cell OD out of order or range");
+        prev_od = od;
+        auto& cell = shards_[shard_of(static_cast<int>(od))]
+                         .cells[static_cast<std::size_t>(od) / shards_.size()];
+        if (cell.total_records() == 0) {
+            // The disjoint-partition fast path: deserializing straight
+            // into the empty cell is the bit-exact degenerate merge.
+            cell.load(r);
+        } else {
+            incoming.load(r);
+            cell.merge(incoming);
+        }
+    }
 }
 
 core::feature_histogram_set od_shard_set::merged_cell(int od) const {

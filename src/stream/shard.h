@@ -67,9 +67,13 @@ public:
 
     /// Accumulate a batch into the current bin's cells, in parallel over
     /// shards. `ods[i]` is the OD index of `records[i]` (from
-    /// od_resolver::resolve_batch); records with od < 0 are skipped.
-    /// Per-OD accumulation order equals input order (see the determinism
-    /// contract above).
+    /// od_resolver::resolve_batch); records with od < 0 are skipped
+    /// (the resolver already counted them as drops). Records with
+    /// od >= od_count() are also skipped, but counted in
+    /// records_dropped_bad_od() — they indicate a broken producer, not
+    /// a resolve failure, and must not vanish from the conservation
+    /// ledger. Per-OD accumulation order equals input order (see the
+    /// determinism contract above).
     void accumulate(std::span<const flow::flow_record> records,
                     std::span<const int> ods);
 
@@ -80,6 +84,19 @@ public:
 
     /// Records accumulated into the current (un-harvested) bin.
     std::uint64_t pending_records() const noexcept { return pending_records_; }
+
+    /// Cumulative count of records offered with an OD index >= od_count()
+    /// (never reset by harvest; process-local, not serialized — callers
+    /// that persist accounting fold deltas into their own metrics).
+    std::uint64_t records_dropped_bad_od() const noexcept {
+        return dropped_bad_od_;
+    }
+
+    /// Reset the open bin: clear every cell and the pending-record
+    /// count without harvesting (the cumulative bad-OD counter is
+    /// untouched). A distributed worker uses this after shipping its
+    /// partial at a bin-close barrier.
+    void clear();
 
     /// The merged histograms of one OD cell in the current bin. With
     /// OD-partitioned shards exactly one shard contributes, so this is
@@ -101,6 +118,17 @@ public:
     /// mismatch, or out-of-order/out-of-range OD keys.
     void load(io::wire_reader& r);
 
+    /// Merge save() output from another set INTO the current bin
+    /// instead of replacing it: each serialized cell is merged into the
+    /// local cell of the same OD and the pending-record counts add.
+    /// When the local cell is empty — always true under disjoint OD
+    /// partitions, e.g. collecting per-worker residue slices — the
+    /// result is a bit-exact copy of the serialized state, so a
+    /// collector that merges every worker's partial harvests exactly
+    /// what one in-process set accumulating the same records would.
+    /// Same failure modes as load().
+    void merge_saved(io::wire_reader& r);
+
 private:
     struct shard {
         /// Cells for ODs owned by this shard, indexed od / shard_count.
@@ -112,6 +140,7 @@ private:
     int od_count_;
     std::vector<shard> shards_;
     std::uint64_t pending_records_ = 0;
+    std::uint64_t dropped_bad_od_ = 0;
 };
 
 }  // namespace tfd::stream

@@ -1,0 +1,231 @@
+// Crash-recovery chaos: SIGKILL a shard worker mid-bin and require the
+// post-restart detections to be BIT-identical to a run where nothing
+// crashed — via pure router replay, and via the checkpoint + replay
+// path (checkpoint_every_frames = 1 checkpoints after every frame, the
+// worst case for the durable/replay seam).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include "dist/router.h"
+#include "dist/worker.h"
+#include "net/topology.h"
+#include "stream/pipeline.h"
+#include "traffic/background.h"
+
+using namespace tfd;
+using namespace tfd::stream;
+
+namespace {
+
+core::online_options small_online() {
+    core::online_options o;
+    o.window = 8;
+    o.warmup = 4;
+    o.refit_interval = 2;
+    o.subspace.normal_dims = 2;
+    return o;
+}
+
+std::vector<flow::flow_record> make_stream(const traffic::background_model& bg,
+                                           std::size_t bins) {
+    std::vector<flow::flow_record> out;
+    for (std::size_t bin = 0; bin < bins; ++bin)
+        for (int od = 0; od < bg.topo().od_count(); ++od) {
+            const auto cell = bg.generate(bin, od);
+            out.insert(out.end(), cell.begin(), cell.end());
+        }
+    return out;
+}
+
+struct temp_dir {
+    std::filesystem::path path;
+    explicit temp_dir(const char* stem) {
+        path = std::filesystem::temp_directory_path() /
+               (std::string(stem) + "_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(path);
+    }
+    ~temp_dir() { std::filesystem::remove_all(path); }
+};
+
+std::vector<bin_result> run_reference(const net::topology& topo,
+                                      std::span<const flow::flow_record> s) {
+    pipeline_options opts;
+    opts.shards = 1;
+    opts.online = small_online();
+    stream_pipeline p(topo, opts);
+    std::vector<bin_result> results;
+    p.on_bin([&](const bin_result& r) { results.push_back(r); });
+    p.push(s);
+    p.finish();
+    return results;
+}
+
+void expect_bit_identical(const std::vector<bin_result>& got,
+                          const std::vector<bin_result>& want,
+                          const net::topology& topo, const char* label) {
+    ASSERT_EQ(got.size(), want.size()) << label;
+    for (std::size_t bin = 0; bin < want.size(); ++bin) {
+        const auto& g = got[bin];
+        const auto& w = want[bin];
+        EXPECT_EQ(g.stats.records, w.stats.records) << label << " bin " << bin;
+        for (int f = 0; f < flow::feature_count; ++f)
+            for (int od = 0; od < topo.od_count(); ++od)
+                EXPECT_EQ(g.stats.snapshot.entropies[f][od],
+                          w.stats.snapshot.entropies[f][od])
+                    << label << " bin " << bin << " f=" << f << " od=" << od;
+        EXPECT_EQ(g.stats.bytes, w.stats.bytes) << label << " bin " << bin;
+        EXPECT_EQ(g.verdict.anomalous, w.verdict.anomalous)
+            << label << " bin " << bin;
+        EXPECT_EQ(g.verdict.spe, w.verdict.spe) << label << " bin " << bin;
+        EXPECT_EQ(g.verdict.threshold, w.verdict.threshold)
+            << label << " bin " << bin;
+        ASSERT_EQ(g.verdict.flows.size(), w.verdict.flows.size());
+        for (std::size_t k = 0; k < w.verdict.flows.size(); ++k)
+            EXPECT_EQ(g.verdict.flows[k].od, w.verdict.flows[k].od);
+    }
+}
+
+/// Run the stream through a dist pipeline, SIGKILLing one worker when
+/// `kill_at_record` records have been pushed (mid-bin). Returns the
+/// emitted bins; `restarts_out` reports the router's recovery count.
+std::vector<bin_result> run_with_midbin_kill(
+    const net::topology& topo, std::span<const flow::flow_record> stream,
+    dist::router_options ropts, std::size_t kill_at_record,
+    std::uint64_t* restarts_out) {
+    pipeline_options opts;
+    opts.shards = 1;
+    opts.online = small_online();
+    const std::uint64_t fp = stream_pipeline(topo, opts).config_fingerprint();
+    dist::shard_router router(topo.od_count(), fp, std::move(ropts));
+    opts.dist = &router;
+    stream_pipeline p(topo, opts);
+    std::vector<bin_result> results;
+    p.on_bin([&](const bin_result& r) { results.push_back(r); });
+
+    bool killed = false;
+    std::size_t i = 0;
+    std::size_t chunk = 7;
+    while (i < stream.size()) {
+        if (!killed && i >= kill_at_record) {
+            const int pid = router.worker_pid(0);
+            EXPECT_GT(pid, 0) << "worker 0 has no live pid";
+            if (pid > 0) ::kill(pid, SIGKILL);
+            killed = true;
+        }
+        const std::size_t n = std::min(chunk, stream.size() - i);
+        p.push(stream.subspan(i, n));
+        i += n;
+        chunk = chunk * 2 + 1;
+    }
+    p.finish();
+    EXPECT_TRUE(killed);
+    *restarts_out = router.counters().worker_restarts;
+    return results;
+}
+
+}  // namespace
+
+// Pure replay recovery: no worker checkpoints at all — the router's
+// retained frames are the only source of the dead worker's bin state.
+TEST(DistChaosTest, KillWorkerMidBinReplayOnlyStaysBitIdentical) {
+    const auto topo = net::topology::abilene();
+    const traffic::background_model bg(topo);
+    const auto stream = make_stream(bg, 6);
+    const auto want = run_reference(topo, stream);
+
+    dist::router_options ropts;
+    ropts.workers = 2;
+    // Kill mid-stream, inside a bin (the stream is bin-major, so any
+    // offset that is not a bin boundary is mid-bin).
+    std::uint64_t restarts = 0;
+    const auto got = run_with_midbin_kill(topo, stream, ropts,
+                                          stream.size() / 2 + 17, &restarts);
+    expect_bit_identical(got, want, topo, "replay-only");
+    EXPECT_GE(restarts, 1u);
+}
+
+// Checkpoint + replay recovery: the worker checkpoints after EVERY
+// frame (io::snapshot machinery), so the respawn restores durable
+// state and the router replays only the tail above it. The result
+// must still be bit-identical — the durable/replay split is invisible.
+TEST(DistChaosTest, KillWorkerMidBinWithPerFrameCheckpointsStaysBitIdentical) {
+    const auto topo = net::topology::abilene();
+    const traffic::background_model bg(topo);
+    const auto stream = make_stream(bg, 6);
+    const auto want = run_reference(topo, stream);
+
+    const temp_dir dir("tfd_dist_chaos");
+    dist::router_options ropts;
+    ropts.workers = 2;
+    ropts.state_dir = dir.path.string();
+    ropts.checkpoint_every_frames = 1;
+    std::uint64_t restarts = 0;
+    const auto got = run_with_midbin_kill(topo, stream, ropts,
+                                          stream.size() / 3 + 5, &restarts);
+    expect_bit_identical(got, want, topo, "checkpointed");
+    EXPECT_GE(restarts, 1u);
+    // The worker actually wrote checkpoints.
+    EXPECT_TRUE(std::filesystem::exists(
+        dist::worker_state_path(dir.path.string(), 0)));
+}
+
+// Killing the same worker repeatedly past its restart budget must be
+// a loud, typed failure — a bin can never close approximately.
+TEST(DistChaosTest, RestartBudgetExhaustionThrowsWorkerFailed) {
+    dist::router_options ropts;
+    ropts.workers = 2;
+    ropts.max_restarts_per_worker = 0;
+    dist::shard_router router(8, /*config_fingerprint=*/7, ropts);
+
+    std::vector<flow::flow_record> records(4);
+    for (auto& r : records) r.packets = 1;
+    const std::vector<int> ods = {0, 1, 2, 3};
+    try {
+        router.accumulate(records, ods);
+        ::kill(router.worker_pid(0), SIGKILL);
+        ::kill(router.worker_pid(1), SIGKILL);
+        stream::bin_statistics stats;
+        router.harvest(stats);
+        FAIL() << "harvest closed a bin with a dead, unrecoverable worker";
+    } catch (const dist::dist_error& e) {
+        EXPECT_EQ(e.code(), dist::dist_errc::worker_failed);
+    }
+}
+
+// A worker restart mid-bin emits the restart observability hook with
+// a meaningful replay count.
+TEST(DistChaosTest, RestartHookReportsReplay) {
+    const auto topo = net::topology::abilene();
+    const traffic::background_model bg(topo);
+    const auto stream = make_stream(bg, 2);
+
+    pipeline_options opts;
+    opts.shards = 1;
+    opts.online = small_online();
+    const std::uint64_t fp = stream_pipeline(topo, opts).config_fingerprint();
+
+    std::vector<dist::worker_restart_info> restarts;
+    dist::router_options ropts;
+    ropts.workers = 2;
+    ropts.on_worker_restart = [&](const dist::worker_restart_info& info) {
+        restarts.push_back(info);
+    };
+    dist::shard_router router(topo.od_count(), fp, ropts);
+    opts.dist = &router;
+    stream_pipeline p(topo, opts);
+
+    p.push(std::span(stream).subspan(0, stream.size() / 2));
+    ::kill(router.worker_pid(1), SIGKILL);
+    p.push(std::span(stream).subspan(stream.size() / 2));
+    p.finish();
+
+    ASSERT_GE(restarts.size(), 1u);
+    EXPECT_EQ(restarts[0].worker_id, 1u);
+    EXPECT_GE(restarts[0].restarts, 1u);
+    EXPECT_GE(restarts[0].replayed, 1u);
+}

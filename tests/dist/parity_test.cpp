@@ -1,0 +1,247 @@
+// Multi-process parity: a pipeline whose open bin lives in forked
+// shard workers must produce BIT-identical output to the in-process
+// pipeline — same entropy matrices, same verdicts (spe, threshold,
+// anomaly flags), same identified flows — for worker counts {1,2,4},
+// on Abilene and on a 64-PoP synthetic backbone.
+#include "dist/router.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/topology.h"
+#include "obs/metrics.h"
+#include "stream/pipeline.h"
+#include "traffic/background.h"
+
+using namespace tfd;
+using namespace tfd::stream;
+
+namespace {
+
+core::online_options small_online() {
+    core::online_options o;
+    o.window = 8;
+    o.warmup = 4;
+    o.refit_interval = 2;
+    o.subspace.normal_dims = 2;
+    return o;
+}
+
+std::vector<flow::flow_record> make_stream(const traffic::background_model& bg,
+                                           std::size_t bins) {
+    std::vector<flow::flow_record> out;
+    for (std::size_t bin = 0; bin < bins; ++bin)
+        for (int od = 0; od < bg.topo().od_count(); ++od) {
+            const auto cell = bg.generate(bin, od);
+            out.insert(out.end(), cell.begin(), cell.end());
+        }
+    return out;
+}
+
+void drive(stream_pipeline& p, std::span<const flow::flow_record> stream) {
+    // Uneven chunks so batches straddle bin boundaries.
+    std::size_t i = 0;
+    std::size_t chunk = 3;
+    while (i < stream.size()) {
+        const std::size_t n = std::min(chunk, stream.size() - i);
+        p.push(stream.subspan(i, n));
+        i += n;
+        chunk = chunk * 3 + 1;
+    }
+    p.finish();
+}
+
+std::vector<bin_result> run_in_process(const net::topology& topo,
+                                       std::span<const flow::flow_record> s) {
+    pipeline_options opts;
+    opts.shards = 1;
+    opts.online = small_online();
+    stream_pipeline p(topo, opts);
+    std::vector<bin_result> results;
+    p.on_bin([&](const bin_result& r) { results.push_back(r); });
+    drive(p, s);
+    return results;
+}
+
+void expect_bit_identical(const std::vector<bin_result>& got,
+                          const std::vector<bin_result>& want,
+                          const net::topology& topo, const char* label) {
+    ASSERT_EQ(got.size(), want.size()) << label;
+    for (std::size_t bin = 0; bin < want.size(); ++bin) {
+        const auto& g = got[bin];
+        const auto& w = want[bin];
+        EXPECT_EQ(g.stats.bin, w.stats.bin);
+        EXPECT_EQ(g.stats.records, w.stats.records) << label << " bin " << bin;
+        for (int f = 0; f < flow::feature_count; ++f)
+            for (int od = 0; od < topo.od_count(); ++od)
+                EXPECT_EQ(g.stats.snapshot.entropies[f][od],
+                          w.stats.snapshot.entropies[f][od])
+                    << label << " bin " << bin << " f=" << f << " od=" << od;
+        EXPECT_EQ(g.stats.bytes, w.stats.bytes) << label << " bin " << bin;
+        EXPECT_EQ(g.stats.packets, w.stats.packets) << label << " bin " << bin;
+        EXPECT_EQ(g.verdict.scored, w.verdict.scored);
+        EXPECT_EQ(g.verdict.anomalous, w.verdict.anomalous)
+            << label << " bin " << bin;
+        EXPECT_EQ(g.verdict.spe, w.verdict.spe) << label << " bin " << bin;
+        EXPECT_EQ(g.verdict.threshold, w.verdict.threshold)
+            << label << " bin " << bin;
+        EXPECT_EQ(g.verdict.top_od, w.verdict.top_od);
+        ASSERT_EQ(g.verdict.flows.size(), w.verdict.flows.size())
+            << label << " bin " << bin;
+        for (std::size_t k = 0; k < w.verdict.flows.size(); ++k)
+            EXPECT_EQ(g.verdict.flows[k].od, w.verdict.flows[k].od);
+    }
+}
+
+void check_parity(const net::topology& topo,
+                  std::span<const flow::flow_record> stream,
+                  std::initializer_list<std::uint32_t> worker_counts) {
+    const auto want = run_in_process(topo, stream);
+    for (const std::uint32_t workers : worker_counts) {
+        pipeline_options opts;
+        opts.shards = 1;
+        opts.online = small_online();
+        const std::uint64_t fp =
+            stream_pipeline(topo, opts).config_fingerprint();
+
+        dist::router_options ropts;
+        ropts.workers = workers;
+        dist::shard_router router(topo.od_count(), fp, ropts);
+        opts.dist = &router;
+        stream_pipeline p(topo, opts);
+        std::vector<bin_result> results;
+        p.on_bin([&](const bin_result& r) { results.push_back(r); });
+        drive(p, stream);
+
+        const std::string label = "workers=" + std::to_string(workers);
+        expect_bit_identical(results, want, topo, label.c_str());
+        EXPECT_EQ(router.counters().worker_restarts, 0u) << label;
+        EXPECT_GT(router.counters().frames_routed, 0u) << label;
+        EXPECT_EQ(p.metrics().records_dropped_bad_od, 0u) << label;
+    }
+}
+
+}  // namespace
+
+TEST(DistParityTest, BitIdenticalToInProcessOnAbileneForWorkers124) {
+    const auto topo = net::topology::abilene();
+    const traffic::background_model bg(topo);
+    const auto stream = make_stream(bg, 8);
+    check_parity(topo, stream, {1u, 2u, 4u});
+}
+
+TEST(DistParityTest, BitIdenticalToInProcessOnSynthetic64ForWorkers124) {
+    const auto topo = net::topology::synthetic(64);
+    traffic::background_options bopts;
+    bopts.mean_records_per_bin = 6;  // keep the 4096-OD stream test-sized
+    const traffic::background_model bg(topo, bopts);
+    const auto stream = make_stream(bg, 3);
+    check_parity(topo, stream, {1u, 2u, 4u});
+}
+
+// Gap bins route nothing — the barrier is skipped entirely and the
+// harvested statistics still match the in-process path bit for bit.
+TEST(DistParityTest, GapBinsSkipTheNetworkAndStayIdentical) {
+    const auto topo = net::topology::abilene();
+    const traffic::background_model bg(topo);
+    auto stream = make_stream(bg, 2);
+    // Tear a 3-bin hole between the two bins.
+    const std::uint64_t bin_us = flow::default_bin_us;
+    for (auto& r : stream)
+        if (r.first_us >= bin_us) {
+            r.first_us += 3 * bin_us;
+            r.last_us += 3 * bin_us;
+        }
+    const auto want = run_in_process(topo, stream);
+    ASSERT_EQ(want.size(), 5u);
+
+    pipeline_options opts;
+    opts.shards = 1;
+    opts.online = small_online();
+    const std::uint64_t fp = stream_pipeline(topo, opts).config_fingerprint();
+    dist::router_options ropts;
+    ropts.workers = 2;
+    dist::shard_router router(topo.od_count(), fp, ropts);
+    opts.dist = &router;
+    stream_pipeline p(topo, opts);
+    std::vector<bin_result> results;
+    p.on_bin([&](const bin_result& r) { results.push_back(r); });
+    drive(p, stream);
+    expect_bit_identical(results, want, topo, "gap");
+    // The three gap bins added no network traffic: the same records
+    // without the hole route exactly the same number of frames.
+    dist::shard_router ungapped_router(topo.od_count(), fp, ropts);
+    pipeline_options uopts = opts;
+    uopts.dist = &ungapped_router;
+    stream_pipeline up(topo, uopts);
+    const auto contiguous = make_stream(bg, 2);
+    drive(up, contiguous);
+    EXPECT_EQ(router.counters().frames_routed,
+              ungapped_router.counters().frames_routed);
+}
+
+// The dist backend mirrors od_shard_set's accounting contract: od < 0
+// is an upstream-counted resolver drop, od >= od_count lands in
+// records_dropped_bad_od and nowhere else.
+TEST(DistParityTest, BadOdRecordsAreCountedNotSilentlyLost) {
+    dist::router_options ropts;
+    ropts.workers = 2;
+    dist::shard_router router(8, /*config_fingerprint=*/42, ropts);
+
+    std::vector<flow::flow_record> records(4);
+    for (auto& r : records) r.packets = 1;
+    const std::vector<int> ods = {3, -1, 8, 200};
+    router.accumulate(records, ods);
+    EXPECT_EQ(router.pending_records(), 1u);
+    EXPECT_EQ(router.records_dropped_bad_od(), 2u);
+
+    stream::bin_statistics stats;
+    router.harvest(stats);
+    EXPECT_EQ(stats.records, 1u);
+    EXPECT_EQ(stats.packets[3], 1.0);
+    // Cumulative across bins, like od_shard_set.
+    router.accumulate(records, ods);
+    EXPECT_EQ(router.records_dropped_bad_od(), 4u);
+    router.harvest(stats);
+}
+
+TEST(DistParityTest, WorkerLivenessGaugeTracksTheFleet) {
+    obs::gauge alive;
+    obs::counter restarts;
+    dist::router_options ropts;
+    ropts.workers = 3;
+    ropts.workers_alive = &alive;
+    ropts.worker_restarts_total = &restarts;
+    {
+        dist::shard_router router(8, 42, ropts);
+        EXPECT_EQ(alive.value(), 3.0);
+        EXPECT_EQ(restarts.value(), 0u);
+        for (std::uint32_t w = 0; w < 3; ++w)
+            EXPECT_GT(router.worker_pid(w), 0);
+    }
+    // Destructor shut the fleet down.
+    EXPECT_EQ(alive.value(), 0.0);
+}
+
+TEST(DistParityTest, RejectsDegenerateConfigurations) {
+    EXPECT_THROW(dist::shard_router(8, 1, {.workers = 0}),
+                 std::invalid_argument);
+
+    const auto topo = net::topology::abilene();
+    pipeline_options opts;
+    opts.online = small_online();
+    const std::uint64_t fp = stream_pipeline(topo, opts).config_fingerprint();
+    dist::shard_router router(topo.od_count(), fp, {.workers = 1});
+
+    // dist + reorder window: the held-bin ring is in-process state.
+    opts.dist = &router;
+    opts.reorder_window_bins = 2;
+    EXPECT_THROW(stream_pipeline(topo, opts), std::invalid_argument);
+
+    // dist + pipeline checkpointing: the open bin lives in the workers.
+    opts.reorder_window_bins = 0;
+    stream_pipeline p(topo, opts);
+    io::snapshot_writer snap(fp);
+    EXPECT_THROW(p.save_state(snap), std::logic_error);
+}

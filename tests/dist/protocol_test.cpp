@@ -1,0 +1,231 @@
+// Wire-protocol hardening: every message round-trips exactly, every
+// single-byte corruption of every message type is either detected
+// (parse throws) or harmless (the decoded message re-encodes to the
+// original bytes — e.g. a flip in the ignored reserved field), every
+// truncation throws, and a seeded io::fault_injector campaign cannot
+// produce a silent misparse.
+#include "dist/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "io/fault.h"
+#include "io/wire.h"
+#include "stream/flow_codec.h"
+
+using namespace tfd;
+using namespace tfd::dist;
+
+namespace {
+
+std::vector<flow::flow_record> sample_records() {
+    std::vector<flow::flow_record> rs(3);
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        rs[i].key.src = net::ipv4(0x0a000001u + static_cast<std::uint32_t>(i));
+        rs[i].key.dst =
+            net::ipv4(0x0a000100u + static_cast<std::uint32_t>(i * 7));
+        rs[i].key.src_port = static_cast<std::uint16_t>(1000 + i);
+        rs[i].key.dst_port = 443;
+        rs[i].packets = 10 + i;
+        rs[i].bytes = 1000 + 13 * i;
+        rs[i].first_us = 1'000'000 + i * 50;
+        rs[i].last_us = 1'000'400 + i * 50;
+        rs[i].ingress_pop = static_cast<int>(i % 2);
+    }
+    return rs;
+}
+
+/// One representative instance of every message type, with every
+/// optional/variable-length field populated.
+std::vector<message> sample_messages() {
+    std::vector<message> ms;
+
+    hello_message hello;
+    hello.worker_id = 1;
+    hello.worker_count = 4;
+    hello.od_count = 121;
+    hello.fingerprint = 0xfeedfacecafebeefull;
+    hello.session = 0x1122334455667788ull;
+    hello.durable_seq = 41;
+    hello.partial = hello_message::stored_partial{7, {1, 2, 3, 4, 5}};
+    ms.emplace_back(hello);
+
+    hello_message bare = hello;
+    bare.partial.reset();
+    ms.emplace_back(bare);
+
+    ms.emplace_back(welcome_message{0x1122334455667788ull, 41});
+    ms.emplace_back(nak_message{dist_errc::bad_sequence, "seq gap at 17"});
+
+    data_message data;
+    data.seq = 42;
+    data.codec = stream::encode_records(sample_records(), {2});
+    data.ods = {5, 119, 5};
+    ms.emplace_back(std::move(data));
+
+    ms.emplace_back(close_bin_message{43, 9});
+    ms.emplace_back(partial_message{9, 43, 43, {9, 8, 7, 6}});
+    ms.emplace_back(ack_message{40});
+    ms.emplace_back(bye_message{});
+    return ms;
+}
+
+bool messages_equal(const message& a, const message& b) {
+    // Structural equality via canonical re-encoding (encoding is
+    // deterministic: no maps, no padding).
+    return encode_message(a) == encode_message(b);
+}
+
+}  // namespace
+
+TEST(DistProtocolTest, EveryMessageTypeRoundTrips) {
+    for (const auto& m : sample_messages()) {
+        const auto bytes = encode_message(m);
+        const message back = parse_message(bytes);
+        EXPECT_EQ(back.index(), m.index());
+        EXPECT_TRUE(messages_equal(back, m));
+    }
+
+    // Spot-check field fidelity beyond re-encode equality.
+    data_message d;
+    d.seq = 7;
+    d.codec = stream::encode_records(sample_records(), {});
+    d.ods = {0, 1, 2};
+    const auto back = std::get<data_message>(parse_message(
+        encode_message(message{d})));
+    EXPECT_EQ(back.seq, 7u);
+    EXPECT_EQ(back.ods, d.ods);
+    const auto records = stream::decode_records(back.codec);
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[1].bytes, sample_records()[1].bytes);
+}
+
+// No single byte flip can turn one valid tag into another valid tag:
+// the fourcc tags are pairwise at least two bytes apart.
+TEST(DistProtocolTest, TagsPairwiseAtLeastTwoBytesApart) {
+    const std::uint32_t tags[] = {tag_hello, tag_welcome, tag_nak,
+                                  tag_data,  tag_close_bin, tag_partial,
+                                  tag_ack,   tag_bye};
+    for (std::size_t a = 0; a < std::size(tags); ++a)
+        for (std::size_t b = a + 1; b < std::size(tags); ++b) {
+            int differing = 0;
+            for (int byte = 0; byte < 4; ++byte)
+                if (((tags[a] >> (8 * byte)) & 0xFF) !=
+                    ((tags[b] >> (8 * byte)) & 0xFF))
+                    ++differing;
+            EXPECT_GE(differing, 2)
+                << std::hex << tags[a] << " vs " << tags[b];
+        }
+}
+
+// The exhaustive sweep: for every message type, every byte position,
+// and three flip patterns (all bits, low bit, high bit), the corrupted
+// frame either throws dist_error or decodes to a message whose
+// canonical encoding equals the original's — nothing in between.
+TEST(DistProtocolTest, EveryOneByteFlipDetectedOrHarmless) {
+    const std::uint8_t masks[] = {0xFF, 0x01, 0x80};
+    for (const auto& m : sample_messages()) {
+        const auto orig = encode_message(m);
+        for (std::size_t i = 0; i < orig.size(); ++i) {
+            for (const std::uint8_t mask : masks) {
+                auto corrupted = orig;
+                corrupted[i] ^= mask;
+                try {
+                    const message back = parse_message(corrupted);
+                    // Harmless flips exist (the reserved u16 in the
+                    // section header is ignored) — but they must not
+                    // change one decoded bit.
+                    EXPECT_EQ(encode_message(back), orig)
+                        << "silent semantic change at byte " << i
+                        << " mask " << int(mask);
+                } catch (const dist_error&) {
+                    // Detected: checksum, length, tag, or payload
+                    // validation caught it.
+                }
+            }
+        }
+    }
+}
+
+TEST(DistProtocolTest, EveryTruncationThrows) {
+    for (const auto& m : sample_messages()) {
+        const auto orig = encode_message(m);
+        for (std::size_t len = 0; len < orig.size(); ++len) {
+            const std::span<const std::uint8_t> prefix(orig.data(), len);
+            EXPECT_THROW(parse_message(prefix), dist_error)
+                << "prefix of " << len << " bytes accepted";
+        }
+    }
+}
+
+TEST(DistProtocolTest, TrailingBytesThrow) {
+    auto bytes = encode_message(ack_message{17});
+    bytes.push_back(0);
+    EXPECT_THROW(parse_message(bytes), dist_error);
+}
+
+TEST(DistProtocolTest, NewerProtocolVersionRejectedAsVersionMismatch) {
+    auto bytes = encode_message(ack_message{17});
+    // Rebuild the frame with a future version: tag | version | ...
+    io::wire_reader r(bytes, "t");
+    const io::section_view s = io::read_section(r);
+    std::vector<std::uint8_t> future;
+    io::write_section(future, s.tag, protocol_version + 1, s.payload);
+    try {
+        parse_message(future);
+        FAIL() << "future version accepted";
+    } catch (const dist_error& e) {
+        EXPECT_EQ(e.code(), dist_errc::version_mismatch);
+    }
+}
+
+TEST(DistProtocolTest, OversizedLengthFieldRejected) {
+    auto bytes = encode_message(ack_message{17});
+    // payload_bytes lives at offset 8; blow it up far past the buffer.
+    bytes[12] = 0x40;
+    EXPECT_THROW(parse_message(bytes), dist_error);
+}
+
+// Seeded campaign: random multi-bit corruption at several rates and
+// seeds, applied with io::fault_injector so a failure replays exactly.
+// Every corrupted frame must parse-throw or re-encode identically.
+TEST(DistProtocolTest, SeededFaultCampaignNeverSilentlyMisparses) {
+    const auto samples = sample_messages();
+    std::uint64_t corrupted_frames = 0;
+    std::uint64_t detected = 0;
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        for (const double rate : {0.002, 0.02, 0.15}) {
+            io::fault_plan plan;
+            plan.seed = seed;
+            plan.bit_flip_per_byte = rate;
+            io::fault_injector faults(plan);
+            for (const auto& m : samples) {
+                const auto orig = encode_message(m);
+                auto mutated = orig;
+                if (faults.corrupt(mutated) == 0) continue;
+                ++corrupted_frames;
+                try {
+                    const message back = parse_message(mutated);
+                    EXPECT_EQ(encode_message(back), orig)
+                        << "seed " << seed << " rate " << rate;
+                } catch (const dist_error&) {
+                    ++detected;
+                }
+            }
+        }
+    }
+    // The campaign must have actually exercised corruption, and the
+    // overwhelming majority of corruptions must be detected (the rest
+    // proved harmless above).
+    EXPECT_GT(corrupted_frames, 100u);
+    EXPECT_GT(detected, corrupted_frames / 2);
+}
+
+TEST(DistProtocolTest, ErrcNamesAreStable) {
+    EXPECT_STREQ(to_string(dist_errc::version_mismatch), "version mismatch");
+    EXPECT_STREQ(to_string(dist_errc::worker_failed), "worker failed");
+    const dist_error e(dist_errc::bad_sequence, "seq 9");
+    EXPECT_EQ(e.code(), dist_errc::bad_sequence);
+    EXPECT_NE(std::string(e.what()).find("bad sequence"), std::string::npos);
+}

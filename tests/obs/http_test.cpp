@@ -7,8 +7,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/alert.h"
 #include "obs/http.h"
@@ -129,6 +132,87 @@ TEST(ObsHttp, UnknownPathAndBadMethod) {
         server.port(),
         "POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
     EXPECT_NE(post.find("HTTP/1.1 405"), std::string::npos);
+}
+
+// A partial request that never delivers the header terminator must not
+// be dispatched — before the fix, a truncated buffer containing two
+// spaces ("GET /met" cut from "GET /metrics HTTP/1.1") was parsed as a
+// complete request line and served. The client closing early takes the
+// same incomplete-request path as an SO_RCVTIMEO expiry, without the
+// test having to wait out a timeout.
+TEST(ObsHttp, TruncatedRequestGets408NotDispatch) {
+    endpoint_fixture fx;
+    http_server server(fx.options());
+    const std::string resp =
+        http_request(server.port(), "GET /metrics HT");
+    EXPECT_NE(resp.find("HTTP/1.1 408"), std::string::npos);
+    EXPECT_EQ(resp.find("tfd_demo_total"), std::string::npos);
+    EXPECT_EQ(server.requests_timed_out(), 1u);
+    EXPECT_EQ(server.requests_served(), 1u);
+}
+
+// The recv-timeout flavour of the same bug: the client stalls with the
+// connection open, SO_RCVTIMEO fires, and the server must answer 408
+// (and count it) instead of dispatching the partial line.
+TEST(ObsHttp, RecvTimeoutGets408) {
+    endpoint_fixture fx;
+    auto opts = fx.options();
+    opts.recv_timeout_ms = 150;
+    http_server server(opts);
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    const char partial[] = "GET /healthz HTTP";
+    ASSERT_GT(::send(fd, partial, sizeof(partial) - 1, 0), 0);
+    // Don't send the terminator; wait for the server's timeout to fire.
+    std::string resp;
+    char buf[1024];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        resp.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    EXPECT_NE(resp.find("HTTP/1.1 408"), std::string::npos);
+    EXPECT_EQ(server.requests_timed_out(), 1u);
+}
+
+// Regression stress for the stop() <-> serve() race: stop() used to
+// close listen_fd_ while the serve thread could still be blocked in
+// accept() on it, so an fd opened concurrently (by the clients here)
+// could be recycled into that number and accepted from. With the
+// self-pipe wakeup the loop always exits cleanly; this loop hammers
+// construction, concurrent client traffic, and teardown.
+TEST(ObsHttp, StopServeRaceStress) {
+    endpoint_fixture fx;
+    auto opts = fx.options();
+    // Keep in-flight connections short so each stop() joins quickly.
+    opts.recv_timeout_ms = 10;
+    for (int round = 0; round < 40; ++round) {
+        http_server server(opts);
+        const std::uint16_t port = server.port();
+        std::atomic<bool> done{false};
+        std::vector<std::thread> clients;
+        for (int c = 0; c < 3; ++c)
+            clients.emplace_back([&, c] {
+                while (!done.load(std::memory_order_relaxed)) {
+                    if (c == 0)
+                        (void)get(port, "/healthz");
+                    else  // churn raw sockets so fd numbers recycle fast
+                        (void)http_request(port, "");
+                }
+            });
+        std::this_thread::yield();
+        server.stop();
+        done.store(true, std::memory_order_relaxed);
+        for (auto& t : clients) t.join();
+    }
 }
 
 TEST(ObsHttp, StopIsIdempotentAndFreesThePort) {

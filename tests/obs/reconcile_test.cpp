@@ -7,6 +7,7 @@
 //   records_in == records_accumulated + late_records
 //                 + resolver_drops.unknown_ingress
 //                 + resolver_drops.unresolvable_egress
+//                 + records_dropped_bad_od
 //
 // under every degraded-operation mode at once: reorder stragglers, late
 // drops, resolver drops, empty gap bins, a time-base reset, corrupt-
@@ -139,11 +140,16 @@ std::uint64_t counter_value(obs::metrics_registry& reg, const char* name) {
 }
 
 /// The conservation invariant every drained pipeline must satisfy.
+/// Every term is explicit — including records_dropped_bad_od, which
+/// used to be an uncounted skip inside od_shard_set::accumulate, so
+/// the equality only held because the resolver never emits a positive
+/// out-of-range OD.
 void expect_conservation(const pipeline_metrics& pm) {
     EXPECT_EQ(pm.records_in,
               pm.records_accumulated + pm.late_records +
                   pm.resolver_drops.unknown_ingress +
-                  pm.resolver_drops.unresolvable_egress);
+                  pm.resolver_drops.unresolvable_egress +
+                  pm.records_dropped_bad_od);
 }
 
 }  // namespace
@@ -257,6 +263,8 @@ TEST(ObsReconcile, ReorderLateDropsGapAndResetReconcileExactly) {
               pm.late_records);
     EXPECT_EQ(counter_value(h.registry, "tfd_records_reordered_total"),
               pm.records_reordered);
+    EXPECT_EQ(counter_value(h.registry, "tfd_records_dropped_bad_od_total"),
+              pm.records_dropped_bad_od);
     EXPECT_EQ(counter_value(h.registry,
                             "tfd_resolver_drops_unknown_ingress_total"),
               pm.resolver_drops.unknown_ingress);
